@@ -1,0 +1,62 @@
+// Ablation 1 — does the unlabeled (maximum-margin-clustering) term matter?
+// Sweeps Cu from 0 (labels only — plain regularized multi-task SVM) upward
+// on the body-sensor population with sparse labels. The margin structure of
+// unlabeled windows should lift accuracy, most visibly for label-free
+// users, until Cu overwhelms the label signal.
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset() {
+  sensing::BodySensorSpec spec;
+  spec.num_users = 12;
+  spec.seconds_per_activity = 60.0;
+  rng::Engine engine(5);
+  auto dataset = sensing::generate_body_sensor_dataset(spec, engine);
+  bench::reveal_first_providers(dataset, 6, 0.06, 6);
+  return dataset;
+}
+
+void print_figure() {
+  bench::print_title(
+      "Ablation 1: PLOS accuracy vs unlabeled-loss weight Cu (Cl = 10, lambda = 30)");
+  const std::vector<std::string> names{"PLOS_label", "PLOS_unlabel"};
+  bench::print_header("Cu", names);
+
+  const auto dataset = make_dataset();
+  for (double cu : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    auto options = bench::bench_body_plos_options();
+    options.params.cu = cu;
+    const auto result = core::train_centralized_plos(dataset, options);
+    const auto report =
+        core::evaluate(dataset, core::predict_all(dataset, result.model));
+    bench::print_row(cu, std::vector<double>{report.providers,
+                                             report.non_providers});
+  }
+}
+
+void BM_TrainPlosNoUnlabeledTerm(benchmark::State& state) {
+  const auto dataset = make_dataset();
+  auto options = bench::bench_body_plos_options();
+  options.params.cu = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::train_centralized_plos(dataset, options));
+  }
+}
+BENCHMARK(BM_TrainPlosNoUnlabeledTerm)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation 2 — cutting-plane tolerance: solve quality and cost vs epsilon.
+// The 1-slack working set should stay small (tens of planes) even for tight
+// tolerances; accuracy saturates well before the tightest setting, which is
+// what makes the approach practical on device-class hardware.
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "bench_support.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset() {
+  data::SyntheticSpec spec;
+  spec.num_users = 10;
+  spec.points_per_class = 200;
+  spec.max_rotation = std::numbers::pi / 2.0;
+  rng::Engine engine(9);
+  auto dataset = data::generate_synthetic(spec, engine);
+  bench::reveal_spread_providers(dataset, 5, 0.05, 10);
+  return dataset;
+}
+
+void print_figure() {
+  bench::print_title(
+      "Ablation 2: accuracy / constraints / time vs cutting-plane epsilon");
+  const std::vector<std::string> names{"acc_label", "acc_unlabel",
+                                       "constraints", "qp_solves", "time_s"};
+  bench::print_header("epsilon", names);
+
+  const auto dataset = make_dataset();
+  for (double eps : {0.3, 0.1, 0.03, 0.01, 0.003, 0.001}) {
+    auto options = bench::bench_plos_options();
+    options.cutting_plane.epsilon = eps;
+    const auto result = core::train_centralized_plos(dataset, options);
+    const auto report =
+        core::evaluate(dataset, core::predict_all(dataset, result.model));
+    bench::print_row(
+        eps, std::vector<double>{
+                 report.providers, report.non_providers,
+                 static_cast<double>(
+                     result.diagnostics.final_constraint_count),
+                 static_cast<double>(result.diagnostics.qp_solves),
+                 result.diagnostics.train_seconds});
+  }
+}
+
+void BM_TrainPlosTightEpsilon(benchmark::State& state) {
+  const auto dataset = make_dataset();
+  auto options = bench::bench_plos_options();
+  options.cutting_plane.epsilon = 1e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::train_centralized_plos(dataset, options));
+  }
+}
+BENCHMARK(BM_TrainPlosTightEpsilon)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation 3 — ADMM step size rho: rounds to converge, message cost, and
+// accuracy. rho trades primal vs dual residual progress; too small or too
+// large inflates rounds (and therefore every device's communication bill).
+// The paper fixes rho = 1.
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "bench_support.hpp"
+#include "net/simnet.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset() {
+  data::SyntheticSpec spec;
+  spec.num_users = 20;
+  spec.points_per_class = 80;
+  spec.max_rotation = std::numbers::pi / 2.0;
+  rng::Engine engine(12);
+  auto dataset = data::generate_synthetic(spec, engine);
+  bench::reveal_spread_providers(dataset, 10, 0.05, 13);
+  return dataset;
+}
+
+void print_figure() {
+  bench::print_title(
+      "Ablation 3: distributed PLOS vs ADMM step size rho");
+  const std::vector<std::string> names{"acc_label", "acc_unlabel",
+                                       "admm_iters", "overhead_kb"};
+  bench::print_header("rho", names);
+
+  const auto dataset = make_dataset();
+  for (double rho : {0.05, 0.2, 1.0, 5.0, 20.0}) {
+    auto options = bench::bench_distributed_options();
+    options.rho = rho;
+    net::SimNetwork network(dataset.num_users(), net::DeviceProfile{},
+                            net::LinkProfile{});
+    const auto result =
+        core::train_distributed_plos(dataset, options, &network);
+    const auto report =
+        core::evaluate(dataset, core::predict_all(dataset, result.model));
+    bench::print_row(
+        rho,
+        std::vector<double>{
+            report.providers, report.non_providers,
+            static_cast<double>(result.diagnostics.admm_iterations_total),
+            network.mean_bytes_per_device() / 1024.0});
+  }
+}
+
+void BM_DistributedPlosRho1(benchmark::State& state) {
+  const auto dataset = make_dataset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::train_distributed_plos(dataset,
+                                     bench::bench_distributed_options()));
+  }
+}
+BENCHMARK(BM_DistributedPlosRho1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

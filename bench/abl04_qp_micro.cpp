@@ -1,0 +1,71 @@
+// Ablation 4 — QP solver micro-benchmarks: capped-simplex projection and
+// FISTA solve time vs problem size, plus the warm-start payoff that the
+// cutting-plane loops rely on.
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "qp/capped_simplex_qp.hpp"
+#include "qp/projection.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+qp::CappedSimplexQpProblem random_problem(std::size_t n, std::size_t groups,
+                                          std::uint64_t seed) {
+  rng::Engine engine(seed);
+  linalg::Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = engine.gaussian();
+  }
+  qp::CappedSimplexQpProblem p;
+  p.hessian = b.matmul(b.transposed());
+  for (std::size_t i = 0; i < n; ++i) p.hessian(i, i) += 1.0;
+  p.linear = engine.gaussian_vector(n);
+  p.groups.assign(groups, {});
+  for (std::size_t i = 0; i < n; ++i) p.groups[i % groups].push_back(i);
+  p.caps.assign(groups, 0.5);
+  return p;
+}
+
+void BM_Projection(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Engine engine(n);
+  const linalg::Vector base = engine.gaussian_vector(n, 0.5, 1.0);
+  for (auto _ : state) {
+    linalg::Vector x = base;
+    qp::project_capped_simplex(x, 1.0);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Projection)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_QpSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto p = random_problem(n, std::max<std::size_t>(1, n / 16), n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qp::solve_capped_simplex_qp(p));
+  }
+}
+BENCHMARK(BM_QpSolve)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_QpSolveWarmStarted(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto p = random_problem(n, std::max<std::size_t>(1, n / 16), n);
+  const auto cold = qp::solve_capped_simplex_qp(p);
+  qp::QpOptions options;
+  options.warm_start = cold.solution;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qp::solve_capped_simplex_qp(p, options));
+  }
+}
+BENCHMARK(BM_QpSolveWarmStarted)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

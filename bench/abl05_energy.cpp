@@ -1,0 +1,90 @@
+// Ablation 5 — device energy: distributed PLOS (model-parameter exchange +
+// on-device solving) vs the centralized alternative's one-shot raw-data
+// upload. The paper argues distributed PLOS is "efficient in energy"; this
+// bench quantifies the claim under the radio/CPU energy model and shows
+// the honest trade-off: distributed energy is dominated by on-device
+// compute and stays roughly flat in dataset size, while raw-upload radio
+// energy grows linearly — the crossover sits around a couple thousand
+// samples per user, i.e. continuous sensing workloads favor distributed,
+// one-off small datasets do not.
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "bench_support.hpp"
+#include "net/serialize.hpp"
+#include "net/simnet.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset(std::size_t points_per_class) {
+  data::SyntheticSpec spec;
+  spec.num_users = 20;
+  spec.points_per_class = points_per_class;
+  spec.max_rotation = std::numbers::pi / 2.0;
+  rng::Engine engine(21);
+  auto dataset = data::generate_synthetic(spec, engine);
+  bench::reveal_spread_providers(dataset, 10, 0.05, 22);
+  return dataset;
+}
+
+// Radio energy a user would spend uploading every raw sample once.
+double raw_upload_energy_joules(const data::UserData& user,
+                                const net::DeviceProfile& profile) {
+  net::Serializer s;
+  for (const auto& x : user.samples) s.write_vector(x);
+  return static_cast<double>(s.size_bytes()) / 1024.0 *
+         profile.tx_energy_j_per_kb;
+}
+
+void print_figure() {
+  bench::print_title(
+      "Ablation 5: mean per-device energy (J), distributed vs raw upload");
+  const std::vector<std::string> names{"distributed_J", "raw_upload_J",
+                                       "dist_radio_kb"};
+  bench::print_header("samples/user", names);
+
+  const net::DeviceProfile profile;
+  for (std::size_t points : {25u, 50u, 100u, 400u, 1000u, 2000u, 4000u}) {
+    const auto dataset = make_dataset(points);
+    net::SimNetwork network(dataset.num_users(), profile, net::LinkProfile{});
+    core::train_distributed_plos(dataset, bench::bench_distributed_options(),
+                                 &network);
+    double raw = 0.0;
+    for (const auto& user : dataset.users) {
+      raw += raw_upload_energy_joules(user, profile);
+    }
+    raw /= static_cast<double>(dataset.num_users());
+    bench::print_row(
+        static_cast<double>(2 * points),
+        std::vector<double>{network.total_device_energy() /
+                                static_cast<double>(dataset.num_users()),
+                            raw,
+                            network.mean_bytes_per_device() / 1024.0});
+  }
+}
+
+void BM_DistributedPlosEnergyRun(benchmark::State& state) {
+  const auto dataset = make_dataset(100);
+  for (auto _ : state) {
+    net::SimNetwork network(dataset.num_users(), net::DeviceProfile{},
+                            net::LinkProfile{});
+    benchmark::DoNotOptimize(core::train_distributed_plos(
+        dataset, bench::bench_distributed_options(), &network));
+  }
+}
+BENCHMARK(BM_DistributedPlosEnergyRun)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

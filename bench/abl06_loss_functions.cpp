@@ -1,0 +1,77 @@
+// Ablation 6 — loss functions: the paper's hinge-loss PLOS vs the smooth
+// logistic-loss variant (§VII future work). Accuracy should be comparable;
+// the interesting differences are training cost profiles (cutting planes +
+// QP vs a single L-BFGS solve per CCCP round).
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "bench_support.hpp"
+#include "core/logistic_plos.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset(double rotation, std::uint64_t seed) {
+  data::SyntheticSpec spec;
+  spec.num_users = 10;
+  spec.points_per_class = 150;
+  spec.max_rotation = rotation;
+  rng::Engine engine(seed);
+  auto dataset = data::generate_synthetic(spec, engine);
+  bench::reveal_spread_providers(dataset, 5, 0.05, seed + 1);
+  return dataset;
+}
+
+void print_figure() {
+  bench::print_title(
+      "Ablation 6: hinge PLOS vs logistic PLOS across rotation levels");
+  const std::vector<std::string> names{"hinge_l", "hinge_u", "hinge_s",
+                                       "logit_l", "logit_u", "logit_s"};
+  bench::print_header("rotation/pi", names);
+
+  for (int step = 0; step <= 4; ++step) {
+    const double rotation = std::numbers::pi * step / 4.0;
+    const auto dataset = make_dataset(rotation, 61 + step);
+
+    const auto hinge =
+        core::train_centralized_plos(dataset, bench::bench_plos_options());
+    const auto rh =
+        core::evaluate(dataset, core::predict_all(dataset, hinge.model));
+
+    core::LogisticPlosOptions logistic_options;
+    logistic_options.params = bench::bench_plos_options().params;
+    logistic_options.cccp.max_iterations = 4;
+    const auto logistic = core::train_logistic_plos(dataset, logistic_options);
+    const auto rl =
+        core::evaluate(dataset, core::predict_all(dataset, logistic.model));
+
+    bench::print_row(static_cast<double>(step) / 4.0,
+                     std::vector<double>{rh.providers, rh.non_providers,
+                                         hinge.diagnostics.train_seconds,
+                                         rl.providers, rl.non_providers,
+                                         logistic.diagnostics.train_seconds});
+  }
+}
+
+void BM_TrainLogisticPlos(benchmark::State& state) {
+  const auto dataset = make_dataset(std::numbers::pi / 2.0, 63);
+  core::LogisticPlosOptions options;
+  options.params = bench::bench_plos_options().params;
+  options.cccp.max_iterations = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::train_logistic_plos(dataset, options));
+  }
+}
+BENCHMARK(BM_TrainLogisticPlos)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation 7 — asynchronous distributed PLOS (§VII future work): accuracy,
+// ADMM iterations, and per-device traffic as device participation drops.
+// Expected shape: accuracy degrades gracefully; iterations to converge grow
+// as staleness rises, but per-round traffic falls proportionally.
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "bench_support.hpp"
+#include "net/simnet.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset() {
+  data::SyntheticSpec spec;
+  spec.num_users = 20;
+  spec.points_per_class = 60;
+  spec.max_rotation = std::numbers::pi / 2.0;
+  rng::Engine engine(71);
+  auto dataset = data::generate_synthetic(spec, engine);
+  bench::reveal_spread_providers(dataset, 10, 0.05, 72);
+  return dataset;
+}
+
+core::AsyncDistributedPlosOptions make_options(double participation) {
+  core::AsyncDistributedPlosOptions options;
+  options.base = bench::bench_distributed_options();
+  options.base.cutting_plane.epsilon = 5e-2;
+  options.base.cccp.max_iterations = 3;
+  options.participation = participation;
+  return options;
+}
+
+void print_figure() {
+  bench::print_title(
+      "Ablation 7: async distributed PLOS vs participation rate");
+  const std::vector<std::string> names{"acc_label", "acc_unlabel",
+                                       "admm_iters", "overhead_kb"};
+  bench::print_header("participation", names);
+
+  const auto dataset = make_dataset();
+  for (double p : {1.0, 0.8, 0.6, 0.4, 0.2}) {
+    net::SimNetwork network(dataset.num_users(), net::DeviceProfile{},
+                            net::LinkProfile{});
+    const auto result =
+        core::train_async_distributed_plos(dataset, make_options(p), &network);
+    const auto report =
+        core::evaluate(dataset, core::predict_all(dataset, result.model));
+    bench::print_row(
+        p, std::vector<double>{
+               report.providers, report.non_providers,
+               static_cast<double>(result.diagnostics.admm_iterations_total),
+               network.mean_bytes_per_device() / 1024.0});
+  }
+}
+
+void BM_AsyncDistributedHalfParticipation(benchmark::State& state) {
+  const auto dataset = make_dataset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::train_async_distributed_plos(dataset, make_options(0.5)));
+  }
+}
+BENCHMARK(BM_AsyncDistributedHalfParticipation)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

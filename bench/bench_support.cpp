@@ -1,0 +1,103 @@
+#include "bench_support.hpp"
+
+#include <cstdio>
+
+#include "rng/engine.hpp"
+
+namespace plos::bench {
+
+MethodReports run_all_methods(const data::MultiUserDataset& dataset,
+                              const core::CentralizedPlosOptions& options) {
+  MethodReports reports;
+  const auto plos = core::train_centralized_plos(dataset, options);
+  reports.plos = core::evaluate(dataset, core::predict_all(dataset, plos.model));
+  reports.all = core::evaluate(dataset, core::run_all_baseline(dataset));
+  reports.group = core::evaluate(dataset, core::run_group_baseline(dataset));
+  reports.single = core::evaluate(dataset, core::run_single_baseline(dataset));
+  return reports;
+}
+
+core::CentralizedPlosOptions bench_plos_options() {
+  core::CentralizedPlosOptions options;
+  options.params.lambda = 100.0;
+  options.params.cl = 10.0;
+  options.params.cu = 1.0;
+  options.cutting_plane.epsilon = 1e-2;
+  options.cccp.max_iterations = 4;
+  return options;
+}
+
+core::CentralizedPlosOptions bench_body_plos_options() {
+  core::CentralizedPlosOptions options = bench_plos_options();
+  options.params.lambda = 30.0;
+  options.params.cu = 5.0;
+  return options;
+}
+
+core::DistributedPlosOptions bench_distributed_options() {
+  core::DistributedPlosOptions options;
+  options.params.lambda = 100.0;
+  options.params.cl = 10.0;
+  options.params.cu = 1.0;
+  options.cutting_plane.epsilon = 1e-2;
+  options.cccp.max_iterations = 4;
+  options.rho = 1.0;
+  options.eps_abs = 1e-3;
+  options.max_admm_iterations = 150;
+  return options;
+}
+
+void reveal_first_providers(data::MultiUserDataset& dataset,
+                            std::size_t num_providers, double rate,
+                            std::uint64_t seed) {
+  std::vector<std::size_t> providers(num_providers);
+  for (std::size_t i = 0; i < num_providers; ++i) providers[i] = i;
+  rng::Engine engine(seed);
+  data::hide_all_labels(dataset);
+  data::reveal_labels(dataset, providers, rate, engine);
+}
+
+void reveal_spread_providers(data::MultiUserDataset& dataset,
+                             std::size_t num_providers, double rate,
+                             std::uint64_t seed) {
+  std::vector<std::size_t> providers;
+  const std::size_t num_users = dataset.num_users();
+  for (std::size_t i = 0; i < num_providers; ++i) {
+    providers.push_back(i * num_users / num_providers);
+  }
+  rng::Engine engine(seed);
+  data::hide_all_labels(dataset);
+  data::reveal_labels(dataset, providers, rate, engine);
+}
+
+void print_title(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+void print_header(const std::string& x_name,
+                  std::span<const std::string> series) {
+  std::printf("%-14s", x_name.c_str());
+  for (const auto& s : series) std::printf("%14s", s.c_str());
+  std::printf("\n");
+}
+
+void print_row(double x, std::span<const double> values) {
+  std::printf("%-14.4g", x);
+  for (double v : values) std::printf("%14.4f", v);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::vector<std::string> accuracy_series_names() {
+  return {"PLOS_label",   "All_label",   "Group_label",   "Single_label",
+          "PLOS_unlabel", "All_unlabel", "Group_unlabel", "Single_unlabel"};
+}
+
+std::vector<double> accuracy_series_values(const MethodReports& r) {
+  return {r.plos.providers,       r.all.providers,
+          r.group.providers,      r.single.providers,
+          r.plos.non_providers,   r.all.non_providers,
+          r.group.non_providers,  r.single.non_providers};
+}
+
+}  // namespace plos::bench

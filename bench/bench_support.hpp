@@ -1,0 +1,77 @@
+// Shared support for the per-figure benchmark binaries.
+//
+// Every binary regenerates one figure of the paper's evaluation section:
+// it prints the figure's series as an aligned text table (accuracy per
+// sweep point per method) and then runs google-benchmark timings for a
+// representative configuration.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/centralized_plos.hpp"
+#include "core/distributed_plos.hpp"
+#include "core/evaluation.hpp"
+#include "data/dataset.hpp"
+#include "data/labeling.hpp"
+#include "data/synthetic.hpp"
+#include "sensing/body_sensor.hpp"
+#include "sensing/har.hpp"
+
+namespace plos::bench {
+
+/// Accuracy reports of the four compared methods on one dataset.
+struct MethodReports {
+  core::AccuracyReport plos;
+  core::AccuracyReport all;
+  core::AccuracyReport group;
+  core::AccuracyReport single;
+};
+
+/// Trains centralized PLOS and the three baselines and evaluates all four.
+MethodReports run_all_methods(const data::MultiUserDataset& dataset,
+                              const core::CentralizedPlosOptions& options);
+
+/// PLOS hyper-parameters used by the synthetic and HAR figure benches
+/// (fixed rather than cross-validated per point to keep bench runtime
+/// bounded; chosen once by CV-style sweeps, as EXPERIMENTS.md documents).
+core::CentralizedPlosOptions bench_plos_options();
+
+/// Body-sensor figures use stronger unlabeled weighting and a looser
+/// commonness tie (λ=30, Cu=5): free placement makes personal structure
+/// more informative there, and the paper's per-experiment CV would pick
+/// different parameters per dataset too.
+core::CentralizedPlosOptions bench_body_plos_options();
+
+/// Matching options for the distributed trainer.
+core::DistributedPlosOptions bench_distributed_options();
+
+/// Reveals labels for the first `num_providers` users at `rate`.
+void reveal_first_providers(data::MultiUserDataset& dataset,
+                            std::size_t num_providers, double rate,
+                            std::uint64_t seed);
+
+/// Reveals labels for `num_providers` users spread evenly across the user
+/// index range. The synthetic population's rotation angle grows with the
+/// user index, so spreading providers keeps every rotation regime
+/// represented among the label providers (first-k would leave the most
+/// rotated users systematically label-free).
+void reveal_spread_providers(data::MultiUserDataset& dataset,
+                             std::size_t num_providers, double rate,
+                             std::uint64_t seed);
+
+// ---- table printing ------------------------------------------------------
+
+void print_title(const std::string& title);
+void print_header(const std::string& x_name,
+                  std::span<const std::string> series);
+void print_row(double x, std::span<const double> values);
+
+/// Standard 8 series of the paper's accuracy figures:
+/// {PLOS, All, Group, Single} × {label, unlabel}.
+std::vector<std::string> accuracy_series_names();
+std::vector<double> accuracy_series_values(const MethodReports& reports);
+
+}  // namespace plos::bench

@@ -1,0 +1,58 @@
+// Figure 3 — body-sensor dataset: accuracy vs the number of users who
+// provide labels (2..18 of 20), each labeling 6% of their windows.
+// Expected shape: Single flat (too few labels, no sharing); All and Group
+// improve with more providers; PLOS best on both user types with the
+// largest gap on providers.
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset(std::uint64_t seed) {
+  sensing::BodySensorSpec spec;
+  spec.num_users = 20;
+  rng::Engine engine(seed);
+  return sensing::generate_body_sensor_dataset(spec, engine);
+}
+
+void print_figure() {
+  bench::print_title(
+      "Figure 3: body-sensor accuracy vs number of label providers "
+      "(20 users, 6% labels)");
+  const auto names = bench::accuracy_series_names();
+  bench::print_header("providers", names);
+
+  auto dataset = make_dataset(2024);
+  for (std::size_t providers = 2; providers <= 18; providers += 2) {
+    bench::reveal_first_providers(dataset, providers, 0.06, providers);
+    const auto reports =
+        bench::run_all_methods(dataset, bench::bench_body_plos_options());
+    bench::print_row(static_cast<double>(providers),
+                     bench::accuracy_series_values(reports));
+  }
+}
+
+void BM_TrainPlosBodySensor(benchmark::State& state) {
+  auto dataset = make_dataset(2024);
+  bench::reveal_first_providers(dataset, 10, 0.06, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::train_centralized_plos(dataset, bench::bench_body_plos_options()));
+  }
+}
+BENCHMARK(BM_TrainPlosBodySensor)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 4 — body-sensor dataset: accuracy vs the fraction of labeled
+// samples (4%..48%) with 9 fixed label providers. Expected shape: Single
+// improves sharply with more labels and eventually beats All on providers;
+// Group sits between; PLOS best everywhere.
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset(std::uint64_t seed) {
+  sensing::BodySensorSpec spec;
+  spec.num_users = 20;
+  rng::Engine engine(seed);
+  return sensing::generate_body_sensor_dataset(spec, engine);
+}
+
+void print_figure() {
+  bench::print_title(
+      "Figure 4: body-sensor accuracy vs training rate (9 providers)");
+  const auto names = bench::accuracy_series_names();
+  bench::print_header("rate_percent", names);
+
+  auto dataset = make_dataset(2024);
+  for (int percent = 4; percent <= 48; percent += 8) {
+    bench::reveal_first_providers(dataset, 9, percent / 100.0,
+                                  static_cast<std::uint64_t>(percent));
+    const auto reports =
+        bench::run_all_methods(dataset, bench::bench_body_plos_options());
+    bench::print_row(static_cast<double>(percent),
+                     bench::accuracy_series_values(reports));
+  }
+}
+
+void BM_TrainPlosBodySensorRich(benchmark::State& state) {
+  auto dataset = make_dataset(2024);
+  bench::reveal_first_providers(dataset, 9, 0.24, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::train_centralized_plos(dataset, bench::bench_body_plos_options()));
+  }
+}
+BENCHMARK(BM_TrainPlosBodySensorRich)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 5 — HAR-like smartphone dataset: accuracy vs number of label
+// providers (6..27 of 30), each labeling 6% (~3 samples per activity).
+// Expected shape: same ordering as Figure 3 but with a smaller All↔PLOS gap
+// (weaker personal traits on the waist-mounted phone).
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset(std::uint64_t seed) {
+  sensing::HarSpec spec;  // defaults: 30 users, 561 dims, 50/class
+  rng::Engine engine(seed);
+  return sensing::generate_har_dataset(spec, engine);
+}
+
+void print_figure() {
+  bench::print_title(
+      "Figure 5: HAR accuracy vs number of label providers (30 users, "
+      "6% labels)");
+  const auto names = bench::accuracy_series_names();
+  bench::print_header("providers", names);
+
+  auto dataset = make_dataset(77);
+  for (std::size_t providers = 6; providers <= 27; providers += 3) {
+    bench::reveal_first_providers(dataset, providers, 0.06, providers);
+    const auto reports =
+        bench::run_all_methods(dataset, bench::bench_plos_options());
+    bench::print_row(static_cast<double>(providers),
+                     bench::accuracy_series_values(reports));
+  }
+}
+
+void BM_TrainPlosHar(benchmark::State& state) {
+  auto dataset = make_dataset(77);
+  bench::reveal_first_providers(dataset, 15, 0.06, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::train_centralized_plos(dataset, bench::bench_plos_options()));
+  }
+}
+BENCHMARK(BM_TrainPlosHar)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

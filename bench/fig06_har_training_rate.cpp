@@ -1,0 +1,54 @@
+// Figure 6 — HAR-like smartphone dataset: accuracy vs training rate
+// (4%..48%) with 15 fixed label providers. Expected shape: Single/Group
+// close the gap to All as labels grow; Single's unlabeled users stay flat;
+// PLOS best.
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset(std::uint64_t seed) {
+  sensing::HarSpec spec;
+  rng::Engine engine(seed);
+  return sensing::generate_har_dataset(spec, engine);
+}
+
+void print_figure() {
+  bench::print_title(
+      "Figure 6: HAR accuracy vs training rate (15 providers)");
+  const auto names = bench::accuracy_series_names();
+  bench::print_header("rate_percent", names);
+
+  auto dataset = make_dataset(77);
+  for (int percent = 4; percent <= 48; percent += 8) {
+    bench::reveal_first_providers(dataset, 15, percent / 100.0,
+                                  static_cast<std::uint64_t>(percent));
+    const auto reports =
+        bench::run_all_methods(dataset, bench::bench_plos_options());
+    bench::print_row(static_cast<double>(percent),
+                     bench::accuracy_series_values(reports));
+  }
+}
+
+void BM_TrainPlosHarRich(benchmark::State& state) {
+  auto dataset = make_dataset(77);
+  bench::reveal_first_providers(dataset, 15, 0.24, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::train_centralized_plos(dataset, bench::bench_plos_options()));
+  }
+}
+BENCHMARK(BM_TrainPlosHarRich)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 7 — HAR-like dataset: PLOS accuracy vs log10(lambda) with 15
+// providers labeling 6 samples each. Expected shape: an inverted U — small
+// lambda behaves like Single (per-user overfitting on few labels), large
+// lambda like All (one shared hyperplane); the best sits in between
+// (the paper finds log10(lambda) ≈ 2).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_support.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset(std::uint64_t seed) {
+  sensing::HarSpec spec;
+  rng::Engine engine(seed);
+  auto dataset = generate_har_dataset(spec, engine);
+  bench::reveal_first_providers(dataset, 15, 0.06, seed + 1);
+  return dataset;
+}
+
+void print_figure() {
+  bench::print_title("Figure 7: HAR PLOS accuracy vs log10(lambda)");
+  const std::vector<std::string> names{"PLOS_label", "PLOS_unlabel"};
+  bench::print_header("log10_lambda", names);
+
+  const auto dataset = make_dataset(88);
+  for (double log_lambda = 0.0; log_lambda <= 4.0; log_lambda += 0.5) {
+    auto options = bench::bench_plos_options();
+    options.params.lambda = std::pow(10.0, log_lambda);
+    const auto result = core::train_centralized_plos(dataset, options);
+    const auto report =
+        core::evaluate(dataset, core::predict_all(dataset, result.model));
+    bench::print_row(log_lambda, std::vector<double>{report.providers,
+                                                     report.non_providers});
+  }
+}
+
+void BM_TrainPlosLambda100(benchmark::State& state) {
+  const auto dataset = make_dataset(88);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::train_centralized_plos(dataset, bench::bench_plos_options()));
+  }
+}
+BENCHMARK(BM_TrainPlosLambda100)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

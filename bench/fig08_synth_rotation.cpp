@@ -1,0 +1,71 @@
+// Figure 8 — synthetic data: accuracy vs the maximum rotation angle among
+// users (the "difference level" knob). Expected shape: All degrades quickly
+// as users diverge, Single stays flat, Group degrades slower than All, PLOS
+// stays best with a mild decline (stronger on label-free users).
+//
+// Setup per the paper §VI-D: 10 users, 200 points per class, ±(10,10)
+// Gaussians with covariance [[225,-180],[-180,225]], 10% label noise,
+// 5 providers labeling 8 samples each (2%).
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "bench_support.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset(double max_rotation, std::uint64_t seed) {
+  data::SyntheticSpec spec;
+  spec.num_users = 10;
+  spec.points_per_class = 200;
+  spec.max_rotation = max_rotation;
+  rng::Engine engine(seed);
+  auto dataset = data::generate_synthetic(spec, engine);
+  bench::reveal_spread_providers(dataset, 5, 0.02, seed + 1);
+  return dataset;
+}
+
+void print_figure() {
+  bench::print_title(
+      "Figure 8: synthetic accuracy vs rotation angle (x = angle/pi)");
+  const auto names = bench::accuracy_series_names();
+  bench::print_header("rotation/pi", names);
+
+  const int kSeeds = 2;
+  for (int step = 0; step <= 6; ++step) {
+    const double angle =
+        std::numbers::pi * static_cast<double>(step) / 6.0;
+    std::vector<double> sums(names.size(), 0.0);
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const auto dataset =
+          make_dataset(angle, 100 * static_cast<std::uint64_t>(seed) + step);
+      const auto reports =
+          bench::run_all_methods(dataset, bench::bench_plos_options());
+      const auto values = bench::accuracy_series_values(reports);
+      for (std::size_t i = 0; i < values.size(); ++i) sums[i] += values[i];
+    }
+    for (auto& v : sums) v /= kSeeds;
+    bench::print_row(static_cast<double>(step) / 6.0, sums);
+  }
+}
+
+void BM_TrainPlosRotated(benchmark::State& state) {
+  const auto dataset = make_dataset(std::numbers::pi / 2.0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::train_centralized_plos(dataset, bench::bench_plos_options()));
+  }
+}
+BENCHMARK(BM_TrainPlosRotated)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 9 — synthetic data: accuracy vs the number of label-providing
+// users (1..10) at fixed rotation pi/2 and 2% labeling. Expected shape:
+// All/Group/PLOS improve with more providers, Single flat; PLOS on top.
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "bench_support.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset(std::size_t providers,
+                                    std::uint64_t seed) {
+  data::SyntheticSpec spec;
+  spec.num_users = 10;
+  spec.points_per_class = 200;
+  spec.max_rotation = std::numbers::pi / 2.0;
+  rng::Engine engine(seed);
+  auto dataset = data::generate_synthetic(spec, engine);
+  bench::reveal_spread_providers(dataset, providers, 0.02, seed + 1);
+  return dataset;
+}
+
+void print_figure() {
+  bench::print_title(
+      "Figure 9: synthetic accuracy vs number of label providers");
+  const auto names = bench::accuracy_series_names();
+  bench::print_header("providers", names);
+
+  const int kSeeds = 2;
+  for (std::size_t providers = 1; providers <= 10; ++providers) {
+    std::vector<double> sums(names.size(), 0.0);
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const auto dataset = make_dataset(
+          providers, 31 * static_cast<std::uint64_t>(seed) + providers);
+      const auto reports =
+          bench::run_all_methods(dataset, bench::bench_plos_options());
+      const auto values = bench::accuracy_series_values(reports);
+      for (std::size_t i = 0; i < values.size(); ++i) sums[i] += values[i];
+    }
+    for (auto& v : sums) v /= kSeeds;
+    bench::print_row(static_cast<double>(providers), sums);
+  }
+}
+
+void BM_TrainPlosFiveProviders(benchmark::State& state) {
+  const auto dataset = make_dataset(5, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::train_centralized_plos(dataset, bench::bench_plos_options()));
+  }
+}
+BENCHMARK(BM_TrainPlosFiveProviders)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

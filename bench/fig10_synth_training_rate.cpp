@@ -1,0 +1,64 @@
+// Figure 10 — synthetic data: accuracy vs training rate (1%..10%) with 5
+// providers at rotation pi/2. Expected shape: every label-using method
+// improves with more labels; Single's unlabeled users stay flat; PLOS best.
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "bench_support.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset(double rate, std::uint64_t seed) {
+  data::SyntheticSpec spec;
+  spec.num_users = 10;
+  spec.points_per_class = 200;
+  spec.max_rotation = std::numbers::pi / 2.0;
+  rng::Engine engine(seed);
+  auto dataset = data::generate_synthetic(spec, engine);
+  bench::reveal_spread_providers(dataset, 5, rate, seed + 1);
+  return dataset;
+}
+
+void print_figure() {
+  bench::print_title("Figure 10: synthetic accuracy vs training rate (%)");
+  const auto names = bench::accuracy_series_names();
+  bench::print_header("rate_percent", names);
+
+  const int kSeeds = 2;
+  for (int percent = 1; percent <= 10; ++percent) {
+    std::vector<double> sums(names.size(), 0.0);
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const auto dataset =
+          make_dataset(percent / 100.0,
+                       53 * static_cast<std::uint64_t>(seed) + percent);
+      const auto reports =
+          bench::run_all_methods(dataset, bench::bench_plos_options());
+      const auto values = bench::accuracy_series_values(reports);
+      for (std::size_t i = 0; i < values.size(); ++i) sums[i] += values[i];
+    }
+    for (auto& v : sums) v /= kSeeds;
+    bench::print_row(static_cast<double>(percent), sums);
+  }
+}
+
+void BM_TrainPlosMidRate(benchmark::State& state) {
+  const auto dataset = make_dataset(0.05, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::train_centralized_plos(dataset, bench::bench_plos_options()));
+  }
+}
+BENCHMARK(BM_TrainPlosMidRate)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 11 — accuracy difference between centralized and distributed PLOS
+// as the population grows (10..100 users). Expected shape: the difference
+// hovers around zero for both user types — ADMM solves the same
+// convexified objective the centralized QP does.
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "bench_support.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset(std::size_t num_users,
+                                    std::uint64_t seed) {
+  data::SyntheticSpec spec;
+  spec.num_users = num_users;
+  spec.points_per_class = 50;
+  spec.max_rotation = std::numbers::pi / 2.0;
+  rng::Engine engine(seed);
+  auto dataset = data::generate_synthetic(spec, engine);
+  bench::reveal_spread_providers(dataset, num_users / 2, 0.05, seed + 1);
+  return dataset;
+}
+
+core::CentralizedPlosOptions lean_centralized() {
+  auto options = bench::bench_plos_options();
+  options.cutting_plane.epsilon = 5e-2;
+  options.cccp.max_iterations = 3;
+  return options;
+}
+
+core::DistributedPlosOptions lean_distributed() {
+  auto options = bench::bench_distributed_options();
+  options.cutting_plane.epsilon = 5e-2;
+  options.cccp.max_iterations = 3;
+  return options;
+}
+
+void print_figure() {
+  bench::print_title(
+      "Figure 11: accuracy difference centralized - distributed (percent)");
+  const std::vector<std::string> names{"diff_label", "diff_unlabel"};
+  bench::print_header("users", names);
+
+  for (std::size_t users = 10; users <= 100; users += 10) {
+    const auto dataset = make_dataset(users, users);
+    const auto centralized =
+        core::train_centralized_plos(dataset, lean_centralized());
+    const auto distributed =
+        core::train_distributed_plos(dataset, lean_distributed());
+    const auto rc =
+        core::evaluate(dataset, core::predict_all(dataset, centralized.model));
+    const auto rd =
+        core::evaluate(dataset, core::predict_all(dataset, distributed.model));
+    bench::print_row(
+        static_cast<double>(users),
+        std::vector<double>{100.0 * (rc.providers - rd.providers),
+                            100.0 * (rc.non_providers - rd.non_providers)});
+  }
+}
+
+void BM_DistributedPlos40Users(benchmark::State& state) {
+  const auto dataset = make_dataset(40, 40);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::train_distributed_plos(dataset, lean_distributed()));
+  }
+}
+BENCHMARK(BM_DistributedPlos40Users)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

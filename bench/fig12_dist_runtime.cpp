@@ -1,0 +1,96 @@
+// Figure 12 — running time of centralized vs distributed PLOS as the
+// population grows. Expected shape: centralized time grows superlinearly
+// (the joint dual QP gains variables with every user); distributed time
+// stays nearly flat (devices solve fixed-size local problems in parallel),
+// although each phone-class device is slower than the server, so
+// centralized wins at small populations and loses at large ones.
+//
+// Centralized time is measured solver wall time on this machine (the
+// "server"); distributed time is the simulated wall clock of the device
+// fleet: per round, server update + slowest device (compute scaled to
+// phone speed + both message transfers).
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "bench_support.hpp"
+#include "net/simnet.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset(std::size_t num_users,
+                                    std::uint64_t seed) {
+  data::SyntheticSpec spec;
+  spec.num_users = num_users;
+  spec.points_per_class = 50;
+  spec.max_rotation = std::numbers::pi / 2.0;
+  rng::Engine engine(seed);
+  auto dataset = data::generate_synthetic(spec, engine);
+  bench::reveal_spread_providers(dataset, num_users / 2, 0.05, seed + 1);
+  return dataset;
+}
+
+core::CentralizedPlosOptions lean_centralized() {
+  auto options = bench::bench_plos_options();
+  options.cutting_plane.epsilon = 5e-2;
+  options.cccp.max_iterations = 3;
+  return options;
+}
+
+core::DistributedPlosOptions lean_distributed() {
+  auto options = bench::bench_distributed_options();
+  options.cutting_plane.epsilon = 5e-2;
+  options.cccp.max_iterations = 3;
+  return options;
+}
+
+net::SimNetwork make_network(std::size_t num_users) {
+  net::DeviceProfile device;
+  device.cpu_slowdown = 12.0;  // phone vs server core
+  net::LinkProfile link;
+  link.latency_s = 0.02;
+  link.bandwidth_kbps = 5000.0;
+  return net::SimNetwork(num_users, device, link);
+}
+
+void print_figure() {
+  bench::print_title(
+      "Figure 12: running time (s) centralized vs distributed");
+  const std::vector<std::string> names{"centralized_s", "distributed_s"};
+  bench::print_header("users", names);
+
+  for (std::size_t users = 10; users <= 100; users += 10) {
+    const auto dataset = make_dataset(users, users);
+    const auto centralized =
+        core::train_centralized_plos(dataset, lean_centralized());
+    net::SimNetwork network = make_network(users);
+    core::train_distributed_plos(dataset, lean_distributed(), &network);
+    bench::print_row(
+        static_cast<double>(users),
+        std::vector<double>{centralized.diagnostics.train_seconds,
+                            network.total_simulated_seconds()});
+  }
+}
+
+void BM_CentralizedPlos60Users(benchmark::State& state) {
+  const auto dataset = make_dataset(60, 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::train_centralized_plos(dataset, lean_centralized()));
+  }
+}
+BENCHMARK(BM_CentralizedPlos60Users)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

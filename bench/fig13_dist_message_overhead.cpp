@@ -1,0 +1,74 @@
+// Figure 13 — per-user message overhead (KB) of distributed PLOS as the
+// population grows. Expected shape: flat — each device exchanges only its
+// own model parameters per round, independent of how many peers exist, and
+// the ADMM round count stays stable.
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "bench_support.hpp"
+#include "net/simnet.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace plos;
+
+data::MultiUserDataset make_dataset(std::size_t num_users,
+                                    std::uint64_t seed) {
+  data::SyntheticSpec spec;
+  spec.num_users = num_users;
+  spec.points_per_class = 50;
+  spec.max_rotation = std::numbers::pi / 2.0;
+  rng::Engine engine(seed);
+  auto dataset = data::generate_synthetic(spec, engine);
+  bench::reveal_spread_providers(dataset, num_users / 2, 0.05, seed + 1);
+  return dataset;
+}
+
+core::DistributedPlosOptions lean_distributed() {
+  auto options = bench::bench_distributed_options();
+  options.cutting_plane.epsilon = 5e-2;
+  options.cccp.max_iterations = 3;
+  return options;
+}
+
+void print_figure() {
+  bench::print_title(
+      "Figure 13: per-user message overhead (KB) of distributed PLOS");
+  const std::vector<std::string> names{"overhead_kb", "admm_iterations"};
+  bench::print_header("users", names);
+
+  for (std::size_t users = 10; users <= 100; users += 10) {
+    const auto dataset = make_dataset(users, users);
+    net::SimNetwork network(users, net::DeviceProfile{}, net::LinkProfile{});
+    const auto result =
+        core::train_distributed_plos(dataset, lean_distributed(), &network);
+    bench::print_row(
+        static_cast<double>(users),
+        std::vector<double>{
+            network.mean_bytes_per_device() / 1024.0,
+            static_cast<double>(result.diagnostics.admm_iterations_total)});
+  }
+}
+
+void BM_DistributedPlosMessageAccounting(benchmark::State& state) {
+  const auto dataset = make_dataset(50, 50);
+  for (auto _ : state) {
+    net::SimNetwork network(50, net::DeviceProfile{}, net::LinkProfile{});
+    benchmark::DoNotOptimize(
+        core::train_distributed_plos(dataset, lean_distributed(), &network));
+  }
+}
+BENCHMARK(BM_DistributedPlosMessageAccounting)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Activity recognition on a simulated body-sensor network — the paper's
+// §VI-B scenario end to end:
+//
+//   raw 20 Hz accelerometer/gyroscope signals from 3 nodes per user
+//     -> sliding-window segmentation (3.2 s, 50% overlap)
+//     -> 120-dimensional feature vectors
+//     -> PLOS vs All / Single / Group
+//
+// Build & run:  ./build/examples/activity_recognition
+#include <cstdio>
+
+#include "core/baselines.hpp"
+#include "core/centralized_plos.hpp"
+#include "core/evaluation.hpp"
+#include "data/labeling.hpp"
+#include "rng/engine.hpp"
+#include "sensing/body_sensor.hpp"
+
+int main() {
+  using namespace plos;
+
+  // 12 subjects wear 3 nodes each (waist, both shins) with free placement;
+  // two activities: rest at standing vs rest at sitting.
+  sensing::BodySensorSpec spec;
+  spec.num_users = 12;
+
+  rng::Engine engine(5);
+  auto dataset = sensing::generate_body_sensor_dataset(spec, engine);
+  std::printf("simulated %zu users, %zu windows each, %zu features\n",
+              dataset.num_users(), dataset.users[0].num_samples(),
+              dataset.dim());
+
+  // Half the users label ~10%% of their windows.
+  data::reveal_labels(dataset, {0, 2, 4, 6, 8, 10}, 0.10, engine);
+
+  core::CentralizedPlosOptions options;
+  options.params.lambda = 30.0;  // body-sensor domain: looser commonness tie
+  options.params.cl = 10.0;
+  options.params.cu = 5.0;       // and stronger unlabeled weighting
+  const auto plos = core::train_centralized_plos(dataset, options);
+
+  const auto report_plos =
+      core::evaluate(dataset, core::predict_all(dataset, plos.model));
+  const auto report_all =
+      core::evaluate(dataset, core::run_all_baseline(dataset));
+  const auto report_single =
+      core::evaluate(dataset, core::run_single_baseline(dataset));
+  const auto report_group =
+      core::evaluate(dataset, core::run_group_baseline(dataset));
+
+  std::printf("\n%-10s %-16s %s\n", "method", "providers acc",
+              "non-providers acc");
+  const auto row = [](const char* name, const core::AccuracyReport& r) {
+    std::printf("%-10s %-16.3f %.3f\n", name, r.providers, r.non_providers);
+  };
+  row("PLOS", report_plos);
+  row("All", report_all);
+  row("Group", report_group);
+  row("Single", report_single);
+
+  std::printf(
+      "\nPLOS personalizes: global |w0| = %.3f, mean personal deviation "
+      "|v_t| = %.3f\n",
+      linalg::norm(plos.model.global_weights), [&] {
+        double s = 0.0;
+        for (const auto& v : plos.model.user_deviations) s += linalg::norm(v);
+        return s / static_cast<double>(plos.model.num_users());
+      }());
+  return 0;
+}

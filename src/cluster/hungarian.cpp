@@ -1,0 +1,90 @@
+#include "cluster/hungarian.hpp"
+
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace plos::cluster {
+
+AssignmentResult solve_assignment(const linalg::Matrix& cost) {
+  PLOS_CHECK(cost.rows() == cost.cols() && cost.rows() > 0,
+             "solve_assignment: cost matrix must be square and non-empty");
+  const std::size_t n = cost.rows();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  // Potentials formulation with 1-based sentinel column 0 (e-maxx scheme).
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<std::size_t> match(n + 1, 0);  // match[col] = row (1-based)
+  std::vector<std::size_t> way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    match[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, inf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = match[j0];
+      double delta = inf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.assignment.assign(n, 0);
+  for (std::size_t j = 1; j <= n; ++j) {
+    result.assignment[match[j] - 1] = j - 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    result.total_cost += cost(i, result.assignment[i]);
+  }
+  return result;
+}
+
+double best_assignment_accuracy(const std::vector<std::size_t>& predicted,
+                                const std::vector<std::size_t>& truth,
+                                std::size_t num_classes) {
+  PLOS_CHECK(predicted.size() == truth.size() && !predicted.empty(),
+             "best_assignment_accuracy: size mismatch or empty");
+  PLOS_CHECK(num_classes >= 1, "best_assignment_accuracy: no classes");
+
+  // Negated confusion counts as assignment costs: the minimum-cost matching
+  // maximizes the number of agreeing samples.
+  linalg::Matrix cost(num_classes, num_classes, 0.0);
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    PLOS_CHECK(predicted[i] < num_classes && truth[i] < num_classes,
+               "best_assignment_accuracy: label out of range");
+    cost(predicted[i], truth[i]) -= 1.0;
+  }
+  const AssignmentResult match = solve_assignment(cost);
+  return -match.total_cost / static_cast<double>(predicted.size());
+}
+
+}  // namespace plos::cluster

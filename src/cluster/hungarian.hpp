@@ -1,0 +1,32 @@
+// Hungarian (Kuhn-Munkres) algorithm for minimum-cost assignment.
+//
+// The evaluation harness uses it to match discovered clusters against
+// ground-truth classes ("best class assignment" in the paper's Single
+// baseline evaluation).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace plos::cluster {
+
+struct AssignmentResult {
+  /// assignment[row] = column matched to that row.
+  std::vector<std::size_t> assignment;
+  double total_cost = 0.0;
+};
+
+/// Minimum-cost perfect matching on a square cost matrix (O(n^3),
+/// potentials formulation).
+AssignmentResult solve_assignment(const linalg::Matrix& cost);
+
+/// Accuracy of `predicted` against `truth` under the best one-to-one
+/// relabeling of predicted cluster ids (both in {0..k-1} with k =
+/// num_classes). This is the paper's "label matching" evaluation for
+/// clustering outputs.
+double best_assignment_accuracy(const std::vector<std::size_t>& predicted,
+                                const std::vector<std::size_t>& truth,
+                                std::size_t num_classes);
+
+}  // namespace plos::cluster

@@ -1,0 +1,133 @@
+#include "cluster/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace plos::cluster {
+
+namespace {
+
+// k-means++ seeding: each next centroid is drawn with probability
+// proportional to the squared distance to the nearest chosen centroid.
+std::vector<linalg::Vector> seed_plus_plus(
+    const std::vector<linalg::Vector>& points, std::size_t k,
+    rng::Engine& engine) {
+  std::vector<linalg::Vector> centroids;
+  centroids.reserve(k);
+  const auto first = static_cast<std::size_t>(
+      engine.uniform_int(0, static_cast<std::int64_t>(points.size()) - 1));
+  centroids.push_back(points[first]);
+
+  linalg::Vector d2(points.size());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centroids) {
+        best = std::min(best, linalg::squared_distance(points[i], c));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centroids; duplicate one.
+      centroids.push_back(points.front());
+      continue;
+    }
+    double r = engine.uniform(0.0, total);
+    std::size_t pick = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      r -= d2[i];
+      if (r <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centroids.push_back(points[pick]);
+  }
+  return centroids;
+}
+
+KMeansResult run_once(const std::vector<linalg::Vector>& points, std::size_t k,
+                      rng::Engine& engine, const KMeansOptions& options) {
+  const std::size_t dim = points.front().size();
+  KMeansResult result;
+  result.centroids = seed_plus_plus(points, k, engine);
+  result.assignments.assign(points.size(), 0);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = linalg::squared_distance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignments[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    std::vector<linalg::Vector> sums(k, linalg::zeros(dim));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      linalg::axpy(1.0, points[i], sums[result.assignments[i]]);
+      ++counts[result.assignments[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: re-seed at the point farthest from its centroid.
+        double worst = -1.0;
+        std::size_t worst_i = 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const double d = linalg::squared_distance(
+              points[i], result.centroids[result.assignments[i]]);
+          if (d > worst) {
+            worst = d;
+            worst_i = i;
+          }
+        }
+        result.centroids[c] = points[worst_i];
+      } else {
+        linalg::scale(sums[c], 1.0 / static_cast<double>(counts[c]));
+        result.centroids[c] = std::move(sums[c]);
+      }
+    }
+
+    if (prev_inertia - inertia < options.tolerance) break;
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<linalg::Vector>& points, std::size_t k,
+                    rng::Engine& engine, const KMeansOptions& options) {
+  PLOS_CHECK(!points.empty(), "kmeans: no points");
+  PLOS_CHECK(k >= 1 && k <= points.size(), "kmeans: invalid k");
+  const std::size_t dim = points.front().size();
+  for (const auto& p : points) {
+    PLOS_CHECK(p.size() == dim, "kmeans: ragged points");
+  }
+
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  const int restarts = std::max(1, options.restarts);
+  for (int r = 0; r < restarts; ++r) {
+    KMeansResult candidate = run_once(points, k, engine, options);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace plos::cluster

@@ -1,0 +1,30 @@
+// Lloyd's k-means with k-means++ seeding and multi-restart.
+//
+// Used by the Single baseline (users with no labels cluster their own data)
+// and as the final step of spectral clustering.
+#pragma once
+
+#include <vector>
+
+#include "linalg/vector.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::cluster {
+
+struct KMeansOptions {
+  int max_iterations = 100;
+  int restarts = 5;          ///< keep the best of this many k-means++ runs
+  double tolerance = 1e-8;   ///< stop when inertia improvement drops below
+};
+
+struct KMeansResult {
+  std::vector<std::size_t> assignments;  ///< cluster index per point
+  std::vector<linalg::Vector> centroids;
+  double inertia = 0.0;  ///< sum of squared distances to assigned centroids
+};
+
+/// Clusters `points` into k groups. Requires 1 <= k <= points.size().
+KMeansResult kmeans(const std::vector<linalg::Vector>& points, std::size_t k,
+                    rng::Engine& engine, const KMeansOptions& options = {});
+
+}  // namespace plos::cluster

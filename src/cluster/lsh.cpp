@@ -1,0 +1,53 @@
+#include "cluster/lsh.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace plos::cluster {
+
+RandomHyperplaneHasher::RandomHyperplaneHasher(std::size_t dim,
+                                               std::size_t num_bits,
+                                               rng::Engine& engine)
+    : dim_(dim), num_bits_(num_bits) {
+  PLOS_CHECK(dim >= 1, "RandomHyperplaneHasher: zero dimension");
+  PLOS_CHECK(num_bits >= 1 && num_bits <= 30,
+             "RandomHyperplaneHasher: num_bits outside [1,30]");
+  hyperplanes_.reserve(num_bits);
+  for (std::size_t b = 0; b < num_bits; ++b) {
+    hyperplanes_.push_back(engine.gaussian_vector(dim));
+  }
+}
+
+std::size_t RandomHyperplaneHasher::bucket(std::span<const double> x) const {
+  PLOS_CHECK(x.size() == dim_, "RandomHyperplaneHasher: dimension mismatch");
+  std::size_t code = 0;
+  for (std::size_t b = 0; b < num_bits_; ++b) {
+    code = (code << 1) | (linalg::dot(hyperplanes_[b], x) >= 0.0 ? 1u : 0u);
+  }
+  return code;
+}
+
+linalg::Vector RandomHyperplaneHasher::histogram(
+    const std::vector<linalg::Vector>& points) const {
+  linalg::Vector h(num_buckets(), 0.0);
+  if (points.empty()) return h;
+  for (const auto& p : points) h[bucket(p)] += 1.0;
+  linalg::scale(h, 1.0 / static_cast<double>(points.size()));
+  return h;
+}
+
+double generalized_jaccard(std::span<const double> a,
+                           std::span<const double> b) {
+  PLOS_CHECK(a.size() == b.size(), "generalized_jaccard: size mismatch");
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    PLOS_CHECK(a[i] >= 0.0 && b[i] >= 0.0,
+               "generalized_jaccard: histograms must be non-negative");
+    num += std::min(a[i], b[i]);
+    den += std::max(a[i], b[i]);
+  }
+  return den > 0.0 ? num / den : 1.0;
+}
+
+}  // namespace plos::cluster

@@ -1,0 +1,43 @@
+// Random-hyperplane locality-sensitive hashing (Charikar, STOC 2002) and the
+// generalized-Jaccard histogram similarity the paper's Group baseline uses
+// to compare users without exchanging raw samples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::cluster {
+
+/// Hashes d-dimensional points into 2^num_bits buckets by the sign pattern
+/// of num_bits random Gaussian hyperplanes through the origin.
+class RandomHyperplaneHasher {
+ public:
+  /// num_bits in [1, 30]; the paper uses 128 buckets (7 bits).
+  RandomHyperplaneHasher(std::size_t dim, std::size_t num_bits,
+                         rng::Engine& engine);
+
+  std::size_t num_buckets() const { return std::size_t{1} << num_bits_; }
+  std::size_t dim() const { return dim_; }
+
+  /// Bucket index of a single point.
+  std::size_t bucket(std::span<const double> x) const;
+
+  /// Normalized bucket-frequency histogram of a point set (sums to 1).
+  linalg::Vector histogram(const std::vector<linalg::Vector>& points) const;
+
+ private:
+  std::size_t dim_;
+  std::size_t num_bits_;
+  std::vector<linalg::Vector> hyperplanes_;
+};
+
+/// Generalized Jaccard similarity Σ_i min(a_i, b_i) / Σ_i max(a_i, b_i)
+/// between non-negative histograms. Returns 1 when both are all-zero.
+double generalized_jaccard(std::span<const double> a,
+                           std::span<const double> b);
+
+}  // namespace plos::cluster

@@ -1,0 +1,57 @@
+#include "cluster/spectral.hpp"
+
+#include <cmath>
+
+#include "cluster/kmeans.hpp"
+#include "common/assert.hpp"
+#include "linalg/eigen.hpp"
+
+namespace plos::cluster {
+
+std::vector<std::size_t> spectral_clustering(const linalg::Matrix& similarity,
+                                             std::size_t k,
+                                             rng::Engine& engine) {
+  const std::size_t n = similarity.rows();
+  PLOS_CHECK(similarity.cols() == n && n > 0,
+             "spectral_clustering: similarity must be square and non-empty");
+  PLOS_CHECK(k >= 1 && k <= n, "spectral_clustering: invalid k");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      PLOS_CHECK(similarity(i, j) >= 0.0,
+                 "spectral_clustering: similarities must be non-negative");
+    }
+  }
+
+  // Symmetric normalized Laplacian L = I - D^{-1/2} W D^{-1/2}.
+  linalg::Vector inv_sqrt_degree(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double d = 0.0;
+    for (std::size_t j = 0; j < n; ++j) d += similarity(i, j);
+    inv_sqrt_degree[i] = d > 0.0 ? 1.0 / std::sqrt(d) : 0.0;
+  }
+  linalg::Matrix laplacian(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double w = similarity(i, j) * inv_sqrt_degree[i] * inv_sqrt_degree[j];
+      laplacian(i, j) = (i == j ? 1.0 : 0.0) - w;
+    }
+  }
+
+  const linalg::EigenDecomposition eig = linalg::symmetric_eigen(laplacian);
+
+  // Spectral embedding: rows are entities, columns the k bottom eigenvectors.
+  std::vector<linalg::Vector> embedding(n, linalg::Vector(k, 0.0));
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto vec = eig.vectors.row(c);
+    for (std::size_t i = 0; i < n; ++i) embedding[i][c] = vec[i];
+  }
+  // Row normalization (Ng-Jordan-Weiss step).
+  for (auto& row : embedding) {
+    const double nrm = linalg::norm(row);
+    if (nrm > 0.0) linalg::scale(row, 1.0 / nrm);
+  }
+
+  return kmeans(embedding, k, engine).assignments;
+}
+
+}  // namespace plos::cluster

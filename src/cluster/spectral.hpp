@@ -1,0 +1,24 @@
+// Normalized spectral clustering (Ng-Jordan-Weiss) on a user-similarity
+// matrix, built on the in-house Jacobi eigensolver and k-means.
+//
+// The Group baseline clusters users by the generalized-Jaccard similarity of
+// their LSH histograms, then trains one model per user group.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::cluster {
+
+/// Clusters the n entities described by a symmetric non-negative similarity
+/// matrix into k groups. Returns a cluster index per entity.
+///
+/// Pipeline: L_sym = I − D^{-1/2} W D^{-1/2}; take the k eigenvectors of the
+/// smallest eigenvalues; row-normalize the spectral embedding; k-means.
+std::vector<std::size_t> spectral_clustering(const linalg::Matrix& similarity,
+                                             std::size_t k,
+                                             rng::Engine& engine);
+
+}  // namespace plos::cluster

@@ -1,0 +1,15 @@
+#include "common/assert.hpp"
+
+#include <sstream>
+
+namespace plos::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << "PLOS precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+}  // namespace plos::detail

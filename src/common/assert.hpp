@@ -1,0 +1,37 @@
+// Precondition / invariant checking for the PLOS library.
+//
+// Violations throw plos::PreconditionError so they are testable with gtest
+// (EXPECT_THROW) and carry file/line context. These checks guard API
+// contracts, not recoverable runtime conditions; recoverable conditions are
+// reported through status structs or std::optional at the call site.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace plos {
+
+/// Thrown when a PLOS_ASSERT / PLOS_CHECK contract is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace plos
+
+// Always-on contract check (also in release builds: the costs here are
+// negligible next to the numerical work, and silent contract violations in a
+// learning system produce answers that are wrong in hard-to-detect ways).
+#define PLOS_CHECK(expr, msg)                                          \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::plos::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                  \
+  } while (false)
+
+#define PLOS_ASSERT(expr) PLOS_CHECK(expr, "")

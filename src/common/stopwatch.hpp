@@ -1,0 +1,25 @@
+// Wall-clock stopwatch used to meter real solver time, which the network
+// simulator then scales onto simulated device CPUs.
+#pragma once
+
+#include <chrono>
+
+namespace plos {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace plos

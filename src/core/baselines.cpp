@@ -1,0 +1,161 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "cluster/kmeans.hpp"
+#include "cluster/lsh.hpp"
+#include "cluster/spectral.hpp"
+#include "common/assert.hpp"
+#include "svm/linear_svm.hpp"
+
+namespace plos::core {
+
+namespace {
+
+svm::LinearSvmModel train_pooled_svm(
+    const data::MultiUserDataset& dataset,
+    const std::vector<std::size_t>& member_users, double c) {
+  std::vector<linalg::Vector> xs;
+  std::vector<int> ys;
+  for (std::size_t t : member_users) {
+    const auto& user = dataset.users[t];
+    for (std::size_t i : user.revealed_indices()) {
+      xs.push_back(user.samples[i]);
+      ys.push_back(user.true_labels[i]);
+    }
+  }
+  svm::LinearSvmOptions options;
+  options.c = c;
+  return svm::train_linear_svm(xs, ys, options);
+}
+
+UserPrediction predict_with_svm(const data::UserData& user,
+                                const svm::LinearSvmModel& model) {
+  UserPrediction p;
+  p.labels.reserve(user.num_samples());
+  for (const auto& x : user.samples) p.labels.push_back(model.predict(x));
+  return p;
+}
+
+/// Cluster the pooled samples of `member_users` with k-means (k = 2) and
+/// emit per-user ±1 cluster ids, flagged for best-assignment scoring.
+void cluster_members(const data::MultiUserDataset& dataset,
+                     const std::vector<std::size_t>& member_users,
+                     rng::Engine& engine,
+                     std::vector<UserPrediction>& predictions) {
+  std::vector<linalg::Vector> pooled;
+  for (std::size_t t : member_users) {
+    const auto& s = dataset.users[t].samples;
+    pooled.insert(pooled.end(), s.begin(), s.end());
+  }
+  if (pooled.empty()) return;
+  const std::size_t k = std::min<std::size_t>(2, pooled.size());
+  const auto result = cluster::kmeans(pooled, k, engine);
+  std::size_t cursor = 0;
+  for (std::size_t t : member_users) {
+    UserPrediction p;
+    p.match_clusters = true;
+    for (std::size_t i = 0; i < dataset.users[t].num_samples(); ++i) {
+      p.labels.push_back(result.assignments[cursor++] == 0 ? 1 : -1);
+    }
+    predictions[t] = std::move(p);
+  }
+}
+
+}  // namespace
+
+std::vector<UserPrediction> run_all_baseline(
+    const data::MultiUserDataset& dataset, const BaselineOptions& options) {
+  dataset.check_invariants();
+  std::vector<std::size_t> everyone(dataset.num_users());
+  for (std::size_t t = 0; t < everyone.size(); ++t) everyone[t] = t;
+  const auto model = train_pooled_svm(dataset, everyone, options.svm_c);
+
+  std::vector<UserPrediction> predictions(dataset.num_users());
+  for (std::size_t t = 0; t < dataset.num_users(); ++t) {
+    predictions[t] = predict_with_svm(dataset.users[t], model);
+  }
+  return predictions;
+}
+
+std::vector<UserPrediction> run_single_baseline(
+    const data::MultiUserDataset& dataset, const BaselineOptions& options) {
+  dataset.check_invariants();
+  rng::Engine engine(options.seed);
+  std::vector<UserPrediction> predictions(dataset.num_users());
+  for (std::size_t t = 0; t < dataset.num_users(); ++t) {
+    const auto& user = dataset.users[t];
+    if (user.provides_labels()) {
+      const auto model = train_pooled_svm(dataset, {t}, options.svm_c);
+      predictions[t] = predict_with_svm(user, model);
+    } else {
+      rng::Engine user_engine = engine.fork(t);
+      cluster_members(dataset, {t}, user_engine, predictions);
+    }
+  }
+  return predictions;
+}
+
+std::vector<std::size_t> group_users(const data::MultiUserDataset& dataset,
+                                     const GroupBaselineOptions& options) {
+  dataset.check_invariants();
+  const std::size_t num_users = dataset.num_users();
+  PLOS_CHECK(num_users > 0, "group_users: no users");
+  rng::Engine engine(options.base.seed);
+
+  const cluster::RandomHyperplaneHasher hasher(dataset.dim(), options.lsh_bits,
+                                               engine);
+  std::vector<linalg::Vector> histograms;
+  histograms.reserve(num_users);
+  for (const auto& user : dataset.users) {
+    histograms.push_back(hasher.histogram(user.samples));
+  }
+
+  linalg::Matrix similarity(num_users, num_users);
+  for (std::size_t i = 0; i < num_users; ++i) {
+    for (std::size_t j = i; j < num_users; ++j) {
+      const double s =
+          cluster::generalized_jaccard(histograms[i], histograms[j]);
+      similarity(i, j) = s;
+      similarity(j, i) = s;
+    }
+  }
+
+  const std::size_t k = std::min(options.num_groups, num_users);
+  return cluster::spectral_clustering(similarity, k, engine);
+}
+
+std::vector<UserPrediction> run_group_baseline(
+    const data::MultiUserDataset& dataset,
+    const GroupBaselineOptions& options) {
+  const std::vector<std::size_t> assignment = group_users(dataset, options);
+  const std::size_t k = std::min(options.num_groups, dataset.num_users());
+
+  rng::Engine engine(options.base.seed);
+  std::vector<UserPrediction> predictions(dataset.num_users());
+  for (std::size_t g = 0; g < k; ++g) {
+    std::vector<std::size_t> members;
+    for (std::size_t t = 0; t < dataset.num_users(); ++t) {
+      if (assignment[t] == g) members.push_back(t);
+    }
+    if (members.empty()) continue;
+
+    const bool any_labels =
+        std::any_of(members.begin(), members.end(), [&](std::size_t t) {
+          return dataset.users[t].provides_labels();
+        });
+    if (any_labels) {
+      const auto model =
+          train_pooled_svm(dataset, members, options.base.svm_c);
+      for (std::size_t t : members) {
+        predictions[t] = predict_with_svm(dataset.users[t], model);
+      }
+    } else {
+      rng::Engine group_engine = engine.fork(g);
+      cluster_members(dataset, members, group_engine, predictions);
+    }
+  }
+  return predictions;
+}
+
+}  // namespace plos::core

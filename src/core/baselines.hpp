@@ -1,0 +1,48 @@
+// The paper's three baselines (§VI-A).
+//
+//   All:    pool every revealed label on the server, train one global linear
+//           SVM, apply it to everybody.
+//   Single: each user learns alone — an SVM on their own revealed labels, or
+//           k-means (k = 2) on their raw samples when they provide none
+//           (scored under best cluster↔class assignment).
+//   Group:  users are compared WITHOUT sharing raw data via random-
+//           hyperplane LSH histograms (n = 128 buckets) and generalized
+//           Jaccard similarity, grouped by spectral clustering (3 groups),
+//           then each group pools labels and trains a per-group SVM (or
+//           k-means when the whole group is label-free).
+#pragma once
+
+#include <cstdint>
+
+#include "core/evaluation.hpp"
+#include "data/dataset.hpp"
+
+namespace plos::core {
+
+struct BaselineOptions {
+  double svm_c = 1.0;
+  std::uint64_t seed = 13;  ///< k-means / LSH / spectral randomness
+};
+
+struct GroupBaselineOptions {
+  BaselineOptions base;
+  std::size_t num_groups = 3;  ///< paper: 3 spectral clusters
+  std::size_t lsh_bits = 7;    ///< paper: n = 128 buckets
+};
+
+std::vector<UserPrediction> run_all_baseline(
+    const data::MultiUserDataset& dataset, const BaselineOptions& options = {});
+
+std::vector<UserPrediction> run_single_baseline(
+    const data::MultiUserDataset& dataset, const BaselineOptions& options = {});
+
+std::vector<UserPrediction> run_group_baseline(
+    const data::MultiUserDataset& dataset,
+    const GroupBaselineOptions& options = {});
+
+/// The user grouping the Group baseline derives (exposed for tests and
+/// examples): LSH histograms → Jaccard similarity → spectral clustering.
+std::vector<std::size_t> group_users(const data::MultiUserDataset& dataset,
+                                     const GroupBaselineOptions& options = {});
+
+}  // namespace plos::core

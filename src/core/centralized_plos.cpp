@@ -1,0 +1,264 @@
+#include "core/centralized_plos.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/stopwatch.hpp"
+#include "core/cutting_plane.hpp"
+#include "rng/engine.hpp"
+#include "svm/linear_svm.hpp"
+
+namespace plos::core {
+
+namespace {
+
+// Dual QP state over the union of all users' working sets. Grows
+// incrementally: adding a constraint appends one variable, one Hessian
+// row/column, one linear coefficient, and one group member.
+class DualState {
+ public:
+  DualState(std::size_t num_users, double lambda)
+      : lambda_over_t_(lambda / static_cast<double>(num_users)),
+        cap_(static_cast<double>(num_users) / (2.0 * lambda)),
+        groups_(num_users) {}
+
+  std::size_t size() const { return planes_.size(); }
+
+  void add_constraint(std::size_t user, CuttingPlane plane) {
+    const std::size_t a = planes_.size();
+    // Extend the Hessian by one row/column.
+    linalg::Matrix h(a + 1, a + 1);
+    for (std::size_t i = 0; i < a; ++i) {
+      for (std::size_t j = 0; j < a; ++j) h(i, j) = hessian_(i, j);
+    }
+    for (std::size_t i = 0; i < a; ++i) {
+      const double d = linalg::dot(planes_[i].plane.s, plane.s);
+      const double entry =
+          (lambda_over_t_ + (planes_[i].user == user ? 1.0 : 0.0)) * d;
+      h(i, a) = entry;
+      h(a, i) = entry;
+    }
+    h(a, a) = (lambda_over_t_ + 1.0) * linalg::squared_norm(plane.s);
+    hessian_ = std::move(h);
+
+    linear_.push_back(plane.offset);
+    groups_[user].push_back(a);
+    planes_.push_back({user, std::move(plane)});
+  }
+
+  /// Solves the dual and recovers (w0, v_t) into `model`.
+  qp::QpResult solve(PersonalizedModel& model, const qp::QpOptions& base) {
+    qp::CappedSimplexQpProblem problem;
+    problem.hessian = hessian_;
+    problem.linear = linear_;
+    for (const auto& g : groups_) {
+      if (g.empty()) continue;  // users without constraints impose nothing
+      problem.groups.push_back(g);
+      problem.caps.push_back(cap_);
+    }
+
+    qp::QpOptions options = base;
+    options.warm_start = previous_gamma_;
+    options.warm_start.resize(size(), 0.0);
+    qp::QpResult result = qp::solve_capped_simplex_qp(problem, options);
+    previous_gamma_ = result.solution;
+
+    // Primal recovery: w0 = (λ/T) Σ γ s, v_t = Σ_{k∈t} γ s.
+    const std::size_t dim = model.global_weights.size();
+    model.global_weights = linalg::zeros(dim);
+    for (auto& v : model.user_deviations) v = linalg::zeros(dim);
+    for (std::size_t a = 0; a < planes_.size(); ++a) {
+      const double gamma = result.solution[a];
+      if (gamma == 0.0) continue;
+      linalg::axpy(gamma * lambda_over_t_, planes_[a].plane.s,
+                   model.global_weights);
+      linalg::axpy(gamma, planes_[a].plane.s,
+                   model.user_deviations[planes_[a].user]);
+    }
+    return result;
+  }
+
+  const std::vector<CuttingPlane>* user_planes(std::size_t user,
+                                               std::vector<CuttingPlane>&
+                                                   scratch) const {
+    scratch.clear();
+    for (std::size_t a : groups_[user]) scratch.push_back(planes_[a].plane);
+    return &scratch;
+  }
+
+ private:
+  struct Entry {
+    std::size_t user;
+    CuttingPlane plane;
+  };
+
+  double lambda_over_t_;
+  double cap_;
+  linalg::Matrix hessian_;
+  linalg::Vector linear_;
+  std::vector<std::vector<std::size_t>> groups_;
+  std::vector<Entry> planes_;
+  linalg::Vector previous_gamma_;
+};
+
+linalg::Vector initial_global_weights(const data::MultiUserDataset& dataset,
+                                      const CentralizedPlosOptions& options) {
+  const std::size_t dim = dataset.dim();
+  if (options.svm_initialization) {
+    std::vector<linalg::Vector> xs;
+    std::vector<int> ys;
+    for (const auto& user : dataset.users) {
+      for (std::size_t i : user.revealed_indices()) {
+        xs.push_back(user.samples[i]);
+        ys.push_back(user.true_labels[i]);
+      }
+    }
+    if (!xs.empty()) {
+      svm::LinearSvmOptions svm_options;
+      svm_options.c = options.init_svm_c;
+      return svm::train_linear_svm(xs, ys, svm_options).weights;
+    }
+  }
+  // No labels anywhere: PLOS degenerates to maximum-margin clustering and
+  // needs a symmetry-breaking start.
+  rng::Engine engine(options.seed);
+  linalg::Vector w = engine.gaussian_vector(dim);
+  const double n = linalg::norm(w);
+  if (n > 0.0) linalg::scale(w, 1.0 / n);
+  return w;
+}
+
+}  // namespace
+
+double plos_objective(const data::MultiUserDataset& dataset,
+                      const PersonalizedModel& model,
+                      const PlosHyperParams& params) {
+  const std::size_t num_users = dataset.num_users();
+  PLOS_CHECK(model.num_users() == num_users, "plos_objective: user mismatch");
+  double objective = linalg::squared_norm(model.global_weights);
+  for (std::size_t t = 0; t < num_users; ++t) {
+    objective += params.lambda / static_cast<double>(num_users) *
+                 linalg::squared_norm(model.user_deviations[t]);
+    const auto& user = dataset.users[t];
+    if (user.num_samples() == 0) continue;
+    const linalg::Vector w = model.user_weights(t);
+    double labeled_loss = 0.0;
+    double unlabeled_loss = 0.0;
+    for (std::size_t i = 0; i < user.num_samples(); ++i) {
+      const double value = linalg::dot(w, user.samples[i]);
+      if (user.revealed[i]) {
+        labeled_loss += std::max(
+            0.0, 1.0 - static_cast<double>(user.true_labels[i]) * value);
+      } else {
+        unlabeled_loss += std::max(0.0, 1.0 - std::abs(value));
+      }
+    }
+    objective += (params.cl * labeled_loss + params.cu * unlabeled_loss) /
+                 static_cast<double>(user.num_samples());
+  }
+  return objective;
+}
+
+CentralizedPlosResult train_centralized_plos(
+    const data::MultiUserDataset& dataset,
+    const CentralizedPlosOptions& options) {
+  dataset.check_invariants();
+  const std::size_t num_users = dataset.num_users();
+  const std::size_t dim = dataset.dim();
+  PLOS_CHECK(num_users > 0, "train_centralized_plos: no users");
+  PLOS_CHECK(dim > 0, "train_centralized_plos: empty dataset");
+  PLOS_CHECK(options.params.lambda > 0.0,
+             "train_centralized_plos: lambda must be positive");
+
+  const Stopwatch watch;
+  CentralizedPlosResult result;
+  result.model = PersonalizedModel::zeros(num_users, dim);
+  result.model.global_weights = initial_global_weights(dataset, options);
+
+  std::vector<PlosUserContext> contexts;
+  contexts.reserve(num_users);
+  for (const auto& user : dataset.users) {
+    contexts.push_back(PlosUserContext::from_user(user));
+  }
+
+  double previous_objective = std::numeric_limits<double>::infinity();
+  PersonalizedModel previous_model = result.model;
+  for (int cccp = 0; cccp < options.cccp.max_iterations; ++cccp) {
+    result.diagnostics.cccp_iterations = cccp + 1;
+
+    // Fix the CCCP linearization signs at the current iterate.
+    std::vector<std::vector<int>> signs(num_users);
+    std::vector<linalg::Vector> weights(num_users);
+    for (std::size_t t = 0; t < num_users; ++t) {
+      weights[t] = result.model.user_weights(t);
+      if (cccp == 0 && options.cluster_sign_initialization &&
+          contexts[t].labeled.empty()) {
+        signs[t] = cluster_initial_signs(
+            contexts[t], weights[t],
+            options.params.lambda / static_cast<double>(num_users),
+            options.params.cl, options.params.cu, options.seed + t);
+      } else {
+        signs[t] = cccp_signs(contexts[t], weights[t]);
+      }
+    }
+
+    // Fresh working sets per convex subproblem (Algorithm 1, step 3). The
+    // initialization model above only fixes the CCCP signs; the convex
+    // subproblem itself starts from the empty working set's optimum w' = 0
+    // (every sample violates its margin there), so the cutting-plane loop
+    // genuinely optimizes the PLOS objective instead of merely certifying
+    // the init — an SVM init that happens to satisfy all margins must not
+    // short-circuit training.
+    DualState dual(num_users, options.params.lambda);
+    std::vector<CuttingPlane> scratch;
+    for (auto& w : weights) w.assign(dim, 0.0);
+    result.model = PersonalizedModel::zeros(num_users, dim);
+
+    for (int it = 0; it < options.cutting_plane.max_iterations; ++it) {
+      bool added = false;
+      for (std::size_t t = 0; t < num_users; ++t) {
+        if (contexts[t].num_samples() == 0) continue;
+        const CuttingPlane plane =
+            most_violated_constraint(contexts[t], signs[t], weights[t],
+                                     options.params.cl, options.params.cu);
+        const double xi = optimal_slack(*dual.user_planes(t, scratch),
+                                        weights[t]);
+        if (constraint_violation(plane, weights[t], xi) >
+            options.cutting_plane.epsilon) {
+          dual.add_constraint(t, plane);
+          added = true;
+        }
+      }
+      if (!added) break;
+
+      dual.solve(result.model, options.qp);
+      ++result.diagnostics.qp_solves;
+      for (std::size_t t = 0; t < num_users; ++t) {
+        weights[t] = result.model.user_weights(t);
+      }
+    }
+    result.diagnostics.final_constraint_count = dual.size();
+
+    const double objective =
+        plos_objective(dataset, result.model, options.params);
+    // CCCP descent safeguard: the subproblems are solved only to the
+    // cutting-plane tolerance, so a round can fail to improve the true
+    // objective — in that case keep the previous iterate and stop.
+    if (objective > previous_objective) {
+      result.model = previous_model;
+      break;
+    }
+    result.diagnostics.objective_trace.push_back(objective);
+    if (previous_objective - objective <=
+        options.cccp.objective_tolerance * (1.0 + std::abs(objective))) {
+      break;
+    }
+    previous_objective = objective;
+    previous_model = result.model;
+  }
+
+  result.diagnostics.train_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace plos::core

@@ -1,0 +1,71 @@
+// Centralized PLOS (paper §IV, Algorithm 1).
+//
+// Solves the joint personalization objective (Eq. 2/4) with:
+//   * a CCCP outer loop that linearizes the non-convex |w_t·x| terms of
+//     unlabeled samples at the previous iterate;
+//   * a 1-slack cutting-plane loop per convex subproblem;
+//   * the structured dual QP (Eq. 16) over all users' working sets, with
+//     per-user capped-simplex constraints Σ_k γ_kt ≤ T/(2λ).
+//
+// The feature map Φ (Eq. 7) is never materialized: every dual Hessian entry
+// is (λ/T + [t = t']) ⟨s, s'⟩ with d-dimensional constraint vectors s, and
+// the primal is recovered as w0 = (λ/T) Σ γ s,  v_t = Σ_{k∈t} γ s.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/options.hpp"
+#include "data/dataset.hpp"
+
+namespace plos::core {
+
+struct CentralizedPlosOptions {
+  PlosHyperParams params;
+  CuttingPlaneOptions cutting_plane;
+  CccpOptions cccp;
+  /// Inner dual-QP accuracy only needs to stay comfortably below the
+  /// cutting-plane epsilon, hence the looser-than-default tolerance.
+  qp::QpOptions qp{1e-7, 3000, {}};
+  /// Initialize w0 by training a pooled linear SVM on all revealed labels
+  /// (falls back to a random unit direction when nobody provides labels,
+  /// which turns PLOS into pure maximum-margin clustering).
+  bool svm_initialization = true;
+  double init_svm_c = 1.0;
+  /// First-round CCCP signs for users with zero labels come from 2-means
+  /// clustering of their own data (polarity aligned with w0) instead of
+  /// sign(w0·x): the personal cluster structure is exactly what the
+  /// unlabeled loss is meant to exploit, and this keeps the linearization
+  /// from inheriting w0's systematic per-user errors.
+  bool cluster_sign_initialization = true;
+  std::uint64_t seed = 99;  ///< cluster-init / no-label fallback randomness
+};
+
+struct PlosDiagnostics {
+  std::vector<double> objective_trace;  ///< objective after each CCCP round
+  int cccp_iterations = 0;
+  int qp_solves = 0;
+  std::size_t final_constraint_count = 0;
+  double train_seconds = 0.0;
+};
+
+struct CentralizedPlosResult {
+  PersonalizedModel model;
+  PlosDiagnostics diagnostics;
+};
+
+/// Trains on the dataset's revealed labels plus the structure of all
+/// unlabeled samples. Deterministic for fixed options.
+CentralizedPlosResult train_centralized_plos(
+    const data::MultiUserDataset& dataset,
+    const CentralizedPlosOptions& options = {});
+
+/// The paper-scale objective (Eq. 3, outer minimization merged):
+/// ||w0||² + (λ/T) Σ||v_t||² + Σ_t (Cl/m_t Σ hinge(y w·x) + Cu/m_t Σ
+/// hinge(|w·x|)). CCCP decreases this monotonically; exposed for tests.
+double plos_objective(const data::MultiUserDataset& dataset,
+                      const PersonalizedModel& model,
+                      const PlosHyperParams& params);
+
+}  // namespace plos::core

@@ -1,0 +1,87 @@
+#include "core/cross_validation.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::core {
+
+namespace {
+
+struct RevealedSample {
+  std::size_t user;
+  std::size_t index;
+};
+
+}  // namespace
+
+double cross_validate(const data::MultiUserDataset& dataset,
+                      const TrainPredictFn& train_predict,
+                      const CrossValidationOptions& options) {
+  dataset.check_invariants();
+  std::vector<RevealedSample> revealed;
+  for (std::size_t t = 0; t < dataset.num_users(); ++t) {
+    for (std::size_t i : dataset.users[t].revealed_indices()) {
+      revealed.push_back({t, i});
+    }
+  }
+  PLOS_CHECK(revealed.size() >= 2,
+             "cross_validate: need at least two revealed samples");
+
+  rng::Engine engine(options.seed);
+  engine.shuffle(revealed);
+  const std::size_t folds =
+      options.num_folds == 0
+          ? revealed.size()
+          : std::min(options.num_folds, revealed.size());
+
+  double correct = 0.0;
+  std::size_t scored = 0;
+  for (std::size_t f = 0; f < folds; ++f) {
+    // Samples whose index ≡ f (mod folds) are held out this round.
+    data::MultiUserDataset fold = dataset;
+    std::vector<RevealedSample> held_out;
+    for (std::size_t s = f; s < revealed.size(); s += folds) {
+      fold.users[revealed[s].user].revealed[revealed[s].index] = false;
+      held_out.push_back(revealed[s]);
+    }
+
+    const std::vector<UserPrediction> predictions = train_predict(fold);
+    PLOS_CHECK(predictions.size() == dataset.num_users(),
+               "cross_validate: train_predict returned wrong user count");
+    for (const RevealedSample& s : held_out) {
+      PLOS_CHECK(predictions[s.user].labels.size() ==
+                     dataset.users[s.user].num_samples(),
+                 "cross_validate: prediction size mismatch");
+      if (predictions[s.user].labels[s.index] ==
+          dataset.users[s.user].true_labels[s.index]) {
+        correct += 1.0;
+      }
+      ++scored;
+    }
+  }
+  PLOS_ASSERT(scored > 0);
+  return correct / static_cast<double>(scored);
+}
+
+std::size_t select_best_parameter(
+    const data::MultiUserDataset& dataset,
+    const std::vector<double>& candidates,
+    const std::function<TrainPredictFn(double)>& make_train_predict,
+    const CrossValidationOptions& options) {
+  PLOS_CHECK(!candidates.empty(), "select_best_parameter: no candidates");
+  std::size_t best = 0;
+  double best_accuracy = -1.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double accuracy =
+        cross_validate(dataset, make_train_predict(candidates[i]), options);
+    if (accuracy > best_accuracy) {
+      best_accuracy = accuracy;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace plos::core

@@ -1,0 +1,45 @@
+// Cross-validation over revealed labels for hyper-parameter selection
+// (paper §VI-A: "we select parameters ... based on the accuracy reported by
+// leave-one-out cross-validation").
+//
+// Folds are built over the revealed samples only: held-out samples have
+// their labels hidden during training and are scored afterwards, so the
+// procedure never peeks at labels a real system would not have.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "data/dataset.hpp"
+
+namespace plos::core {
+
+struct CrossValidationOptions {
+  /// Number of folds; 0 selects leave-one-out.
+  std::size_t num_folds = 5;
+  std::uint64_t seed = 17;
+};
+
+/// Trains on a dataset (with some labels hidden by the harness) and returns
+/// per-user predictions for every sample.
+using TrainPredictFn =
+    std::function<std::vector<UserPrediction>(const data::MultiUserDataset&)>;
+
+/// Mean held-out accuracy of `train_predict` across folds. Requires at
+/// least 2 revealed samples in the dataset.
+double cross_validate(const data::MultiUserDataset& dataset,
+                      const TrainPredictFn& train_predict,
+                      const CrossValidationOptions& options = {});
+
+/// Evaluates `make_train_predict(candidate)` for every candidate and
+/// returns the index of the best cross-validated accuracy (ties to the
+/// first). Used to select λ, C, etc.
+std::size_t select_best_parameter(
+    const data::MultiUserDataset& dataset,
+    const std::vector<double>& candidates,
+    const std::function<TrainPredictFn(double)>& make_train_predict,
+    const CrossValidationOptions& options = {});
+
+}  // namespace plos::core

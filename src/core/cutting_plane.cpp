@@ -1,0 +1,225 @@
+#include "core/cutting_plane.hpp"
+
+#include <algorithm>
+
+#include "cluster/kmeans.hpp"
+#include "common/assert.hpp"
+#include "qp/capped_simplex_qp.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::core {
+
+PlosUserContext PlosUserContext::from_user(const data::UserData& user) {
+  PlosUserContext ctx;
+  ctx.user = &user;
+  ctx.labeled = user.revealed_indices();
+  ctx.unlabeled = user.hidden_indices();
+  return ctx;
+}
+
+std::vector<int> cccp_signs(const PlosUserContext& ctx,
+                            std::span<const double> user_weights) {
+  PLOS_CHECK(ctx.user != nullptr, "cccp_signs: null user");
+  std::vector<int> signs;
+  signs.reserve(ctx.unlabeled.size());
+  for (std::size_t i : ctx.unlabeled) {
+    const double value = linalg::dot(user_weights, ctx.user->samples[i]);
+    signs.push_back(value >= 0.0 ? 1 : -1);
+  }
+  return signs;
+}
+
+LocalDeviationFit fit_local_deviation(const PlosUserContext& ctx,
+                                      std::span<const int> signs,
+                                      std::span<const double> global_weights,
+                                      double lambda_over_t, double cl,
+                                      double cu, double epsilon,
+                                      int max_iterations) {
+  PLOS_CHECK(ctx.user != nullptr, "fit_local_deviation: null user");
+  PLOS_CHECK(lambda_over_t > 0.0,
+             "fit_local_deviation: lambda_over_t must be positive");
+  const std::size_t dim = global_weights.size();
+  const double kappa = 1.0 / (2.0 * lambda_over_t);  // = T/(2λ)
+
+  LocalDeviationFit fit;
+  fit.weights.assign(global_weights.begin(), global_weights.end());
+  if (ctx.num_samples() == 0) return fit;
+
+  std::vector<CuttingPlane> working_set;
+  linalg::Matrix dots;
+  linalg::Vector gamma;
+  linalg::Vector v = linalg::zeros(dim);
+
+  for (int it = 0; it < max_iterations; ++it) {
+    const double xi = optimal_slack(working_set, fit.weights);
+    const CuttingPlane plane =
+        most_violated_constraint(ctx, signs, fit.weights, cl, cu);
+    if (constraint_violation(plane, fit.weights, xi) <= epsilon) break;
+
+    // Extend the cached ⟨s_i, s_j⟩ matrix with the new plane.
+    const std::size_t a = working_set.size();
+    linalg::Matrix next(a + 1, a + 1);
+    for (std::size_t i = 0; i < a; ++i) {
+      for (std::size_t j = 0; j < a; ++j) next(i, j) = dots(i, j);
+    }
+    for (std::size_t i = 0; i < a; ++i) {
+      const double d = linalg::dot(working_set[i].s, plane.s);
+      next(i, a) = d;
+      next(a, i) = d;
+    }
+    next(a, a) = linalg::squared_norm(plane.s);
+    dots = std::move(next);
+    working_set.push_back(plane);
+
+    // Dual: max Σγ(b_c − s_c·w0) − ½ κ ||Σγs||², γ ≥ 0, Σγ ≤ 1.
+    const std::size_t n = working_set.size();
+    qp::CappedSimplexQpProblem problem;
+    problem.hessian = linalg::Matrix(n, n);
+    problem.linear.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        problem.hessian(i, j) = kappa * dots(i, j);
+      }
+      problem.linear[i] = working_set[i].offset -
+                          linalg::dot(working_set[i].s, global_weights);
+    }
+    problem.groups = {std::vector<std::size_t>(n)};
+    for (std::size_t i = 0; i < n; ++i) problem.groups[0][i] = i;
+    problem.caps = {1.0};
+    qp::QpOptions qp_options{1e-7, 3000, gamma};
+    qp_options.warm_start.resize(n, 0.0);
+    const qp::QpResult result = qp::solve_capped_simplex_qp(problem, qp_options);
+    gamma = result.solution;
+
+    linalg::Vector g = linalg::zeros(dim);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (gamma[i] != 0.0) linalg::axpy(gamma[i], working_set[i].s, g);
+    }
+    // ρ→∞ limit of the device solve: v = κ g and w = w0 + v.
+    v = linalg::scaled(g, kappa);
+    fit.weights.assign(global_weights.begin(), global_weights.end());
+    linalg::axpy(1.0, v, fit.weights);
+  }
+
+  fit.objective = lambda_over_t * linalg::squared_norm(v) +
+                  optimal_slack(working_set, fit.weights);
+  return fit;
+}
+
+namespace {
+
+// Short local CCCP: alternate deviation fitting and re-signing. Returns the
+// final signs and the final local objective.
+std::pair<std::vector<int>, double> refine_signs_locally(
+    const PlosUserContext& ctx, std::vector<int> signs,
+    std::span<const double> global_weights, double lambda_over_t, double cl,
+    double cu) {
+  double objective = 0.0;
+  for (int round = 0; round < 4; ++round) {
+    const LocalDeviationFit fit =
+        fit_local_deviation(ctx, signs, global_weights, lambda_over_t, cl, cu,
+                            /*epsilon=*/1e-2, /*max_iterations=*/50);
+    objective = fit.objective;
+    std::vector<int> next = cccp_signs(ctx, fit.weights);
+    if (next == signs) break;
+    signs = std::move(next);
+  }
+  return {std::move(signs), objective};
+}
+
+}  // namespace
+
+std::vector<int> cluster_initial_signs(const PlosUserContext& ctx,
+                                       std::span<const double> user_weights,
+                                       double lambda_over_t, double cl,
+                                       double cu, std::uint64_t seed) {
+  PLOS_CHECK(ctx.user != nullptr, "cluster_initial_signs: null user");
+  PLOS_CHECK(ctx.labeled.empty(),
+             "cluster_initial_signs: only for users without labels");
+  if (ctx.unlabeled.empty()) return {};
+  const std::vector<int> weight_signs = cccp_signs(ctx, user_weights);
+  if (ctx.unlabeled.size() < 4) return weight_signs;
+
+  std::vector<linalg::Vector> points;
+  points.reserve(ctx.unlabeled.size());
+  for (std::size_t i : ctx.unlabeled) points.push_back(ctx.user->samples[i]);
+  rng::Engine engine(seed);
+  const auto clusters = cluster::kmeans(points, 2, engine);
+
+  std::vector<int> cluster_signs(ctx.unlabeled.size());
+  int agreement = 0;  // cluster-0-positive convention vs current weights
+  for (std::size_t k = 0; k < ctx.unlabeled.size(); ++k) {
+    cluster_signs[k] = clusters.assignments[k] == 0 ? 1 : -1;
+    agreement += (weight_signs[k] > 0) == (cluster_signs[k] > 0) ? 1 : -1;
+  }
+  if (agreement < 0) {
+    for (int& s : cluster_signs) s = -s;
+  }
+
+  auto [refined_weight_signs, weight_score] = refine_signs_locally(
+      ctx, weight_signs, user_weights, lambda_over_t, cl, cu);
+  const bool one_sided =
+      std::all_of(cluster_signs.begin(), cluster_signs.end(),
+                  [&](int s) { return s == cluster_signs.front(); });
+  if (one_sided) return refined_weight_signs;
+
+  auto [refined_cluster_signs, cluster_score] = refine_signs_locally(
+      ctx, std::move(cluster_signs), user_weights, lambda_over_t, cl, cu);
+  return cluster_score < weight_score ? std::move(refined_cluster_signs)
+                                      : std::move(refined_weight_signs);
+}
+
+CuttingPlane most_violated_constraint(const PlosUserContext& ctx,
+                                      std::span<const int> signs,
+                                      std::span<const double> user_weights,
+                                      double cl, double cu) {
+  PLOS_CHECK(ctx.user != nullptr, "most_violated_constraint: null user");
+  PLOS_CHECK(signs.size() == ctx.unlabeled.size(),
+             "most_violated_constraint: signs/unlabeled size mismatch");
+  const std::size_t m = ctx.num_samples();
+  PLOS_CHECK(m > 0, "most_violated_constraint: user has no samples");
+
+  CuttingPlane plane;
+  plane.s = linalg::zeros(user_weights.size());
+  std::size_t selected_labeled = 0;
+  std::size_t selected_unlabeled = 0;
+
+  for (std::size_t i : ctx.labeled) {
+    const auto& x = ctx.user->samples[i];
+    const double y = static_cast<double>(ctx.user->true_labels[i]);
+    if (y * linalg::dot(user_weights, x) < 1.0) {
+      linalg::axpy(cl * y, x, plane.s);
+      ++selected_labeled;
+    }
+  }
+  for (std::size_t k = 0; k < ctx.unlabeled.size(); ++k) {
+    const auto& x = ctx.user->samples[ctx.unlabeled[k]];
+    const double sign = static_cast<double>(signs[k]);
+    if (sign * linalg::dot(user_weights, x) < 1.0) {
+      linalg::axpy(cu * sign, x, plane.s);
+      ++selected_unlabeled;
+    }
+  }
+
+  const double inv_m = 1.0 / static_cast<double>(m);
+  linalg::scale(plane.s, inv_m);
+  plane.offset = inv_m * (cl * static_cast<double>(selected_labeled) +
+                          cu * static_cast<double>(selected_unlabeled));
+  return plane;
+}
+
+double constraint_violation(const CuttingPlane& plane,
+                            std::span<const double> user_weights, double xi) {
+  return plane.offset - linalg::dot(plane.s, user_weights) - xi;
+}
+
+double optimal_slack(const std::vector<CuttingPlane>& working_set,
+                     std::span<const double> user_weights) {
+  double xi = 0.0;
+  for (const auto& plane : working_set) {
+    xi = std::max(xi, plane.offset - linalg::dot(plane.s, user_weights));
+  }
+  return xi;
+}
+
+}  // namespace plos::core

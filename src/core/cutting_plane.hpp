@@ -1,0 +1,97 @@
+// Shared 1-slack cutting-plane machinery for both PLOS solvers.
+//
+// After the paper's reformulation (Eq. 4) each user contributes constraints
+// indexed by subset-selection vectors c ∈ {0,1}^{m_t}. A constraint enters
+// the optimization only through two derived quantities:
+//
+//   s_c = (1/m_t) [ Cl Σ_{labeled, c_i=1} y_i x_i
+//                 + Cu Σ_{unlabeled, c_i=1} sign_i x_i ]      ∈ R^d
+//   b_c = (1/m_t) [ Cl · #labeled selected + Cu · #unlabeled selected ]
+//
+// reading "w satisfies s_c·w ≥ b_c − ξ_t". sign_i is the CCCP linearization
+// sign of the unlabeled point (fixed within one convex subproblem). The most
+// violated constraint selects exactly the samples with margin < 1 (Eq. 14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace plos::core {
+
+/// One cutting plane: the pair (s_c, b_c) above.
+struct CuttingPlane {
+  linalg::Vector s;
+  double offset = 0.0;  ///< b_c
+};
+
+/// Per-user immutable view used by the PLOS solvers: index lists split by
+/// label visibility, plus the revealed labels.
+struct PlosUserContext {
+  const data::UserData* user = nullptr;
+  std::vector<std::size_t> labeled;    ///< indices with revealed labels
+  std::vector<std::size_t> unlabeled;  ///< the rest
+
+  std::size_t num_samples() const { return user->num_samples(); }
+
+  static PlosUserContext from_user(const data::UserData& user);
+};
+
+/// CCCP linearization signs for one user's unlabeled samples:
+/// sign_i = sign(w_t · x_i), with sign(0) = +1. Ordered as ctx.unlabeled.
+std::vector<int> cccp_signs(const PlosUserContext& ctx,
+                            std::span<const double> user_weights);
+
+/// Result of fitting the personal deviation for one user with fixed signs:
+/// min over (v, ξ) of (λ/T)||v||² + ξ subject to the user's 1-slack
+/// constraints at w = w0 + v. This is user t's contribution to the PLOS
+/// objective (Eq. 4) with w0 held fixed; solved by cutting planes over the
+/// same single-group capped-simplex dual the distributed device uses (the
+/// ρ→∞ limit of Eq. 22).
+struct LocalDeviationFit {
+  linalg::Vector weights;  ///< w = w0 + v
+  double objective = 0.0;  ///< (λ/T)||v||² + ξ
+};
+
+LocalDeviationFit fit_local_deviation(const PlosUserContext& ctx,
+                                      std::span<const int> signs,
+                                      std::span<const double> global_weights,
+                                      double lambda_over_t, double cl,
+                                      double cu, double epsilon,
+                                      int max_iterations);
+
+/// Initial CCCP signs for a user with NO labels, chosen by PLOS's own
+/// objective. Two candidate assignments — the current weights' predictions
+/// and a 2-means clustering of the user's data (polarity aligned with the
+/// weights by majority vote) — are each refined by a short local CCCP
+/// (alternate fit_local_deviation with re-signing) and scored by the final
+/// local objective (λ/T)||v||² + ξ. The λ coupling arbitrates exactly as in
+/// the global problem: a wide-margin split far from w0 wins only when its
+/// margin gain outweighs the deviation penalty. Runs entirely on the
+/// user's own data (device-local in the distributed setting).
+std::vector<int> cluster_initial_signs(const PlosUserContext& ctx,
+                                       std::span<const double> user_weights,
+                                       double lambda_over_t, double cl,
+                                       double cu, std::uint64_t seed);
+
+/// The most violated constraint (Eq. 14) for user `ctx` at weights `w`:
+/// selects labeled samples with y_i (w·x_i) < 1 and unlabeled samples with
+/// sign_i (w·x_i) < 1.
+CuttingPlane most_violated_constraint(const PlosUserContext& ctx,
+                                      std::span<const int> signs,
+                                      std::span<const double> user_weights,
+                                      double cl, double cu);
+
+/// Violation b_c − s_c·w − ξ of a constraint at weights w with slack ξ.
+double constraint_violation(const CuttingPlane& plane,
+                            std::span<const double> user_weights, double xi);
+
+/// Optimal slack for a working set Ω at weights w:
+/// ξ = max(0, max_{c ∈ Ω} b_c − s_c·w).
+double optimal_slack(const std::vector<CuttingPlane>& working_set,
+                     std::span<const double> user_weights);
+
+}  // namespace plos::core

@@ -1,0 +1,393 @@
+#include "core/distributed_plos.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/stopwatch.hpp"
+#include "core/cutting_plane.hpp"
+#include "net/serialize.hpp"
+#include "rng/engine.hpp"
+#include "svm/linear_svm.hpp"
+
+namespace plos::core {
+
+namespace {
+
+// Wire formats. Sizes are what the simulator charges, so they are real
+// serializations, not estimates.
+std::size_t broadcast_bytes(std::span<const double> w0,
+                            std::span<const double> u) {
+  net::Serializer s;
+  s.write_u32(/*message type*/ 1);
+  s.write_vector(w0);
+  s.write_vector(u);
+  return s.size_bytes();
+}
+
+std::size_t update_bytes(std::span<const double> w, std::span<const double> v,
+                         double xi) {
+  net::Serializer s;
+  s.write_u32(/*message type*/ 2);
+  s.write_vector(w);
+  s.write_vector(v);
+  s.write_f64(xi);
+  return s.size_bytes();
+}
+
+// One simulated device: owns its raw data, CCCP signs, and the cutting-plane
+// working set of the current CCCP round.
+class Device {
+ public:
+  Device(const data::UserData& user, std::size_t num_users,
+         const DistributedPlosOptions& options)
+      : ctx_(PlosUserContext::from_user(user)),
+        options_(&options),
+        num_users_(static_cast<double>(num_users)),
+        kappa_(static_cast<double>(num_users) / (2.0 * options.params.lambda) +
+               1.0 / options.rho),
+        v_over_g_(static_cast<double>(num_users) /
+                  (2.0 * options.params.lambda)) {}
+
+  /// Local SVM on revealed labels for the bootstrap round; empty when the
+  /// device has no labels.
+  linalg::Vector bootstrap_weights() const {
+    if (ctx_.labeled.empty()) return {};
+    std::vector<linalg::Vector> xs;
+    std::vector<int> ys;
+    for (std::size_t i : ctx_.labeled) {
+      xs.push_back(ctx_.user->samples[i]);
+      ys.push_back(ctx_.user->true_labels[i]);
+    }
+    svm::LinearSvmOptions svm_options;
+    svm_options.c = options_->init_svm_c;
+    return svm::train_linear_svm(xs, ys, svm_options).weights;
+  }
+
+  /// Starts a CCCP round: fix linearization signs at the current w_t and
+  /// reset the working set (the planes depend on the signs).
+  void begin_cccp_round(std::span<const double> current_weights,
+                        bool first_round, std::uint64_t seed) {
+    if (first_round && options_->cluster_sign_initialization &&
+        ctx_.labeled.empty()) {
+      signs_ = cluster_initial_signs(ctx_, current_weights,
+                                     options_->params.lambda / num_users_,
+                                     options_->params.cl, options_->params.cu,
+                                     seed);
+    } else {
+      signs_ = cccp_signs(ctx_, current_weights);
+    }
+    working_set_.clear();
+    dots_ = linalg::Matrix();
+    previous_gamma_.clear();
+  }
+
+  struct LocalSolution {
+    linalg::Vector w;
+    linalg::Vector v;
+    double xi = 0.0;
+  };
+
+  /// Solves the local problem (Eq. 22) for the received (w0, u_t).
+  LocalSolution solve(std::span<const double> w0, std::span<const double> u) {
+    const std::size_t dim = w0.size();
+    linalg::Vector d(dim);
+    for (std::size_t j = 0; j < dim; ++j) d[j] = w0[j] - u[j];
+
+    LocalSolution sol;
+    sol.w = d;  // empty working set ⇒ g = 0 ⇒ w = d, v = 0
+    sol.v = linalg::zeros(dim);
+
+    if (ctx_.num_samples() == 0) return sol;
+
+    // The working set persists across ADMM iterations (the planes depend
+    // only on the CCCP signs), but the prox center d moved — re-solve over
+    // the existing set before looking for new violations.
+    if (!working_set_.empty()) solve_dual(d, sol);
+
+    for (int it = 0; it < options_->cutting_plane.max_iterations; ++it) {
+      sol.xi = optimal_slack(working_set_, sol.w);
+      const CuttingPlane plane = most_violated_constraint(
+          ctx_, signs_, sol.w, options_->params.cl, options_->params.cu);
+      if (constraint_violation(plane, sol.w, sol.xi) <=
+          options_->cutting_plane.epsilon) {
+        break;
+      }
+      add_plane(plane);
+      solve_dual(d, sol);
+    }
+    sol.xi = optimal_slack(working_set_, sol.w);
+    return sol;
+  }
+
+ private:
+  void add_plane(CuttingPlane plane) {
+    const std::size_t a = working_set_.size();
+    linalg::Matrix dots(a + 1, a + 1);
+    for (std::size_t i = 0; i < a; ++i) {
+      for (std::size_t j = 0; j < a; ++j) dots(i, j) = dots_(i, j);
+    }
+    for (std::size_t i = 0; i < a; ++i) {
+      const double d = linalg::dot(working_set_[i].s, plane.s);
+      dots(i, a) = d;
+      dots(a, i) = d;
+    }
+    dots(a, a) = linalg::squared_norm(plane.s);
+    dots_ = std::move(dots);
+    working_set_.push_back(std::move(plane));
+  }
+
+  void solve_dual(const linalg::Vector& d, LocalSolution& sol) {
+    const std::size_t n = working_set_.size();
+    qp::CappedSimplexQpProblem problem;
+    problem.hessian = linalg::Matrix(n, n);
+    problem.linear.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        problem.hessian(i, j) = kappa_ * dots_(i, j);
+      }
+      problem.linear[i] =
+          working_set_[i].offset - linalg::dot(working_set_[i].s, d);
+    }
+    problem.groups.resize(1);
+    problem.groups[0].resize(n);
+    for (std::size_t i = 0; i < n; ++i) problem.groups[0][i] = i;
+    problem.caps = {1.0};
+
+    qp::QpOptions qp_options = options_->qp;
+    qp_options.warm_start = previous_gamma_;
+    qp_options.warm_start.resize(n, 0.0);
+    const qp::QpResult result = qp::solve_capped_simplex_qp(problem, qp_options);
+    previous_gamma_ = result.solution;
+
+    linalg::Vector g = linalg::zeros(d.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (result.solution[i] != 0.0) {
+        linalg::axpy(result.solution[i], working_set_[i].s, g);
+      }
+    }
+    sol.w = d;
+    linalg::axpy(kappa_, g, sol.w);
+    sol.v = linalg::scaled(g, v_over_g_);
+  }
+
+  PlosUserContext ctx_;
+  const DistributedPlosOptions* options_;
+  double num_users_;
+  double kappa_;     ///< T/(2λ) + 1/ρ
+  double v_over_g_;  ///< T/(2λ)
+  std::vector<int> signs_;
+  std::vector<CuttingPlane> working_set_;
+  linalg::Matrix dots_;  ///< cached pairwise ⟨s_i, s_j⟩
+  linalg::Vector previous_gamma_;
+};
+
+}  // namespace
+
+namespace {
+
+// Shared implementation: participation = 1 is the synchronous algorithm
+// (the availability RNG is bypassed entirely so results are bit-identical
+// to the original code path); participation < 1 makes each device respond
+// per ADMM iteration only with that probability.
+DistributedPlosResult train_distributed_impl(
+    const data::MultiUserDataset& dataset,
+    const DistributedPlosOptions& options, net::SimNetwork* network,
+    double participation, std::uint64_t schedule_seed) {
+  dataset.check_invariants();
+  const std::size_t num_users = dataset.num_users();
+  const std::size_t dim = dataset.dim();
+  PLOS_CHECK(num_users > 0, "train_distributed_plos: no users");
+  PLOS_CHECK(dim > 0, "train_distributed_plos: empty dataset");
+  PLOS_CHECK(options.params.lambda > 0.0 && options.rho > 0.0,
+             "train_distributed_plos: lambda and rho must be positive");
+  if (network != nullptr) {
+    PLOS_CHECK(network->num_devices() == num_users,
+               "train_distributed_plos: network/device count mismatch");
+  }
+
+  const Stopwatch total_watch;
+  DistributedPlosResult result;
+  result.model = PersonalizedModel::zeros(num_users, dim);
+
+  std::vector<Device> devices;
+  devices.reserve(num_users);
+  for (const auto& user : dataset.users) {
+    devices.emplace_back(user, num_users, options);
+  }
+
+  // --- bootstrap round: average of local SVMs as the initial w0 ----------
+  linalg::Vector w0 = linalg::zeros(dim);
+  if (options.svm_bootstrap) {
+    std::size_t contributors = 0;
+    for (std::size_t t = 0; t < num_users; ++t) {
+      Stopwatch device_watch;
+      const linalg::Vector local = devices[t].bootstrap_weights();
+      if (network != nullptr) {
+        network->account_device_compute(t, device_watch.elapsed_seconds());
+      }
+      if (local.empty()) continue;
+      if (network != nullptr) {
+        net::Serializer s;
+        s.write_u32(/*message type*/ 0);
+        s.write_vector(local);
+        network->send_to_server(t, s.size_bytes());
+      }
+      linalg::axpy(1.0, local, w0);
+      ++contributors;
+    }
+    if (contributors > 0) {
+      linalg::scale(w0, 1.0 / static_cast<double>(contributors));
+    }
+    if (network != nullptr) network->end_round();
+  }
+  if (linalg::norm(w0) == 0.0) {
+    // Nobody provided labels: random symmetry-breaking direction.
+    rng::Engine engine(options.seed);
+    w0 = engine.gaussian_vector(dim);
+    const double n = linalg::norm(w0);
+    if (n > 0.0) linalg::scale(w0, 1.0 / n);
+  }
+
+  rng::Engine schedule(schedule_seed);
+  std::vector<linalg::Vector> u(num_users, linalg::zeros(dim));
+  std::vector<linalg::Vector> w(num_users, w0);
+  std::vector<linalg::Vector> v(num_users, linalg::zeros(dim));
+  linalg::Vector xi(num_users, 0.0);
+
+  const double sqrt_t = std::sqrt(static_cast<double>(num_users));
+  double previous_cccp_objective = std::numeric_limits<double>::infinity();
+
+  for (int cccp = 0; cccp < options.cccp.max_iterations; ++cccp) {
+    result.diagnostics.cccp_iterations = cccp + 1;
+    for (std::size_t t = 0; t < num_users; ++t) {
+      Stopwatch device_watch;
+      devices[t].begin_cccp_round(w[t], cccp == 0, options.seed + t);
+      if (network != nullptr) {
+        network->account_device_compute(t, device_watch.elapsed_seconds());
+      }
+    }
+
+    double objective = 0.0;
+    for (int admm = 0; admm < options.max_admm_iterations; ++admm) {
+      ++result.diagnostics.admm_iterations_total;
+      const linalg::Vector w0_old = w0;
+      std::vector<linalg::Vector> u_old = u;
+      std::vector<char> participated(num_users, 0);
+
+      // Scatter (w0, u_t), local solves, gather (w_t, v_t, ξ_t). In the
+      // asynchronous variant, unavailable devices keep their last uploads
+      // in force and are skipped entirely this iteration.
+      for (std::size_t t = 0; t < num_users; ++t) {
+        const bool responds =
+            participation >= 1.0 || schedule.bernoulli(participation);
+        if (!responds) continue;
+        participated[t] = true;
+        if (network != nullptr) {
+          network->send_to_device(t, broadcast_bytes(w0, u[t]));
+        }
+        Stopwatch device_watch;
+        auto sol = devices[t].solve(w0, u[t]);
+        if (network != nullptr) {
+          network->account_device_compute(t, device_watch.elapsed_seconds());
+          network->send_to_server(t, update_bytes(sol.w, sol.v, sol.xi));
+        }
+        w[t] = std::move(sol.w);
+        v[t] = std::move(sol.v);
+        xi[t] = sol.xi;
+      }
+
+      // Server closed-form updates (Eq. 23).
+      Stopwatch server_watch;
+      linalg::Vector acc = linalg::zeros(dim);
+      for (std::size_t t = 0; t < num_users; ++t) {
+        linalg::axpy(1.0, w[t], acc);
+        linalg::axpy(-1.0, v[t], acc);
+        linalg::axpy(1.0, u_old[t], acc);
+      }
+      linalg::scale(acc, options.rho /
+                             (2.0 + static_cast<double>(num_users) * options.rho));
+      w0 = std::move(acc);
+      double primal_sq = 0.0;
+      double w_sq = 0.0, target_sq = 0.0, u_sq = 0.0;
+      for (std::size_t t = 0; t < num_users; ++t) {
+        linalg::Vector residual = linalg::sub(w[t], w0);
+        linalg::axpy(-1.0, v[t], residual);
+        // Dual variables refresh only for devices whose constraint block
+        // actually re-solved this iteration (stale blocks keep their u).
+        if (participated[t]) u[t] = linalg::add(u_old[t], residual);
+        primal_sq += linalg::squared_norm(residual);
+        w_sq += linalg::squared_norm(w[t]);
+        linalg::Vector target = linalg::add(w0, v[t]);
+        target_sq += linalg::squared_norm(target);
+        u_sq += linalg::squared_norm(u[t]);
+      }
+
+      objective = linalg::squared_norm(w0);
+      for (std::size_t t = 0; t < num_users; ++t) {
+        objective += options.params.lambda / static_cast<double>(num_users) *
+                         linalg::squared_norm(v[t]) +
+                     xi[t];
+      }
+      const double dual_residual =
+          options.rho * std::sqrt(2.0 * static_cast<double>(num_users)) *
+          std::sqrt(linalg::squared_distance(w0, w0_old));
+      const double primal_residual = std::sqrt(primal_sq);
+      if (network != nullptr) {
+        network->account_server_compute(server_watch.elapsed_seconds());
+        network->end_round();
+      }
+
+      result.diagnostics.objective_trace.push_back(objective);
+      result.diagnostics.primal_residual_trace.push_back(primal_residual);
+      result.diagnostics.dual_residual_trace.push_back(dual_residual);
+
+      // Paper thresholds (Eq. 24) plus Boyd's relative terms.
+      const double primal_threshold =
+          sqrt_t * options.eps_abs +
+          options.eps_rel * std::sqrt(std::max(w_sq, target_sq));
+      const double dual_threshold =
+          std::sqrt(2.0) * sqrt_t * options.eps_abs +
+          options.eps_rel * options.rho * std::sqrt(u_sq);
+      if (dual_residual <= dual_threshold &&
+          primal_residual <= primal_threshold) {
+        break;
+      }
+    }
+
+    if (std::abs(previous_cccp_objective - objective) <=
+        options.cccp.objective_tolerance * (1.0 + std::abs(objective))) {
+      break;
+    }
+    previous_cccp_objective = objective;
+  }
+
+  result.model.global_weights = w0;
+  for (std::size_t t = 0; t < num_users; ++t) {
+    // Report consensus-consistent personal deviations w_t − w0 rather than
+    // the local v_t (they coincide at exact convergence).
+    result.model.user_deviations[t] = linalg::sub(w[t], w0);
+  }
+  result.diagnostics.train_seconds = total_watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace
+
+DistributedPlosResult train_distributed_plos(
+    const data::MultiUserDataset& dataset,
+    const DistributedPlosOptions& options, net::SimNetwork* network) {
+  return train_distributed_impl(dataset, options, network,
+                                /*participation=*/1.0, /*schedule_seed=*/0);
+}
+
+DistributedPlosResult train_async_distributed_plos(
+    const data::MultiUserDataset& dataset,
+    const AsyncDistributedPlosOptions& options, net::SimNetwork* network) {
+  PLOS_CHECK(options.participation > 0.0 && options.participation <= 1.0,
+             "train_async_distributed_plos: participation outside (0, 1]");
+  return train_distributed_impl(dataset, options.base, network,
+                                options.participation, options.schedule_seed);
+}
+
+}  // namespace plos::core

@@ -1,0 +1,95 @@
+// Distributed PLOS (paper §V, Algorithm 2).
+//
+// Solves the same CCCP-convexified objective as the centralized trainer but
+// with ADMM: raw data never leave the device. Per ADMM iteration:
+//
+//   device t:  receives (w0, u_t);  solves the local prox-regularized
+//              1-slack problem (Eq. 22) by cutting planes — its dual is a
+//              single-group capped-simplex QP with cap 1:
+//                 max_{γ≥0, Σγ≤1} Σ_c γ_c (b_c − s_c·d) − ½ κ ||Σ γ_c s_c||²
+//              where d = w0 − u_t and κ = T/(2λ) + 1/ρ, recovering
+//                 w_t = d + κ g,   v_t = (T/(2λ)) g,   g = Σ γ_c s_c;
+//              uploads (w_t, v_t, ξ_t).
+//   server:    closed-form updates (Eq. 23)
+//                 w0 ← ρ Σ(w_t − v_t + u_t) / (2 + Tρ),
+//                 u_t ← u_t + (w_t − w0 − v_t),
+//              and the residual stopping rule (Eq. 24).
+//
+// When a net::SimNetwork is supplied, every exchanged message is serialized
+// to wire format and charged byte-exactly, and measured solver time is
+// charged to simulated device/server CPUs (Figures 11-13).
+#pragma once
+
+#include <cstdint>
+
+#include "core/centralized_plos.hpp"  // PersonalizedModel, PlosDiagnostics
+#include "core/options.hpp"
+#include "data/dataset.hpp"
+#include "net/simnet.hpp"
+
+namespace plos::core {
+
+struct DistributedPlosOptions {
+  PlosHyperParams params;
+  CuttingPlaneOptions cutting_plane;
+  CccpOptions cccp;
+  /// See CentralizedPlosOptions::qp for the tolerance rationale.
+  qp::QpOptions qp{1e-7, 3000, {}};
+  double rho = 1.0;        ///< ADMM step size (paper sets ρ = 1)
+  double eps_abs = 1e-3;   ///< εabs of the residual stopping rule
+  /// Relative residual term (Boyd et al. §3.3.1) added to the paper's
+  /// absolute thresholds — without it the absolute rule never fires on
+  /// data whose feature scale puts ||w_t|| well above εabs.
+  double eps_rel = 1e-2;
+  int max_admm_iterations = 300;
+  /// Bootstrap round: label-providing devices train a local SVM on their
+  /// revealed labels and upload it once; the server averages the uploads
+  /// into the initial w0 (charged to the communication budget). Without
+  /// labels anywhere the server falls back to a random unit direction.
+  bool svm_bootstrap = true;
+  double init_svm_c = 1.0;
+  /// See CentralizedPlosOptions::cluster_sign_initialization; the 2-means
+  /// runs on-device, so privacy is unaffected.
+  bool cluster_sign_initialization = true;
+  std::uint64_t seed = 99;
+};
+
+struct DistributedPlosDiagnostics {
+  int cccp_iterations = 0;
+  int admm_iterations_total = 0;  ///< summed over CCCP rounds
+  std::vector<double> objective_trace;        ///< per ADMM iteration
+  std::vector<double> primal_residual_trace;  ///< ||r|| per ADMM iteration
+  std::vector<double> dual_residual_trace;    ///< ||s|| per ADMM iteration
+  double train_seconds = 0.0;  ///< real (not simulated) wall time
+};
+
+struct DistributedPlosResult {
+  PersonalizedModel model;
+  DistributedPlosDiagnostics diagnostics;
+};
+
+/// Trains distributed PLOS. `network` may be null (no accounting); when
+/// set, it must have one device per user.
+DistributedPlosResult train_distributed_plos(
+    const data::MultiUserDataset& dataset,
+    const DistributedPlosOptions& options = {},
+    net::SimNetwork* network = nullptr);
+
+/// Asynchronous variant (paper §VII future work): per ADMM iteration each
+/// device responds only with probability `participation` (modeling slow or
+/// sleeping phones); non-responders' last uploaded (w_t, v_t, ξ_t) stay in
+/// force on the server, and their dual variables u_t are refreshed only
+/// when they next respond. participation = 1 reduces to the synchronous
+/// algorithm exactly.
+struct AsyncDistributedPlosOptions {
+  DistributedPlosOptions base;
+  double participation = 0.7;        ///< in (0, 1]
+  std::uint64_t schedule_seed = 7;   ///< device availability randomness
+};
+
+DistributedPlosResult train_async_distributed_plos(
+    const data::MultiUserDataset& dataset,
+    const AsyncDistributedPlosOptions& options = {},
+    net::SimNetwork* network = nullptr);
+
+}  // namespace plos::core

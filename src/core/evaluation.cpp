@@ -1,0 +1,79 @@
+#include "core/evaluation.hpp"
+
+#include "cluster/hungarian.hpp"
+#include "common/assert.hpp"
+
+namespace plos::core {
+
+double user_accuracy(const data::UserData& user,
+                     const UserPrediction& prediction) {
+  PLOS_CHECK(prediction.labels.size() == user.num_samples(),
+             "user_accuracy: prediction/sample size mismatch");
+  PLOS_CHECK(user.num_samples() > 0, "user_accuracy: user has no samples");
+
+  if (prediction.match_clusters) {
+    // Map ±1 ids to {0, 1} and score under the best assignment.
+    std::vector<std::size_t> predicted, truth;
+    predicted.reserve(user.num_samples());
+    truth.reserve(user.num_samples());
+    for (std::size_t i = 0; i < user.num_samples(); ++i) {
+      predicted.push_back(prediction.labels[i] > 0 ? 1 : 0);
+      truth.push_back(user.true_labels[i] > 0 ? 1 : 0);
+    }
+    return cluster::best_assignment_accuracy(predicted, truth, 2);
+  }
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < user.num_samples(); ++i) {
+    if (prediction.labels[i] == user.true_labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(user.num_samples());
+}
+
+AccuracyReport evaluate(const data::MultiUserDataset& dataset,
+                        const std::vector<UserPrediction>& predictions) {
+  PLOS_CHECK(predictions.size() == dataset.num_users(),
+             "evaluate: predictions/users size mismatch");
+  AccuracyReport report;
+  double providers_sum = 0.0;
+  double non_providers_sum = 0.0;
+  double overall_sum = 0.0;
+  for (std::size_t t = 0; t < dataset.num_users(); ++t) {
+    const double acc = user_accuracy(dataset.users[t], predictions[t]);
+    overall_sum += acc;
+    if (dataset.users[t].provides_labels()) {
+      providers_sum += acc;
+      ++report.num_providers;
+    } else {
+      non_providers_sum += acc;
+      ++report.num_non_providers;
+    }
+  }
+  if (report.num_providers > 0) {
+    report.providers = providers_sum / static_cast<double>(report.num_providers);
+  }
+  if (report.num_non_providers > 0) {
+    report.non_providers =
+        non_providers_sum / static_cast<double>(report.num_non_providers);
+  }
+  report.overall = overall_sum / static_cast<double>(dataset.num_users());
+  return report;
+}
+
+std::vector<UserPrediction> predict_all(const data::MultiUserDataset& dataset,
+                                        const PersonalizedModel& model) {
+  PLOS_CHECK(model.num_users() == dataset.num_users(),
+             "predict_all: model/users size mismatch");
+  std::vector<UserPrediction> out(dataset.num_users());
+  for (std::size_t t = 0; t < dataset.num_users(); ++t) {
+    const linalg::Vector w = model.user_weights(t);
+    out[t].labels.reserve(dataset.users[t].num_samples());
+    for (const auto& x : dataset.users[t].samples) {
+      out[t].labels.push_back(linalg::dot(w, x) >= 0.0 ? 1 : -1);
+    }
+  }
+  return out;
+}
+
+}  // namespace plos::core

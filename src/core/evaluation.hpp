@@ -1,0 +1,42 @@
+// Evaluation harness.
+//
+// The paper reports classification accuracy averaged separately over users
+// who provide labels and users who do not. Methods that output clusters
+// instead of classes (Single / Group on label-free users) are scored under
+// the best one-to-one cluster↔class assignment ("label matching").
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+#include "data/dataset.hpp"
+
+namespace plos::core {
+
+/// One method's predictions for one user, aligned with the user's samples.
+struct UserPrediction {
+  std::vector<int> labels;     ///< {-1, +1} class labels or ±1 cluster ids
+  bool match_clusters = false; ///< score under best cluster↔class assignment
+};
+
+struct AccuracyReport {
+  double providers = 0.0;      ///< mean accuracy over label-providing users
+  double non_providers = 0.0;  ///< mean accuracy over label-free users
+  double overall = 0.0;        ///< mean accuracy over all users
+  std::size_t num_providers = 0;
+  std::size_t num_non_providers = 0;
+};
+
+/// Accuracy of one user's predictions against ground truth.
+double user_accuracy(const data::UserData& user,
+                     const UserPrediction& prediction);
+
+/// Per-user accuracies averaged within the provider / non-provider splits.
+AccuracyReport evaluate(const data::MultiUserDataset& dataset,
+                        const std::vector<UserPrediction>& predictions);
+
+/// Predictions of a personalized model on every sample of every user.
+std::vector<UserPrediction> predict_all(const data::MultiUserDataset& dataset,
+                                        const PersonalizedModel& model);
+
+}  // namespace plos::core

@@ -1,0 +1,33 @@
+#include "core/model.hpp"
+
+#include "common/assert.hpp"
+
+namespace plos::core {
+
+linalg::Vector PersonalizedModel::user_weights(std::size_t user) const {
+  PLOS_CHECK(user < user_deviations.size(),
+             "PersonalizedModel: user out of range");
+  return linalg::add(global_weights, user_deviations[user]);
+}
+
+double PersonalizedModel::decision_value(std::size_t user,
+                                         std::span<const double> x) const {
+  PLOS_CHECK(user < user_deviations.size(),
+             "PersonalizedModel: user out of range");
+  return linalg::dot(global_weights, x) + linalg::dot(user_deviations[user], x);
+}
+
+int PersonalizedModel::predict(std::size_t user,
+                               std::span<const double> x) const {
+  return decision_value(user, x) >= 0.0 ? 1 : -1;
+}
+
+PersonalizedModel PersonalizedModel::zeros(std::size_t num_users,
+                                           std::size_t dim) {
+  PersonalizedModel m;
+  m.global_weights = linalg::zeros(dim);
+  m.user_deviations.assign(num_users, linalg::zeros(dim));
+  return m;
+}
+
+}  // namespace plos::core

@@ -1,0 +1,32 @@
+// The personalized model PLOS learns: a global hyperplane w0 shared by all
+// users plus one per-user deviation v_t, predicting with w_t = w0 + v_t.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace plos::core {
+
+struct PersonalizedModel {
+  linalg::Vector global_weights;               ///< w0
+  std::vector<linalg::Vector> user_deviations; ///< v_t per user
+
+  std::size_t num_users() const { return user_deviations.size(); }
+  std::size_t dim() const { return global_weights.size(); }
+
+  /// w_t = w0 + v_t.
+  linalg::Vector user_weights(std::size_t user) const;
+
+  /// Decision value w_t · x.
+  double decision_value(std::size_t user, std::span<const double> x) const;
+
+  /// Predicted label in {-1, +1} (ties to +1).
+  int predict(std::size_t user, std::span<const double> x) const;
+
+  /// Zero-initialized model of the given shape.
+  static PersonalizedModel zeros(std::size_t num_users, std::size_t dim);
+};
+
+}  // namespace plos::core

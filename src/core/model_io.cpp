@@ -1,0 +1,68 @@
+#include "core/model_io.hpp"
+
+#include <fstream>
+
+#include "common/assert.hpp"
+#include "net/serialize.hpp"
+
+namespace plos::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x504c4f53;  // "PLOS"
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_model(const PersonalizedModel& model) {
+  net::Serializer s;
+  s.write_u32(kMagic);
+  s.write_u32(kVersion);
+  s.write_u64(model.num_users());
+  s.write_vector(model.global_weights);
+  for (const auto& v : model.user_deviations) s.write_vector(v);
+  return s.take();
+}
+
+std::optional<PersonalizedModel> deserialize_model(
+    std::span<const std::uint8_t> buffer) {
+  try {
+    net::Deserializer d(buffer);
+    if (d.read_u32() != kMagic) return std::nullopt;
+    if (d.read_u32() != kVersion) return std::nullopt;
+    const std::uint64_t num_users = d.read_u64();
+    PersonalizedModel model;
+    model.global_weights = d.read_vector();
+    model.user_deviations.reserve(static_cast<std::size_t>(num_users));
+    for (std::uint64_t t = 0; t < num_users; ++t) {
+      model.user_deviations.push_back(d.read_vector());
+      if (model.user_deviations.back().size() !=
+          model.global_weights.size()) {
+        return std::nullopt;
+      }
+    }
+    if (!d.exhausted()) return std::nullopt;  // trailing garbage
+    return model;
+  } catch (const PreconditionError&) {
+    return std::nullopt;  // truncated buffer
+  }
+}
+
+bool save_model(const PersonalizedModel& model, const std::string& path) {
+  const auto bytes = serialize_model(model);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<PersonalizedModel> load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return deserialize_model(bytes);
+}
+
+}  // namespace plos::core

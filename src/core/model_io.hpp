@@ -1,0 +1,31 @@
+// Model persistence: serialize a trained PersonalizedModel to the same
+// wire format the distributed runtime uses, and save/load it on disk. A
+// deployed mobile-sensing service checkpoints the population model between
+// training rounds and ships per-user slices to devices.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace plos::core {
+
+/// Serializes the model (magic + version header, then w0 and every v_t).
+std::vector<std::uint8_t> serialize_model(const PersonalizedModel& model);
+
+/// Parses a buffer produced by serialize_model. Returns std::nullopt on a
+/// malformed buffer (wrong magic/version, truncation, inconsistent
+/// dimensions) — corrupt checkpoints are a recoverable condition.
+std::optional<PersonalizedModel> deserialize_model(
+    std::span<const std::uint8_t> buffer);
+
+/// Writes the serialized model to `path`; returns false on I/O failure.
+bool save_model(const PersonalizedModel& model, const std::string& path);
+
+/// Reads a model from `path`; nullopt on I/O failure or malformed content.
+std::optional<PersonalizedModel> load_model(const std::string& path);
+
+}  // namespace plos::core

@@ -1,0 +1,75 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace plos::data {
+
+std::size_t UserData::num_revealed() const {
+  return static_cast<std::size_t>(
+      std::count(revealed.begin(), revealed.end(), true));
+}
+
+std::vector<std::size_t> UserData::revealed_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < revealed.size(); ++i) {
+    if (revealed[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> UserData::hidden_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < revealed.size(); ++i) {
+    if (!revealed[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t MultiUserDataset::dim() const {
+  for (const auto& u : users) {
+    if (!u.samples.empty()) return u.samples.front().size();
+  }
+  return 0;
+}
+
+std::size_t MultiUserDataset::total_samples() const {
+  std::size_t n = 0;
+  for (const auto& u : users) n += u.num_samples();
+  return n;
+}
+
+std::vector<std::size_t> MultiUserDataset::labeled_users() const {
+  std::vector<std::size_t> out;
+  for (std::size_t t = 0; t < users.size(); ++t) {
+    if (users[t].provides_labels()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::size_t> MultiUserDataset::unlabeled_users() const {
+  std::vector<std::size_t> out;
+  for (std::size_t t = 0; t < users.size(); ++t) {
+    if (!users[t].provides_labels()) out.push_back(t);
+  }
+  return out;
+}
+
+void MultiUserDataset::check_invariants() const {
+  const std::size_t d = dim();
+  for (const auto& u : users) {
+    PLOS_CHECK(u.true_labels.size() == u.samples.size(),
+               "MultiUserDataset: labels/samples size mismatch");
+    PLOS_CHECK(u.revealed.size() == u.samples.size(),
+               "MultiUserDataset: revealed mask size mismatch");
+    for (int y : u.true_labels) {
+      PLOS_CHECK(y == 1 || y == -1, "MultiUserDataset: labels must be +/-1");
+    }
+    for (const auto& x : u.samples) {
+      PLOS_CHECK(x.size() == d, "MultiUserDataset: inconsistent dimension");
+    }
+  }
+}
+
+}  // namespace plos::data

@@ -1,0 +1,52 @@
+// Multi-user dataset containers.
+//
+// Terminology follows the paper: T users indexed by t, user t holding m_t
+// samples of which the "revealed" subset carries labels visible to the
+// learner (l_t of them; l_t = 0 for users who provide no labels). Ground
+// truth is retained for every sample so the evaluation harness can score
+// predictions on both labeled and unlabeled users.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace plos::data {
+
+/// Binary labels are {-1, +1} throughout, as in the paper.
+struct UserData {
+  std::vector<linalg::Vector> samples;
+  std::vector<int> true_labels;   ///< ground truth per sample, +/-1
+  std::vector<bool> revealed;     ///< revealed[i]: label visible to learners
+
+  std::size_t num_samples() const { return samples.size(); }
+  std::size_t num_revealed() const;
+  bool provides_labels() const { return num_revealed() > 0; }
+
+  /// Indices of revealed / hidden samples, in order.
+  std::vector<std::size_t> revealed_indices() const;
+  std::vector<std::size_t> hidden_indices() const;
+};
+
+struct MultiUserDataset {
+  std::vector<UserData> users;
+
+  std::size_t num_users() const { return users.size(); }
+
+  /// Feature dimension (0 for an empty dataset).
+  std::size_t dim() const;
+
+  /// Total samples across users.
+  std::size_t total_samples() const;
+
+  /// Indices of users with / without any revealed labels.
+  std::vector<std::size_t> labeled_users() const;
+  std::vector<std::size_t> unlabeled_users() const;
+
+  /// Validates the container invariants (consistent sizes, +/-1 labels,
+  /// uniform dimension); throws PreconditionError on violation.
+  void check_invariants() const;
+};
+
+}  // namespace plos::data

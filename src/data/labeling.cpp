@@ -1,0 +1,69 @@
+#include "data/labeling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace plos::data {
+
+void hide_all_labels(MultiUserDataset& dataset) {
+  for (auto& u : dataset.users) {
+    std::fill(u.revealed.begin(), u.revealed.end(), false);
+  }
+}
+
+void reveal_labels(MultiUserDataset& dataset,
+                   const std::vector<std::size_t>& providers, double fraction,
+                   rng::Engine& engine, std::size_t min_per_class) {
+  PLOS_CHECK(fraction >= 0.0 && fraction <= 1.0,
+             "reveal_labels: fraction outside [0,1]");
+  for (std::size_t t : providers) {
+    PLOS_CHECK(t < dataset.num_users(), "reveal_labels: provider out of range");
+    UserData& user = dataset.users[t];
+    const std::size_t m = user.num_samples();
+    if (m == 0) continue;
+
+    auto budget = static_cast<std::size_t>(
+        std::llround(fraction * static_cast<double>(m)));
+    budget = std::min(budget, m);
+
+    std::fill(user.revealed.begin(), user.revealed.end(), false);
+
+    // Guarantee class coverage first, then fill the rest uniformly.
+    std::vector<std::size_t> pos, neg;
+    for (std::size_t i = 0; i < m; ++i) {
+      (user.true_labels[i] > 0 ? pos : neg).push_back(i);
+    }
+    engine.shuffle(pos);
+    engine.shuffle(neg);
+
+    std::vector<std::size_t> chosen;
+    const std::size_t take_pos = std::min(min_per_class, pos.size());
+    const std::size_t take_neg = std::min(min_per_class, neg.size());
+    chosen.insert(chosen.end(), pos.begin(), pos.begin() + take_pos);
+    chosen.insert(chosen.end(), neg.begin(), neg.begin() + take_neg);
+
+    std::vector<std::size_t> rest;
+    rest.insert(rest.end(), pos.begin() + take_pos, pos.end());
+    rest.insert(rest.end(), neg.begin() + take_neg, neg.end());
+    engine.shuffle(rest);
+    for (std::size_t i = 0; i < rest.size() && chosen.size() < budget; ++i) {
+      chosen.push_back(rest[i]);
+    }
+
+    for (std::size_t i : chosen) user.revealed[i] = true;
+  }
+}
+
+std::vector<std::size_t> choose_providers(const MultiUserDataset& dataset,
+                                          std::size_t count,
+                                          rng::Engine& engine) {
+  PLOS_CHECK(count <= dataset.num_users(),
+             "choose_providers: more providers than users");
+  auto idx = engine.sample_without_replacement(dataset.num_users(), count);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+}  // namespace plos::data

@@ -1,0 +1,31 @@
+// Label-revelation policies: which users provide labels and how many.
+//
+// Experiments sweep (a) the number of label-providing users and (b) the
+// fraction of each provider's samples that are labeled ("training rate").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::data {
+
+/// Hides every label in the dataset (all revealed flags to false).
+void hide_all_labels(MultiUserDataset& dataset);
+
+/// Reveals labels for `fraction` of each listed provider's samples, chosen
+/// uniformly at random but guaranteeing at least `min_per_class` samples of
+/// each class when the user has them (the paper labels a handful of samples
+/// per activity). fraction in [0, 1].
+void reveal_labels(MultiUserDataset& dataset,
+                   const std::vector<std::size_t>& providers, double fraction,
+                   rng::Engine& engine, std::size_t min_per_class = 1);
+
+/// Chooses `count` distinct provider users uniformly at random.
+std::vector<std::size_t> choose_providers(const MultiUserDataset& dataset,
+                                          std::size_t count,
+                                          rng::Engine& engine);
+
+}  // namespace plos::data

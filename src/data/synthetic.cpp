@@ -1,0 +1,64 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "rng/multivariate_normal.hpp"
+
+namespace plos::data {
+
+linalg::Vector rotate2d(const linalg::Vector& point, double angle) {
+  PLOS_CHECK(point.size() == 2, "rotate2d: point must be 2-D");
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return {c * point[0] - s * point[1], s * point[0] + c * point[1]};
+}
+
+MultiUserDataset generate_synthetic(const SyntheticSpec& spec,
+                                    rng::Engine& engine) {
+  PLOS_CHECK(spec.num_users >= 1, "generate_synthetic: need at least one user");
+  PLOS_CHECK(spec.points_per_class >= 1,
+             "generate_synthetic: need at least one point per class");
+  PLOS_CHECK(spec.label_noise >= 0.0 && spec.label_noise <= 1.0,
+             "generate_synthetic: label_noise outside [0,1]");
+
+  linalg::Matrix cov(2, 2);
+  cov(0, 0) = cov(1, 1) = spec.variance;
+  cov(0, 1) = cov(1, 0) = spec.covariance;
+  const linalg::Vector mean_pos{spec.mean_coordinate, spec.mean_coordinate};
+  const linalg::Vector mean_neg{-spec.mean_coordinate, -spec.mean_coordinate};
+  const rng::MultivariateNormal pos_dist(mean_pos, cov);
+  const rng::MultivariateNormal neg_dist(mean_neg, cov);
+
+  MultiUserDataset dataset;
+  dataset.users.resize(spec.num_users);
+  for (std::size_t t = 0; t < spec.num_users; ++t) {
+    const double angle =
+        spec.num_users > 1
+            ? spec.max_rotation * static_cast<double>(t) /
+                  static_cast<double>(spec.num_users - 1)
+            : 0.0;
+    rng::Engine user_engine = engine.fork(t);
+    UserData& user = dataset.users[t];
+
+    for (int cls = 0; cls < 2; ++cls) {
+      const auto& dist = (cls == 0) ? pos_dist : neg_dist;
+      const int label = (cls == 0) ? 1 : -1;
+      for (std::size_t i = 0; i < spec.points_per_class; ++i) {
+        linalg::Vector x = rotate2d(dist.sample(user_engine), angle);
+        if (spec.add_bias_dimension) x.push_back(1.0);
+        user.samples.push_back(std::move(x));
+        // Label noise: the ground truth itself is swapped, as in the paper
+        // ("we randomly swap 10% of the ground truth labels").
+        const int y =
+            user_engine.bernoulli(spec.label_noise) ? -label : label;
+        user.true_labels.push_back(y);
+      }
+    }
+    user.revealed.assign(user.num_samples(), false);
+  }
+  dataset.check_invariants();
+  return dataset;
+}
+
+}  // namespace plos::data

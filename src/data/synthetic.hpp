@@ -1,0 +1,37 @@
+// Synthetic rotated-Gaussian population (paper §VI-D).
+//
+// Two classes drawn from 2-D normals with means ±(10,10) and covariance
+// [[225, -180], [-180, 225]]; 10 % of ground-truth labels are swapped to
+// make classes non-separable. Each user observes the same base distribution
+// rotated about the origin; with maximum rotation angle A and T users, user
+// t's angle is t·A/(T−1) (uniformly spaced), which controls the
+// "difference level" among users.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "linalg/matrix.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::data {
+
+struct SyntheticSpec {
+  std::size_t num_users = 10;
+  std::size_t points_per_class = 200;
+  double max_rotation = 0.0;   ///< radians; users get uniformly spaced angles
+  double label_noise = 0.1;    ///< fraction of ground-truth labels swapped
+  double mean_coordinate = 10.0;        ///< class means at ±(m, m)
+  double variance = 225.0;              ///< diagonal covariance entries
+  double covariance = -180.0;           ///< off-diagonal covariance entries
+  bool add_bias_dimension = true;  ///< append constant-1 feature (paper fn. 1)
+};
+
+/// Generates the population with all labels hidden; apply data::reveal_labels
+/// to select providers. Deterministic given the engine's seed.
+MultiUserDataset generate_synthetic(const SyntheticSpec& spec,
+                                    rng::Engine& engine);
+
+/// 2-D rotation of `point` by `angle` radians about the origin (exposed for
+/// tests and examples).
+linalg::Vector rotate2d(const linalg::Vector& point, double angle);
+
+}  // namespace plos::data

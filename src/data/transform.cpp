@@ -1,0 +1,64 @@
+#include "data/transform.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace plos::data {
+
+Standardizer Standardizer::fit(const MultiUserDataset& dataset) {
+  const std::size_t d = dataset.dim();
+  PLOS_CHECK(d > 0, "Standardizer: empty dataset");
+  const auto n = static_cast<double>(dataset.total_samples());
+  PLOS_CHECK(n > 0, "Standardizer: no samples");
+
+  Standardizer s;
+  s.mean_.assign(d, 0.0);
+  s.scale_.assign(d, 0.0);
+  for (const auto& u : dataset.users) {
+    for (const auto& x : u.samples) linalg::axpy(1.0, x, s.mean_);
+  }
+  linalg::scale(s.mean_, 1.0 / n);
+  for (const auto& u : dataset.users) {
+    for (const auto& x : u.samples) {
+      for (std::size_t j = 0; j < d; ++j) {
+        const double dev = x[j] - s.mean_[j];
+        s.scale_[j] += dev * dev;
+      }
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    s.scale_[j] = std::sqrt(s.scale_[j] / n);
+    if (s.scale_[j] <= 0.0) s.scale_[j] = 1.0;
+  }
+  return s;
+}
+
+linalg::Vector Standardizer::apply(const linalg::Vector& x) const {
+  PLOS_CHECK(x.size() == mean_.size(), "Standardizer: dimension mismatch");
+  linalg::Vector out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    out[j] = (x[j] - mean_[j]) / scale_[j];
+  }
+  return out;
+}
+
+void Standardizer::apply_in_place(MultiUserDataset& dataset) const {
+  for (auto& u : dataset.users) {
+    for (auto& x : u.samples) x = apply(x);
+  }
+}
+
+linalg::Vector augment_bias(const linalg::Vector& x) {
+  linalg::Vector out = x;
+  out.push_back(1.0);
+  return out;
+}
+
+void augment_bias(MultiUserDataset& dataset) {
+  for (auto& u : dataset.users) {
+    for (auto& x : u.samples) x.push_back(1.0);
+  }
+}
+
+}  // namespace plos::data

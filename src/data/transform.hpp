@@ -1,0 +1,35 @@
+// Feature transforms: z-score standardization and bias-dimension
+// augmentation (paper footnote 1: affine hyperplanes via a constant-1
+// feature).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "linalg/vector.hpp"
+
+namespace plos::data {
+
+/// Per-dimension affine transform x -> (x - mean) / scale fitted on data.
+class Standardizer {
+ public:
+  /// Fits per-dimension mean and standard deviation over every sample of
+  /// every user. Dimensions with zero variance get scale 1.
+  static Standardizer fit(const MultiUserDataset& dataset);
+
+  linalg::Vector apply(const linalg::Vector& x) const;
+  void apply_in_place(MultiUserDataset& dataset) const;
+
+  const linalg::Vector& mean() const { return mean_; }
+  const linalg::Vector& scale() const { return scale_; }
+
+ private:
+  linalg::Vector mean_;
+  linalg::Vector scale_;
+};
+
+/// Appends a constant-1 dimension to a single vector.
+linalg::Vector augment_bias(const linalg::Vector& x);
+
+/// Appends a constant-1 dimension to every sample in the dataset.
+void augment_bias(MultiUserDataset& dataset);
+
+}  // namespace plos::data

@@ -1,0 +1,92 @@
+#include "features/extractor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "features/stats.hpp"
+
+namespace plos::features {
+
+linalg::Vector accel_cross_features(std::span<const double> ax,
+                                    std::span<const double> ay,
+                                    std::span<const double> az) {
+  PLOS_CHECK(ax.size() == ay.size() && ay.size() == az.size() && !ax.empty(),
+             "accel_cross_features: signals must be equal-length, non-empty");
+  const auto n = static_cast<double>(ax.size());
+
+  double magnitude_sum = 0.0;
+  double sma = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    magnitude_sum +=
+        std::sqrt(ax[i] * ax[i] + ay[i] * ay[i] + az[i] * az[i]);
+    sma += std::abs(ax[i]) + std::abs(ay[i]) + std::abs(az[i]);
+  }
+
+  const double mx = linalg::mean(ax);
+  const double my = linalg::mean(ay);
+  const double mz = linalg::mean(az);
+  const double mnorm = std::sqrt(mx * mx + my * my + mz * mz);
+  const auto axis_angle = [mnorm](double component) {
+    if (mnorm <= 0.0) return 0.0;
+    const double c = std::clamp(component / mnorm, -1.0, 1.0);
+    return std::acos(c);
+  };
+
+  return {magnitude_sum / n, axis_angle(mx), axis_angle(my), axis_angle(mz),
+          sma / n};
+}
+
+linalg::Vector node_window_features(const NodeSignals& node,
+                                    const WindowRange& range) {
+  const std::size_t n = node.num_samples();
+  PLOS_CHECK(node.accel_y.size() == n && node.accel_z.size() == n &&
+                 node.gyro_u.size() == n && node.gyro_v.size() == n,
+             "node_window_features: node signals must be equal-length");
+
+  const std::array<std::span<const double>, kSignalsPerNode> signals = {
+      window_view(node.accel_x, range), window_view(node.accel_y, range),
+      window_view(node.accel_z, range), window_view(node.gyro_u, range),
+      window_view(node.gyro_v, range)};
+
+  linalg::Vector out;
+  out.reserve(kNodeFeatureCount);
+  for (const auto& s : signals) {
+    const linalg::Vector f = signal_features(s);
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  const linalg::Vector cross =
+      accel_cross_features(signals[0], signals[1], signals[2]);
+  out.insert(out.end(), cross.begin(), cross.end());
+  PLOS_ASSERT(out.size() == kNodeFeatureCount);
+  return out;
+}
+
+linalg::Vector multi_node_window_features(std::span<const NodeSignals> nodes,
+                                          const WindowRange& range) {
+  PLOS_CHECK(!nodes.empty(), "multi_node_window_features: no nodes");
+  linalg::Vector out;
+  out.reserve(nodes.size() * kNodeFeatureCount);
+  for (const auto& node : nodes) {
+    const linalg::Vector f = node_window_features(node, range);
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  return out;
+}
+
+std::vector<linalg::Vector> extract_windows(std::span<const NodeSignals> nodes,
+                                            const WindowSpec& spec) {
+  PLOS_CHECK(!nodes.empty(), "extract_windows: no nodes");
+  const std::size_t n = nodes.front().num_samples();
+  for (const auto& node : nodes) {
+    PLOS_CHECK(node.num_samples() == n,
+               "extract_windows: nodes must share a time axis");
+  }
+  std::vector<linalg::Vector> out;
+  for (const WindowRange& range : sliding_windows(n, spec)) {
+    out.push_back(multi_node_window_features(nodes, range));
+  }
+  return out;
+}
+
+}  // namespace plos::features

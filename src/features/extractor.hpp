@@ -1,0 +1,57 @@
+// Window-level feature assembly for body-sensor nodes.
+//
+// Each node carries a triaxial accelerometer (x, y, z) and a biaxial
+// gyroscope (u, v) — 5 signals. Per window the extractor emits:
+//   * 7 statistics per signal (features::signal_features)      → 35
+//   * accelerometer cross-signal features                      →  5
+//     {mean magnitude, angle(mean accel, x/y/z axis), SMA}
+// for 40 features per node; three nodes (waist, left shin, right shin)
+// concatenate to the paper's 120-dimensional vector.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "features/window.hpp"
+#include "linalg/vector.hpp"
+
+namespace plos::features {
+
+inline constexpr std::size_t kSignalsPerNode = 5;   // ax, ay, az, gu, gv
+inline constexpr std::size_t kAccelCrossFeatureCount = 5;
+inline constexpr std::size_t kNodeFeatureCount = 40;
+
+/// One node's signals over a common time axis (equal lengths).
+struct NodeSignals {
+  linalg::Vector accel_x;
+  linalg::Vector accel_y;
+  linalg::Vector accel_z;
+  linalg::Vector gyro_u;
+  linalg::Vector gyro_v;
+
+  std::size_t num_samples() const { return accel_x.size(); }
+};
+
+/// Cross-signal accelerometer features over one window:
+/// {mean |a|, angle to x axis, angle to y axis, angle to z axis, SMA}.
+/// Angles are of the window-mean acceleration vector, in radians; an
+/// all-zero mean vector yields zero angles.
+linalg::Vector accel_cross_features(std::span<const double> ax,
+                                    std::span<const double> ay,
+                                    std::span<const double> az);
+
+/// 40-dimensional feature vector of one node over `range`.
+linalg::Vector node_window_features(const NodeSignals& node,
+                                    const WindowRange& range);
+
+/// Concatenated feature vector of several nodes over `range`
+/// (3 nodes → 120 dimensions).
+linalg::Vector multi_node_window_features(std::span<const NodeSignals> nodes,
+                                          const WindowRange& range);
+
+/// Segments the nodes' common time axis with `spec` and extracts one
+/// feature vector per window.
+std::vector<linalg::Vector> extract_windows(std::span<const NodeSignals> nodes,
+                                            const WindowSpec& spec);
+
+}  // namespace plos::features

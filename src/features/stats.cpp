@@ -1,0 +1,65 @@
+#include "features/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace plos::features {
+
+double stddev(std::span<const double> x) {
+  PLOS_CHECK(!x.empty(), "stddev: empty input");
+  const double m = linalg::mean(x);
+  double s = 0.0;
+  for (double v : x) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(x.size()));
+}
+
+double quantile(std::span<const double> x, double q) {
+  PLOS_CHECK(!x.empty(), "quantile: empty input");
+  PLOS_CHECK(q >= 0.0 && q <= 1.0, "quantile: q outside [0,1]");
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> x) { return quantile(x, 0.5); }
+
+double median_absolute_deviation(std::span<const double> x) {
+  const double med = median(x);
+  std::vector<double> dev(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) dev[i] = std::abs(x[i] - med);
+  return median(dev);
+}
+
+double energy(std::span<const double> x) {
+  PLOS_CHECK(!x.empty(), "energy: empty input");
+  return linalg::squared_norm(x) / static_cast<double>(x.size());
+}
+
+double interquartile_range(std::span<const double> x) {
+  return quantile(x, 0.75) - quantile(x, 0.25);
+}
+
+double max_value(std::span<const double> x) {
+  PLOS_CHECK(!x.empty(), "max_value: empty input");
+  return *std::max_element(x.begin(), x.end());
+}
+
+double min_value(std::span<const double> x) {
+  PLOS_CHECK(!x.empty(), "min_value: empty input");
+  return *std::min_element(x.begin(), x.end());
+}
+
+linalg::Vector signal_features(std::span<const double> x) {
+  return {linalg::mean(x),  stddev(x),    median_absolute_deviation(x),
+          max_value(x),     min_value(x), energy(x),
+          interquartile_range(x)};
+}
+
+}  // namespace plos::features

@@ -1,0 +1,39 @@
+// Per-signal descriptive statistics used by the body-sensor feature
+// extractor (paper §VI-B: mean, standard deviation, median absolute
+// deviation, max, min, energy, interquartile range).
+#pragma once
+
+#include <span>
+
+#include "linalg/vector.hpp"
+
+namespace plos::features {
+
+/// Population standard deviation. Requires non-empty input.
+double stddev(std::span<const double> x);
+
+/// q-quantile with linear interpolation, q in [0, 1]. Requires non-empty.
+double quantile(std::span<const double> x, double q);
+
+/// Median (0.5-quantile).
+double median(std::span<const double> x);
+
+/// Median absolute deviation from the median.
+double median_absolute_deviation(std::span<const double> x);
+
+/// Mean of squares (signal energy per sample).
+double energy(std::span<const double> x);
+
+/// Interquartile range q75 - q25.
+double interquartile_range(std::span<const double> x);
+
+double max_value(std::span<const double> x);
+double min_value(std::span<const double> x);
+
+/// The paper's 7 per-signal features in a fixed order:
+/// {mean, stddev, MAD, max, min, energy, IQR}.
+linalg::Vector signal_features(std::span<const double> x);
+
+inline constexpr std::size_t kPerSignalFeatureCount = 7;
+
+}  // namespace plos::features

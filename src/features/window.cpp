@@ -1,0 +1,26 @@
+#include "features/window.hpp"
+
+#include "common/assert.hpp"
+
+namespace plos::features {
+
+std::vector<WindowRange> sliding_windows(std::size_t num_samples,
+                                         const WindowSpec& spec) {
+  PLOS_CHECK(spec.length > 0 && spec.stride > 0,
+             "sliding_windows: length and stride must be positive");
+  std::vector<WindowRange> out;
+  for (std::size_t begin = 0; begin + spec.length <= num_samples;
+       begin += spec.stride) {
+    out.push_back({begin, begin + spec.length});
+  }
+  return out;
+}
+
+std::span<const double> window_view(std::span<const double> signal,
+                                    const WindowRange& range) {
+  PLOS_CHECK(range.begin <= range.end && range.end <= signal.size(),
+             "window_view: range outside signal");
+  return signal.subspan(range.begin, range.end - range.begin);
+}
+
+}  // namespace plos::features

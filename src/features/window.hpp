@@ -1,0 +1,31 @@
+// Fixed-width sliding-window segmentation (paper: 3.2 s windows at 20 Hz
+// with 50 % overlap → 64-sample windows, 32-sample stride).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace plos::features {
+
+struct WindowSpec {
+  std::size_t length = 64;  ///< samples per window (> 0)
+  std::size_t stride = 32;  ///< hop between window starts (> 0)
+};
+
+struct WindowRange {
+  std::size_t begin = 0;  ///< first sample index
+  std::size_t end = 0;    ///< one past the last sample index
+};
+
+/// Start/end ranges of every full window over a signal of `num_samples`
+/// samples. Partial trailing windows are dropped (as in the paper's
+/// fixed-width segmentation).
+std::vector<WindowRange> sliding_windows(std::size_t num_samples,
+                                         const WindowSpec& spec);
+
+/// Convenience: the sub-span of `signal` covered by `range`.
+std::span<const double> window_view(std::span<const double> signal,
+                                    const WindowRange& range);
+
+}  // namespace plos::features

@@ -1,0 +1,53 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace plos::linalg {
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  PLOS_CHECK(a.rows() == a.cols(), "cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return std::nullopt;
+    l(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return l;
+}
+
+Vector cholesky_solve(const Matrix& l, std::span<const double> b) {
+  const std::size_t n = l.rows();
+  PLOS_CHECK(l.cols() == n && b.size() == n, "cholesky_solve: size mismatch");
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  // Back substitution: L^T x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+std::optional<Vector> solve_spd(const Matrix& a, std::span<const double> b) {
+  auto l = cholesky(a);
+  if (!l) return std::nullopt;
+  return cholesky_solve(*l, b);
+}
+
+}  // namespace plos::linalg

@@ -1,0 +1,87 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace plos::linalg {
+
+namespace {
+
+double off_diagonal_norm(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (i != j) s += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+EigenDecomposition symmetric_eigen(const Matrix& a, double tol,
+                                   int max_sweeps) {
+  PLOS_CHECK(a.rows() == a.cols(), "symmetric_eigen: matrix must be square");
+  const std::size_t n = a.rows();
+
+  // Work on the symmetrized copy; accumulate rotations into V.
+  Matrix w(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) w(i, j) = 0.5 * (a(i, j) + a(j, i));
+  }
+  Matrix v = Matrix::identity(n);
+
+  const double scale = std::max(1.0, off_diagonal_norm(w));
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm(w) <= tol * scale) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = w(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double theta = (w(q, q) - w(p, p)) / (2.0 * apq);
+        // Stable tangent of the rotation angle (Golub & Van Loan 8.4).
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // W <- J^T W J applied to rows/cols p and q.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wkp = w(k, p), wkq = w(k, q);
+          w(k, p) = c * wkp - s * wkq;
+          w(k, q) = s * wkp + c * wkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wpk = w(p, k), wqk = w(q, k);
+          w(p, k) = c * wpk - s * wqk;
+          w(q, k) = s * wpk + c * wqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Collect and sort ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return w(i, i) < w(j, j); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = w(order[k], order[k]);
+    for (std::size_t i = 0; i < n; ++i) out.vectors(k, i) = v(i, order[k]);
+  }
+  return out;
+}
+
+}  // namespace plos::linalg

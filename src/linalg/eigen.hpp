@@ -1,0 +1,23 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Sized for the spectral-clustering use case (similarity matrices over tens
+// to low hundreds of users), where robustness matters more than asymptotics.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace plos::linalg {
+
+struct EigenDecomposition {
+  /// Eigenvalues in ascending order.
+  Vector values;
+  /// eigenvectors.row(k) is the unit eigenvector for values[k].
+  Matrix vectors;
+};
+
+/// Eigendecomposition of a symmetric matrix. The input is symmetrized as
+/// (A + A^T)/2 to absorb round-off asymmetry.
+EigenDecomposition symmetric_eigen(const Matrix& a, double tol = 1e-12,
+                                   int max_sweeps = 100);
+
+}  // namespace plos::linalg

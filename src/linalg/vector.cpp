@@ -1,0 +1,86 @@
+#include "linalg/vector.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace plos::linalg {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  PLOS_CHECK(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(std::span<const double> a) { return std::sqrt(squared_norm(a)); }
+
+double squared_norm(std::span<const double> a) {
+  double s = 0.0;
+  for (double v : a) s += v * v;
+  return s;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  PLOS_CHECK(a.size() == b.size(), "squared_distance: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  PLOS_CHECK(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+Vector add(std::span<const double> a, std::span<const double> b) {
+  PLOS_CHECK(a.size() == b.size(), "add: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector sub(std::span<const double> a, std::span<const double> b) {
+  PLOS_CHECK(a.size() == b.size(), "sub: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector scaled(std::span<const double> a, double alpha) {
+  Vector out(a.begin(), a.end());
+  scale(out, alpha);
+  return out;
+}
+
+Vector zeros(std::size_t n) { return Vector(n, 0.0); }
+
+double sum(std::span<const double> a) {
+  double s = 0.0;
+  for (double v : a) s += v;
+  return s;
+}
+
+double mean(std::span<const double> a) {
+  PLOS_CHECK(!a.empty(), "mean: empty input");
+  return sum(a) / static_cast<double>(a.size());
+}
+
+bool approx_equal(std::span<const double> a, std::span<const double> b,
+                  double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace plos::linalg

@@ -1,0 +1,54 @@
+// Dense vector kernels (BLAS level-1) used throughout the PLOS library.
+//
+// Vectors are plain std::vector<double>; all kernels take std::span views so
+// they compose with Matrix rows and sub-ranges without copies.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace plos::linalg {
+
+using Vector = std::vector<double>;
+
+/// Inner product <a, b>. Requires a.size() == b.size().
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm ||a||.
+double norm(std::span<const double> a);
+
+/// Squared Euclidean norm ||a||^2.
+double squared_norm(std::span<const double> a);
+
+/// Squared distance ||a - b||^2. Requires equal sizes.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x. Requires equal sizes.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scale(std::span<double> x, double alpha);
+
+/// Element-wise a + b.
+Vector add(std::span<const double> a, std::span<const double> b);
+
+/// Element-wise a - b.
+Vector sub(std::span<const double> a, std::span<const double> b);
+
+/// alpha * a (new vector).
+Vector scaled(std::span<const double> a, double alpha);
+
+/// Zero vector of dimension n.
+Vector zeros(std::size_t n);
+
+/// Sum of elements.
+double sum(std::span<const double> a);
+
+/// Arithmetic mean. Requires non-empty input.
+double mean(std::span<const double> a);
+
+/// True when ||a - b||_inf <= tol.
+bool approx_equal(std::span<const double> a, std::span<const double> b,
+                  double tol);
+
+}  // namespace plos::linalg

@@ -1,0 +1,57 @@
+#include "net/serialize.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace plos::net {
+
+namespace {
+
+template <typename T>
+void append_raw(std::vector<std::uint8_t>& buffer, T value) {
+  // Little-endian on all supported targets; memcpy avoids aliasing UB.
+  std::uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  buffer.insert(buffer.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T read_raw(std::span<const std::uint8_t> data, std::size_t& offset) {
+  PLOS_CHECK(offset + sizeof(T) <= data.size(),
+             "Deserializer: buffer underflow");
+  T value;
+  std::memcpy(&value, data.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+void Serializer::write_u32(std::uint32_t v) { append_raw(buffer_, v); }
+void Serializer::write_u64(std::uint64_t v) { append_raw(buffer_, v); }
+void Serializer::write_f64(double v) { append_raw(buffer_, v); }
+
+void Serializer::write_vector(std::span<const double> v) {
+  write_u64(v.size());
+  for (double x : v) write_f64(x);
+}
+
+std::uint32_t Deserializer::read_u32() {
+  return read_raw<std::uint32_t>(data_, offset_);
+}
+std::uint64_t Deserializer::read_u64() {
+  return read_raw<std::uint64_t>(data_, offset_);
+}
+double Deserializer::read_f64() { return read_raw<double>(data_, offset_); }
+
+std::vector<double> Deserializer::read_vector() {
+  const std::uint64_t n = read_u64();
+  PLOS_CHECK(n * sizeof(double) <= remaining(),
+             "Deserializer: vector length exceeds buffer");
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (auto& x : out) x = read_f64();
+  return out;
+}
+
+}  // namespace plos::net

@@ -1,0 +1,92 @@
+#include "net/simnet.hpp"
+
+#include <algorithm>
+
+namespace plos::net {
+
+SimNetwork::SimNetwork(std::size_t num_devices, DeviceProfile device_profile,
+                       LinkProfile link_profile)
+    : device_profile_(device_profile),
+      link_profile_(link_profile),
+      devices_(num_devices),
+      round_device_seconds_(num_devices, 0.0) {
+  PLOS_CHECK(num_devices > 0, "SimNetwork: need at least one device");
+  PLOS_CHECK(device_profile.cpu_slowdown > 0.0,
+             "SimNetwork: cpu_slowdown must be positive");
+  PLOS_CHECK(link_profile.bandwidth_kbps > 0.0,
+             "SimNetwork: bandwidth must be positive");
+}
+
+double SimNetwork::transfer_seconds(std::size_t bytes) const {
+  const double kb = static_cast<double>(bytes) / 1024.0;
+  return link_profile_.latency_s + kb * 8.0 / link_profile_.bandwidth_kbps;
+}
+
+void SimNetwork::send_to_device(std::size_t device, std::size_t bytes) {
+  PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
+  const double kb = static_cast<double>(bytes) / 1024.0;
+  server_.bytes_sent += bytes;
+  devices_[device].bytes_received += bytes;
+  devices_[device].messages_received += 1;
+  devices_[device].energy_joules += kb * device_profile_.rx_energy_j_per_kb;
+  round_device_seconds_[device] += transfer_seconds(bytes);
+}
+
+void SimNetwork::send_to_server(std::size_t device, std::size_t bytes) {
+  PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
+  const double kb = static_cast<double>(bytes) / 1024.0;
+  server_.bytes_received += bytes;
+  devices_[device].bytes_sent += bytes;
+  devices_[device].messages_sent += 1;
+  devices_[device].energy_joules += kb * device_profile_.tx_energy_j_per_kb;
+  round_device_seconds_[device] += transfer_seconds(bytes);
+}
+
+void SimNetwork::account_device_compute(std::size_t device,
+                                        double measured_seconds) {
+  PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
+  PLOS_CHECK(measured_seconds >= 0.0, "SimNetwork: negative compute time");
+  const double device_seconds =
+      measured_seconds * device_profile_.cpu_slowdown;
+  devices_[device].compute_seconds += device_seconds;
+  devices_[device].energy_joules +=
+      device_seconds * device_profile_.compute_power_watts;
+  round_device_seconds_[device] += device_seconds;
+}
+
+void SimNetwork::account_server_compute(double measured_seconds) {
+  PLOS_CHECK(measured_seconds >= 0.0, "SimNetwork: negative compute time");
+  server_.compute_seconds += measured_seconds;
+  round_server_seconds_ += measured_seconds;
+}
+
+void SimNetwork::end_round() {
+  const double slowest_device =
+      *std::max_element(round_device_seconds_.begin(),
+                        round_device_seconds_.end());
+  simulated_seconds_ += round_server_seconds_ + slowest_device;
+  std::fill(round_device_seconds_.begin(), round_device_seconds_.end(), 0.0);
+  round_server_seconds_ = 0.0;
+  ++rounds_;
+}
+
+const DeviceMetrics& SimNetwork::device_metrics(std::size_t device) const {
+  PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
+  return devices_[device];
+}
+
+double SimNetwork::mean_bytes_per_device() const {
+  double total = 0.0;
+  for (const auto& d : devices_) {
+    total += static_cast<double>(d.bytes_sent + d.bytes_received);
+  }
+  return total / static_cast<double>(devices_.size());
+}
+
+double SimNetwork::total_device_energy() const {
+  double total = 0.0;
+  for (const auto& d : devices_) total += d.energy_joules;
+  return total;
+}
+
+}  // namespace plos::net

@@ -1,0 +1,113 @@
+// Deterministic star-topology network/device simulator.
+//
+// Substitute for the paper's §VI-E testbed (Nexus 5 phones + a 3.4 GHz
+// server): the scaling experiments measure *shape* — centralized solve time
+// growing superlinearly in the number of users while the distributed
+// per-device time stays flat, and per-user message volume independent of
+// population size. The simulator provides:
+//
+//   * byte-exact accounting of every message (callers pass real serialized
+//     buffers sizes);
+//   * a latency + bandwidth link model per device;
+//   * a CPU-speed factor per device (phone vs server) applied to *measured*
+//     compute times of the real local solver;
+//   * an energy model (compute power draw + per-byte radio cost);
+//   * synchronous-round wall-clock semantics: devices compute and
+//     communicate in parallel, so a round costs
+//     server_compute + max_t(downlink_t + device_compute_t + uplink_t).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace plos::net {
+
+struct DeviceProfile {
+  /// Device-seconds per server-second: >1 means slower than the reference
+  /// machine the solver actually runs on (phone ≈ 8-15x a desktop core).
+  double cpu_slowdown = 10.0;
+  double compute_power_watts = 2.0;   ///< CPU power draw while solving
+  double tx_energy_j_per_kb = 0.008;  ///< radio transmit cost
+  double rx_energy_j_per_kb = 0.005;  ///< radio receive cost
+};
+
+struct LinkProfile {
+  double latency_s = 0.02;        ///< one-way propagation delay
+  double bandwidth_kbps = 2000.0; ///< application-layer throughput
+};
+
+/// Accumulated per-device counters.
+struct DeviceMetrics {
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
+  std::size_t messages_sent = 0;
+  std::size_t messages_received = 0;
+  double compute_seconds = 0.0;  ///< device-scaled compute time
+  double energy_joules = 0.0;
+};
+
+struct ServerMetrics {
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
+  double compute_seconds = 0.0;
+};
+
+/// Star topology: one server, N devices, synchronous rounds.
+class SimNetwork {
+ public:
+  SimNetwork(std::size_t num_devices, DeviceProfile device_profile,
+             LinkProfile link_profile);
+
+  std::size_t num_devices() const { return devices_.size(); }
+
+  // -- accounting entry points (called by the distributed trainer) --------
+
+  /// Server -> device message of `bytes` bytes in the current round.
+  void send_to_device(std::size_t device, std::size_t bytes);
+
+  /// Device -> server message of `bytes` bytes in the current round.
+  void send_to_server(std::size_t device, std::size_t bytes);
+
+  /// Charge `measured_seconds` of reference-machine compute to a device;
+  /// the device's cpu_slowdown converts it to simulated device time.
+  void account_device_compute(std::size_t device, double measured_seconds);
+
+  /// Charge compute to the server (no scaling).
+  void account_server_compute(double measured_seconds);
+
+  /// Close the current synchronous round: simulated wall-clock advances by
+  /// the server compute plus the slowest device's compute+communication.
+  void end_round();
+
+  // -- results -------------------------------------------------------------
+
+  double total_simulated_seconds() const { return simulated_seconds_; }
+  std::size_t rounds_completed() const { return rounds_; }
+  const DeviceMetrics& device_metrics(std::size_t device) const;
+  const ServerMetrics& server_metrics() const { return server_; }
+
+  /// Mean bytes sent+received per device over the whole run.
+  double mean_bytes_per_device() const;
+
+  /// Total device energy in joules.
+  double total_device_energy() const;
+
+ private:
+  double transfer_seconds(std::size_t bytes) const;
+
+  DeviceProfile device_profile_;
+  LinkProfile link_profile_;
+  std::vector<DeviceMetrics> devices_;
+  ServerMetrics server_;
+
+  // Per-round scratch: compute + comm time accrued by each device and the
+  // server within the open round.
+  std::vector<double> round_device_seconds_;
+  double round_server_seconds_ = 0.0;
+  double simulated_seconds_ = 0.0;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace plos::net

@@ -1,0 +1,140 @@
+#include "opt/lbfgs.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace plos::opt {
+
+namespace {
+
+double inf_norm(std::span<const double> v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+}  // namespace
+
+LbfgsResult minimize_lbfgs(const ObjectiveFn& f, linalg::Vector initial,
+                           const LbfgsOptions& options) {
+  PLOS_CHECK(!initial.empty(), "minimize_lbfgs: empty initial point");
+  PLOS_CHECK(options.history >= 1, "minimize_lbfgs: history must be >= 1");
+
+  const std::size_t n = initial.size();
+  LbfgsResult result;
+  result.x = std::move(initial);
+
+  linalg::Vector gradient(n);
+  double fx = f(result.x, gradient);
+  PLOS_CHECK(std::isfinite(fx), "minimize_lbfgs: non-finite initial value");
+
+  struct Correction {
+    linalg::Vector s;  ///< x_{k+1} - x_k
+    linalg::Vector y;  ///< grad_{k+1} - grad_k
+    double rho;        ///< 1 / <y, s>
+  };
+  std::deque<Correction> history;
+  linalg::Vector alpha_buffer;
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it;
+    if (inf_norm(gradient) <=
+        options.tolerance * std::max(1.0, inf_norm(result.x))) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion: direction = -H_k * gradient.
+    linalg::Vector direction = gradient;
+    alpha_buffer.assign(history.size(), 0.0);
+    for (std::size_t i = history.size(); i-- > 0;) {
+      const Correction& c = history[i];
+      alpha_buffer[i] = c.rho * linalg::dot(c.s, direction);
+      linalg::axpy(-alpha_buffer[i], c.y, direction);
+    }
+    if (!history.empty()) {
+      // Initial Hessian scaling gamma = <s,y>/<y,y> of the newest pair.
+      const Correction& last = history.back();
+      const double yy = linalg::squared_norm(last.y);
+      if (yy > 0.0) {
+        linalg::scale(direction, linalg::dot(last.s, last.y) / yy);
+      }
+    }
+    for (std::size_t i = 0; i < history.size(); ++i) {
+      const Correction& c = history[i];
+      const double beta = c.rho * linalg::dot(c.y, direction);
+      linalg::axpy(alpha_buffer[i] - beta, c.s, direction);
+    }
+    linalg::scale(direction, -1.0);
+
+    double descent = linalg::dot(gradient, direction);
+    if (descent >= 0.0) {
+      // Fall back to steepest descent if curvature information is stale.
+      direction = linalg::scaled(gradient, -1.0);
+      descent = -linalg::squared_norm(gradient);
+      history.clear();
+    }
+
+    // Armijo backtracking.
+    double step = 1.0;
+    linalg::Vector x_next(n);
+    linalg::Vector gradient_next(n);
+    double fx_next = fx;
+    bool accepted = false;
+    for (int ls = 0; ls < options.max_line_search_steps; ++ls) {
+      for (std::size_t j = 0; j < n; ++j) {
+        x_next[j] = result.x[j] + step * direction[j];
+      }
+      fx_next = f(x_next, gradient_next);
+      if (std::isfinite(fx_next) &&
+          fx_next <= fx + options.armijo_c1 * step * descent) {
+        accepted = true;
+        break;
+      }
+      step *= options.backtrack;
+    }
+    if (!accepted) break;  // line search failed: stationary for our purposes
+
+    Correction c;
+    c.s = linalg::sub(x_next, result.x);
+    c.y = linalg::sub(gradient_next, gradient);
+    const double sy = linalg::dot(c.s, c.y);
+    if (sy > 1e-12) {
+      c.rho = 1.0 / sy;
+      history.push_back(std::move(c));
+      if (history.size() > options.history) history.pop_front();
+    }
+
+    result.x = std::move(x_next);
+    gradient = std::move(gradient_next);
+    fx = fx_next;
+  }
+
+  result.objective = fx;
+  return result;
+}
+
+double gradient_check(const ObjectiveFn& f, std::span<const double> x,
+                      double step) {
+  linalg::Vector point(x.begin(), x.end());
+  linalg::Vector analytic(point.size());
+  f(point, analytic);
+
+  double worst = 0.0;
+  linalg::Vector scratch(point.size());
+  for (std::size_t j = 0; j < point.size(); ++j) {
+    const double saved = point[j];
+    point[j] = saved + step;
+    const double plus = f(point, scratch);
+    point[j] = saved - step;
+    const double minus = f(point, scratch);
+    point[j] = saved;
+    const double numeric = (plus - minus) / (2.0 * step);
+    worst = std::max(worst, std::abs(numeric - analytic[j]));
+  }
+  return worst;
+}
+
+}  // namespace plos::opt

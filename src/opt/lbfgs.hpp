@@ -1,0 +1,48 @@
+// Limited-memory BFGS with Armijo backtracking line search.
+//
+// Smooth unconstrained minimization substrate used by the logistic PLOS
+// variant (the paper's "extend to other machine learning models" future
+// work): the CCCP-convexified logistic objective is smooth, so quasi-Newton
+// replaces the cutting-plane/QP machinery of the hinge formulation.
+#pragma once
+
+#include <functional>
+
+#include "linalg/vector.hpp"
+
+namespace plos::opt {
+
+/// Objective callback: fills `gradient` (same size as x) and returns f(x).
+using ObjectiveFn =
+    std::function<double(std::span<const double> x, std::span<double> gradient)>;
+
+struct LbfgsOptions {
+  int max_iterations = 200;
+  /// Stop when ||gradient||_inf <= tolerance * max(1, ||x||_inf).
+  double tolerance = 1e-6;
+  std::size_t history = 8;  ///< stored (s, y) correction pairs
+  /// Armijo sufficient-decrease constant and backtracking factor.
+  double armijo_c1 = 1e-4;
+  double backtrack = 0.5;
+  int max_line_search_steps = 40;
+};
+
+struct LbfgsResult {
+  linalg::Vector x;
+  double objective = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes f starting from `initial`. f must be continuously
+/// differentiable; convergence to a stationary point is checked via the
+/// gradient norm.
+LbfgsResult minimize_lbfgs(const ObjectiveFn& f, linalg::Vector initial,
+                           const LbfgsOptions& options = {});
+
+/// Max |analytic - finite difference| gradient error of f at x — test
+/// utility for objective implementations.
+double gradient_check(const ObjectiveFn& f, std::span<const double> x,
+                      double step = 1e-6);
+
+}  // namespace plos::opt

@@ -1,0 +1,100 @@
+#include "qp/box_qp.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "qp/projection.hpp"
+
+namespace plos::qp {
+
+namespace {
+
+double objective(const BoxQpProblem& p, std::span<const double> x) {
+  const linalg::Vector hx = p.hessian.matvec(x);
+  return 0.5 * linalg::dot(x, hx) - linalg::dot(p.linear, x);
+}
+
+linalg::Vector gradient(const BoxQpProblem& p, std::span<const double> x) {
+  linalg::Vector g = p.hessian.matvec(x);
+  linalg::axpy(-1.0, p.linear, g);
+  return g;
+}
+
+double lipschitz_estimate(const linalg::Matrix& h) {
+  const std::size_t n = h.rows();
+  linalg::Vector v(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  double lambda = 0.0;
+  for (int it = 0; it < 30; ++it) {
+    linalg::Vector hv = h.matvec(v);
+    const double nrm = linalg::norm(hv);
+    if (nrm <= 1e-300) return 1e-12;
+    lambda = nrm;
+    linalg::scale(hv, 1.0 / nrm);
+    v = std::move(hv);
+  }
+  return 1.1 * lambda + 1e-12;
+}
+
+}  // namespace
+
+QpResult solve_box_qp(const BoxQpProblem& problem, const QpOptions& options) {
+  const std::size_t n = problem.linear.size();
+  PLOS_CHECK(problem.hessian.rows() == n && problem.hessian.cols() == n,
+             "BoxQp: hessian/linear size mismatch");
+  PLOS_CHECK(problem.lo <= problem.hi, "BoxQp: lo > hi");
+
+  QpResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  const double step = 1.0 / lipschitz_estimate(problem.hessian);
+  linalg::Vector x(n, 0.0);
+  project_box(x, problem.lo, problem.hi);
+  linalg::Vector y = x;
+  linalg::Vector x_prev = x;
+  double momentum = 1.0;
+  double f_prev = objective(problem, x);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    const linalg::Vector grad_y = gradient(problem, y);
+    linalg::Vector x_next = y;
+    linalg::axpy(-step, grad_y, x_next);
+    project_box(x_next, problem.lo, problem.hi);
+
+    linalg::Vector probe = x_next;
+    linalg::axpy(-step, gradient(problem, x_next), probe);
+    project_box(probe, problem.lo, problem.hi);
+    const double pg_step =
+        std::sqrt(linalg::squared_distance(probe, x_next)) / step;
+
+    const double f_next = objective(problem, x_next);
+    if (f_next > f_prev) {
+      momentum = 1.0;
+      y = x_next;
+    } else {
+      const double momentum_next =
+          0.5 * (1.0 + std::sqrt(1.0 + 4.0 * momentum * momentum));
+      const double beta = (momentum - 1.0) / momentum_next;
+      y = x_next;
+      for (std::size_t i = 0; i < n; ++i) y[i] += beta * (x_next[i] - x_prev[i]);
+      momentum = momentum_next;
+    }
+    x_prev = x;
+    x = x_next;
+    f_prev = f_next;
+    result.iterations = it + 1;
+
+    if (pg_step <= options.tolerance * (1.0 + std::abs(f_next))) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.solution = std::move(x);
+  result.objective = objective(problem, result.solution);
+  return result;
+}
+
+}  // namespace plos::qp

@@ -1,0 +1,22 @@
+// Box-constrained convex QP:  min ½ xᵀHx − cᵀx  s.t.  lo ≤ x ≤ hi.
+//
+// General-purpose substrate solver (dual of the classic C-SVM has this shape
+// per coordinate block); solved with projected gradient + FISTA restart.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "qp/capped_simplex_qp.hpp"  // reuses QpOptions / QpResult
+
+namespace plos::qp {
+
+struct BoxQpProblem {
+  linalg::Matrix hessian;  ///< H (n x n, symmetric PSD)
+  linalg::Vector linear;   ///< c (n)
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+QpResult solve_box_qp(const BoxQpProblem& problem, const QpOptions& options = {});
+
+}  // namespace plos::qp

@@ -1,0 +1,174 @@
+#include "qp/capped_simplex_qp.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "qp/projection.hpp"
+
+namespace plos::qp {
+
+namespace {
+
+void validate(const CappedSimplexQpProblem& p) {
+  const std::size_t n = p.linear.size();
+  PLOS_CHECK(p.hessian.rows() == n && p.hessian.cols() == n,
+             "CappedSimplexQp: hessian/linear size mismatch");
+  PLOS_CHECK(p.groups.size() == p.caps.size(),
+             "CappedSimplexQp: groups/caps size mismatch");
+  std::vector<char> seen(n, 0);
+  for (const auto& g : p.groups) {
+    PLOS_CHECK(!g.empty(), "CappedSimplexQp: empty group");
+    for (std::size_t idx : g) {
+      PLOS_CHECK(idx < n, "CappedSimplexQp: group index out of range");
+      PLOS_CHECK(!seen[idx], "CappedSimplexQp: groups must be disjoint");
+      seen[idx] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    PLOS_CHECK(seen[i], "CappedSimplexQp: groups must cover all indices");
+  }
+  for (double cap : p.caps) {
+    PLOS_CHECK(cap >= 0.0, "CappedSimplexQp: negative cap");
+  }
+}
+
+void project_groups(const CappedSimplexQpProblem& p, linalg::Vector& x) {
+  // Gather/scatter per group; the feasible set is a product over groups so
+  // projection decomposes exactly.
+  for (std::size_t g = 0; g < p.groups.size(); ++g) {
+    const auto& idx = p.groups[g];
+    linalg::Vector block(idx.size());
+    for (std::size_t k = 0; k < idx.size(); ++k) block[k] = x[idx[k]];
+    project_capped_simplex(block, p.caps[g]);
+    for (std::size_t k = 0; k < idx.size(); ++k) x[idx[k]] = block[k];
+  }
+}
+
+double objective(const CappedSimplexQpProblem& p,
+                 std::span<const double> x) {
+  const linalg::Vector hx = p.hessian.matvec(x);
+  return 0.5 * linalg::dot(x, hx) - linalg::dot(p.linear, x);
+}
+
+linalg::Vector gradient(const CappedSimplexQpProblem& p,
+                        std::span<const double> x) {
+  linalg::Vector g = p.hessian.matvec(x);
+  linalg::axpy(-1.0, p.linear, g);
+  return g;
+}
+
+// Largest eigenvalue of H via power iteration (Lipschitz constant of the
+// gradient). A loose overestimate only slows convergence, so a handful of
+// iterations with a safety factor is enough.
+double lipschitz_estimate(const linalg::Matrix& h) {
+  const std::size_t n = h.rows();
+  linalg::Vector v(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  double lambda = 0.0;
+  for (int it = 0; it < 30; ++it) {
+    linalg::Vector hv = h.matvec(v);
+    const double nrm = linalg::norm(hv);
+    if (nrm <= 1e-300) return 1e-12;  // H ~ 0: any small constant works
+    lambda = nrm;
+    linalg::scale(hv, 1.0 / nrm);
+    v = std::move(hv);
+  }
+  return 1.1 * lambda + 1e-12;
+}
+
+}  // namespace
+
+QpResult solve_capped_simplex_qp(const CappedSimplexQpProblem& problem,
+                                 const QpOptions& options) {
+  validate(problem);
+  const std::size_t n = problem.linear.size();
+
+  QpResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  const double lips = lipschitz_estimate(problem.hessian);
+  const double step = 1.0 / lips;
+
+  linalg::Vector x(n, 0.0);
+  if (!options.warm_start.empty()) {
+    PLOS_CHECK(options.warm_start.size() == n,
+               "CappedSimplexQp: warm start size mismatch");
+    x = options.warm_start;
+  }
+  project_groups(problem, x);
+  linalg::Vector y = x;       // FISTA extrapolation point
+  linalg::Vector x_prev = x;
+  double momentum = 1.0;      // FISTA t_k sequence
+  double f_prev = objective(problem, x);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    const linalg::Vector grad_y = gradient(problem, y);
+    linalg::Vector x_next = y;
+    linalg::axpy(-step, grad_y, x_next);
+    project_groups(problem, x_next);
+
+    // Convergence: projected-gradient step measured at the new iterate.
+    linalg::Vector pg = gradient(problem, x_next);
+    linalg::Vector probe = x_next;
+    linalg::axpy(-step, pg, probe);
+    project_groups(problem, probe);
+    const double pg_step = std::sqrt(linalg::squared_distance(probe, x_next)) /
+                           std::max(step, 1e-300);
+
+    const double f_next = objective(problem, x_next);
+    // Adaptive restart (O'Donoghue & Candès): drop momentum on non-descent.
+    if (f_next > f_prev) {
+      momentum = 1.0;
+      y = x_next;
+    } else {
+      const double momentum_next =
+          0.5 * (1.0 + std::sqrt(1.0 + 4.0 * momentum * momentum));
+      const double beta = (momentum - 1.0) / momentum_next;
+      y = x_next;
+      for (std::size_t i = 0; i < n; ++i) y[i] += beta * (x_next[i] - x_prev[i]);
+      momentum = momentum_next;
+    }
+    x_prev = x;
+    x = x_next;
+    f_prev = f_next;
+    result.iterations = it + 1;
+
+    if (pg_step <= options.tolerance * (1.0 + std::abs(f_next))) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.solution = std::move(x);
+  result.objective = objective(problem, result.solution);
+  return result;
+}
+
+double kkt_residual(const CappedSimplexQpProblem& problem,
+                    std::span<const double> gamma) {
+  validate(problem);
+  PLOS_CHECK(gamma.size() == problem.linear.size(),
+             "kkt_residual: gamma size mismatch");
+
+  double feasibility = 0.0;
+  for (double v : gamma) feasibility = std::max(feasibility, -v);
+  for (std::size_t g = 0; g < problem.groups.size(); ++g) {
+    double s = 0.0;
+    for (std::size_t idx : problem.groups[g]) s += gamma[idx];
+    feasibility = std::max(feasibility, s - problem.caps[g]);
+  }
+
+  // Stationarity on a convex set: x is optimal iff x == P(x - grad(x)).
+  linalg::Vector probe(gamma.begin(), gamma.end());
+  const linalg::Vector grad = gradient(problem, gamma);
+  linalg::axpy(-1.0, grad, probe);
+  project_groups(problem, probe);
+  linalg::Vector x(gamma.begin(), gamma.end());
+  const double stationarity = std::sqrt(linalg::squared_distance(probe, x));
+
+  return std::max(feasibility, stationarity);
+}
+
+}  // namespace plos::qp

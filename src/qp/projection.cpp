@@ -1,0 +1,41 @@
+#include "qp/projection.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace plos::qp {
+
+void project_capped_simplex(std::span<double> x, double cap) {
+  PLOS_CHECK(cap >= 0.0, "project_capped_simplex: negative cap");
+  double clipped_sum = 0.0;
+  for (double& v : x) {
+    if (v < 0.0) v = 0.0;
+    clipped_sum += v;
+  }
+  if (clipped_sum <= cap) return;
+
+  // Project onto { v >= 0, sum(v) = cap }: find theta such that
+  // sum_i max(x_i - theta, 0) = cap, via descending sort.
+  std::vector<double> u(x.begin(), x.end());
+  std::sort(u.begin(), u.end(), std::greater<double>());
+  double running = 0.0;
+  double theta = 0.0;
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    running += u[k];
+    const double candidate = (running - cap) / static_cast<double>(k + 1);
+    if (k + 1 == u.size() || u[k + 1] <= candidate) {
+      theta = candidate;
+      break;
+    }
+  }
+  for (double& v : x) v = std::max(v - theta, 0.0);
+}
+
+void project_box(std::span<double> x, double lo, double hi) {
+  PLOS_CHECK(lo <= hi, "project_box: lo > hi");
+  for (double& v : x) v = std::clamp(v, lo, hi);
+}
+
+}  // namespace plos::qp

@@ -1,0 +1,21 @@
+// Euclidean projections onto the feasible sets used by the PLOS QP duals.
+#pragma once
+
+#include <span>
+
+#include "linalg/vector.hpp"
+
+namespace plos::qp {
+
+/// In-place projection of x onto { v : v >= 0, sum(v) <= cap }.
+///
+/// If clipping negatives already satisfies the cap the clipped point is the
+/// projection; otherwise the point is projected onto the simplex
+/// { v >= 0, sum(v) = cap } with the sort-based threshold method
+/// (Held/Wolfe/Crowder). cap must be >= 0.
+void project_capped_simplex(std::span<double> x, double cap);
+
+/// In-place projection of x onto the box [lo, hi] element-wise.
+void project_box(std::span<double> x, double lo, double hi);
+
+}  // namespace plos::qp

@@ -1,0 +1,62 @@
+// Seeded randomness substrate.
+//
+// Every stochastic component in the library draws from an explicitly seeded
+// Engine passed in by the caller, so experiments are deterministic and
+// independent sub-streams can be forked per user / per node.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace plos::rng {
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed) : gen_(seed) {}
+
+  /// Fork a child engine whose stream is decorrelated from this one.
+  /// Forking with distinct tags yields independent sub-streams (e.g. one per
+  /// user), insulated from changes in how much randomness siblings consume.
+  Engine fork(std::uint64_t tag);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal draw (mean 0, stddev 1) scaled to (mean, stddev).
+  double gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p);
+
+  /// Vector of n independent gaussian(mean, stddev) draws.
+  linalg::Vector gaussian_vector(std::size_t n, double mean = 0.0,
+                                 double stddev = 1.0);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from {0, ..., n-1}.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  std::mt19937_64& raw() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace plos::rng

@@ -1,0 +1,40 @@
+#include "rng/multivariate_normal.hpp"
+
+#include "common/assert.hpp"
+
+namespace plos::rng {
+
+MultivariateNormal::MultivariateNormal(linalg::Vector mean,
+                                       const linalg::Matrix& covariance)
+    : mean_(std::move(mean)) {
+  PLOS_CHECK(covariance.rows() == mean_.size() &&
+                 covariance.cols() == mean_.size(),
+             "MultivariateNormal: covariance/mean dimension mismatch");
+  auto l = linalg::cholesky(covariance);
+  PLOS_CHECK(l.has_value(),
+             "MultivariateNormal: covariance is not positive definite");
+  chol_ = std::move(*l);
+}
+
+linalg::Vector MultivariateNormal::sample(Engine& engine) const {
+  const std::size_t n = mean_.size();
+  const linalg::Vector z = engine.gaussian_vector(n);
+  linalg::Vector x = mean_;
+  // x += L z, exploiting the lower-triangular structure of L.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j <= i; ++j) s += chol_(i, j) * z[j];
+    x[i] += s;
+  }
+  return x;
+}
+
+std::vector<linalg::Vector> MultivariateNormal::sample_n(Engine& engine,
+                                                         std::size_t n) const {
+  std::vector<linalg::Vector> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample(engine));
+  return out;
+}
+
+}  // namespace plos::rng

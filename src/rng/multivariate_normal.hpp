@@ -1,0 +1,29 @@
+// Multivariate normal sampling via Cholesky factorization of the covariance.
+#pragma once
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::rng {
+
+/// Sampler for N(mean, covariance). The covariance must be symmetric
+/// positive definite (checked at construction via Cholesky).
+class MultivariateNormal {
+ public:
+  MultivariateNormal(linalg::Vector mean, const linalg::Matrix& covariance);
+
+  std::size_t dim() const { return mean_.size(); }
+
+  /// One draw x = mean + L z with z ~ N(0, I).
+  linalg::Vector sample(Engine& engine) const;
+
+  /// n independent draws, one per returned row.
+  std::vector<linalg::Vector> sample_n(Engine& engine, std::size_t n) const;
+
+ private:
+  linalg::Vector mean_;
+  linalg::Matrix chol_;  // lower-triangular factor of the covariance
+};
+
+}  // namespace plos::rng

@@ -1,0 +1,228 @@
+#include "sensing/body_sensor.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "data/transform.hpp"
+
+namespace plos::sensing {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Baseline limb pitch (rotation of the limb about the mediolateral x axis)
+// for a body site/posture. Both activities are *rest* postures — the paper
+// picked them because they are subtle to tell apart: with feet on the floor
+// the shins stay near vertical while sitting, tilting only moderately with
+// foot placement, and the torso slouches a little. (The thigh rotates 90°,
+// but no node is mounted there.)
+double base_limb_pitch(std::size_t node, Activity activity,
+                       double lean_angle) {
+  if (node == 0) {  // waist
+    return (activity == Activity::kSittingRest) ? 0.08 + lean_angle
+                                                : 0.3 * lean_angle;
+  }
+  return (activity == Activity::kSittingRest) ? 0.24 + 0.5 * lean_angle
+                                              : 0.3 * lean_angle;
+}
+
+// Draws the next micro-posture pitch target for a node/posture.
+double draw_posture_target(const BodySensorSpec& spec, std::size_t node,
+                           Activity activity, rng::Engine& engine) {
+  if (activity == Activity::kStandingRest) {
+    return engine.uniform(-spec.posture_shift_standing,
+                          spec.posture_shift_standing);
+  }
+  if (node == 0) {
+    return engine.uniform(spec.sitting_waist_shift_min,
+                          spec.sitting_waist_shift_max);
+  }
+  return engine.uniform(spec.sitting_shin_shift_min,
+                        spec.sitting_shin_shift_max);
+}
+
+// Gravity (unit, in g) in the limb frame at pitch p: R_x(p) · (0, 0, -1).
+Vec3 pitched_gravity(double pitch) {
+  return {0.0, std::sin(pitch), -std::cos(pitch)};
+}
+
+}  // namespace
+
+PlacementArchetypes sample_placement_archetypes(const BodySensorSpec& spec,
+                                                rng::Engine& engine) {
+  PLOS_CHECK(spec.num_wearing_styles >= 1,
+             "sample_placement_archetypes: need at least one style");
+  PlacementArchetypes archetypes;
+  archetypes.styles.resize(spec.num_wearing_styles);
+  for (auto& style : archetypes.styles) {
+    for (auto& rotation : style) {
+      rotation = Rotation3::random(engine, spec.placement_rotation_max);
+    }
+  }
+  return archetypes;
+}
+
+UserTraits sample_user_traits(const BodySensorSpec& spec,
+                              const PlacementArchetypes& archetypes,
+                              rng::Engine& engine) {
+  PLOS_CHECK(!archetypes.styles.empty(),
+             "sample_user_traits: no wearing styles");
+  UserTraits traits;
+  const auto style = static_cast<std::size_t>(engine.uniform_int(
+      0, static_cast<std::int64_t>(archetypes.styles.size()) - 1));
+  for (std::size_t n = 0; n < kNumBodyNodes; ++n) {
+    NodeTraits& node = traits.nodes[n];
+    node.mounting =
+        Rotation3::random(engine, spec.placement_jitter)
+            .compose(archetypes.styles[style][n]);
+    node.noise_stddev = engine.uniform(0.3, 1.0) * spec.accel_noise_max;
+    node.gyro_bias_u = engine.gaussian(0.0, spec.gyro_bias_stddev);
+    node.gyro_bias_v = engine.gaussian(0.0, spec.gyro_bias_stddev);
+  }
+  traits.lean_angle = engine.gaussian(0.0, spec.lean_stddev);
+  traits.tremor_amplitude = engine.uniform(0.3, 1.0) * spec.tremor_amplitude_max;
+  traits.tremor_frequency = engine.uniform(0.8, 2.5);  // Hz, physiological sway
+  traits.sway_gain_standing = engine.uniform(0.7, 1.3);
+  traits.sway_gain_sitting = engine.uniform(0.35, 1.05);
+  return traits;
+}
+
+std::vector<features::NodeSignals> simulate_user_activity(
+    const BodySensorSpec& spec, const UserTraits& traits, Activity activity,
+    rng::Engine& engine) {
+  PLOS_CHECK(spec.sample_rate_hz > 0.0 && spec.seconds_per_activity > 0.0,
+             "simulate_user_activity: non-positive duration or rate");
+  const auto n = static_cast<std::size_t>(spec.sample_rate_hz *
+                                          spec.seconds_per_activity);
+  const double dt = 1.0 / spec.sample_rate_hz;
+  // Standing tends to need more balance corrections than sitting, but the
+  // per-user gains overlap across the population (see UserTraits).
+  const double sway_gain = (activity == Activity::kStandingRest)
+                               ? traits.sway_gain_standing
+                               : traits.sway_gain_sitting;
+
+  // Session-wide restlessness trace shared by all nodes: one latent that
+  // modulates every sway/variance feature coherently.
+  std::vector<double> restlessness_trace(n, 1.0);
+  {
+    const double smoothing =
+        1.0 - std::exp(-dt / std::max(spec.posture_smoothing_seconds, 1e-6));
+    double episode_samples_left = 0.0;
+    double target = 1.0;
+    double level = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (episode_samples_left <= 0.0) {
+        episode_samples_left = engine.uniform(0.5, 1.5) *
+                               spec.episode_mean_seconds *
+                               spec.sample_rate_hz;
+        target = engine.uniform(spec.restlessness_min, spec.restlessness_max);
+        if (i == 0) level = target;
+      }
+      episode_samples_left -= 1.0;
+      level += smoothing * (target - level);
+      restlessness_trace[i] = level;
+    }
+  }
+
+  std::vector<features::NodeSignals> nodes(kNumBodyNodes);
+  for (std::size_t node_idx = 0; node_idx < kNumBodyNodes; ++node_idx) {
+    const NodeTraits& nt = traits.nodes[node_idx];
+    features::NodeSignals sig;
+    sig.accel_x.resize(n);
+    sig.accel_y.resize(n);
+    sig.accel_z.resize(n);
+    sig.gyro_u.resize(n);
+    sig.gyro_v.resize(n);
+
+    const double base_pitch =
+        base_limb_pitch(node_idx, activity, traits.lean_angle);
+    const double phase = engine.uniform(0.0, 2.0 * kPi);
+    const double omega = 2.0 * kPi * traits.tremor_frequency;
+    const double amp = sway_gain * traits.tremor_amplitude;
+    // Exponential glide toward each episode's pitch target.
+    const double smoothing =
+        1.0 - std::exp(-dt / std::max(spec.posture_smoothing_seconds, 1e-6));
+
+    double episode_samples_left = 0.0;
+    double pitch_target = 0.0;
+    double pitch_offset = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (episode_samples_left <= 0.0) {
+        // New micro-posture episode: persistent limb pitch re-adjustment.
+        episode_samples_left = engine.uniform(0.5, 1.5) *
+                               spec.episode_mean_seconds *
+                               spec.sample_rate_hz;
+        pitch_target = draw_posture_target(spec, node_idx, activity, engine);
+        if (i == 0) pitch_offset = pitch_target;  // start settled
+      }
+      episode_samples_left -= 1.0;
+      pitch_offset += smoothing * (pitch_target - pitch_offset);
+      const double restlessness = restlessness_trace[i];
+
+      const Vec3 gravity = pitched_gravity(base_pitch + pitch_offset);
+      const double time = static_cast<double>(i) * dt;
+      const double sway = restlessness * amp * std::sin(omega * time + phase);
+      const double sway2 = restlessness * 0.5 * amp *
+                           std::sin(0.37 * omega * time + 2.0 * phase);
+      // Postural sway perturbs the limb-frame specific force slightly.
+      const Vec3 body{gravity[0] + sway + engine.gaussian(0.0, nt.noise_stddev),
+                      gravity[1] + sway2 + engine.gaussian(0.0, nt.noise_stddev),
+                      gravity[2] + engine.gaussian(0.0, nt.noise_stddev)};
+      const Vec3 sensor = nt.mounting.apply(body);
+      sig.accel_x[i] = sensor[0];
+      sig.accel_y[i] = sensor[1];
+      sig.accel_z[i] = sensor[2];
+
+      // Gyro: angular velocity of the sway (derivative of the sway angle),
+      // plus per-user bias and noise.
+      const double sway_rate =
+          restlessness * amp * omega * std::cos(omega * time + phase);
+      sig.gyro_u[i] =
+          sway_rate + nt.gyro_bias_u + engine.gaussian(0.0, spec.gyro_noise);
+      sig.gyro_v[i] = restlessness * 0.5 * amp * 0.37 * omega *
+                          std::cos(0.37 * omega * time + 2.0 * phase) +
+                      nt.gyro_bias_v + engine.gaussian(0.0, spec.gyro_noise);
+    }
+    nodes[node_idx] = std::move(sig);
+  }
+  return nodes;
+}
+
+data::MultiUserDataset generate_body_sensor_dataset(const BodySensorSpec& spec,
+                                                    rng::Engine& engine) {
+  PLOS_CHECK(spec.num_users >= 1, "generate_body_sensor_dataset: no users");
+  data::MultiUserDataset dataset;
+  dataset.users.resize(spec.num_users);
+  const PlacementArchetypes archetypes =
+      sample_placement_archetypes(spec, engine);
+
+  for (std::size_t t = 0; t < spec.num_users; ++t) {
+    rng::Engine user_engine = engine.fork(t);
+    const UserTraits traits =
+        sample_user_traits(spec, archetypes, user_engine);
+    data::UserData& user = dataset.users[t];
+
+    for (Activity activity :
+         {Activity::kStandingRest, Activity::kSittingRest}) {
+      const auto signals =
+          simulate_user_activity(spec, traits, activity, user_engine);
+      const int label = (activity == Activity::kStandingRest) ? kStandingLabel
+                                                              : kSittingLabel;
+      for (auto& x : features::extract_windows(signals, spec.window)) {
+        user.samples.push_back(std::move(x));
+        user.true_labels.push_back(label);
+      }
+    }
+    user.revealed.assign(user.num_samples(), false);
+  }
+
+  if (spec.standardize) {
+    data::Standardizer::fit(dataset).apply_in_place(dataset);
+  }
+  if (spec.add_bias_dimension) data::augment_bias(dataset);
+  dataset.check_invariants();
+  return dataset;
+}
+
+}  // namespace plos::sensing

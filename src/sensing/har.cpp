@@ -1,0 +1,86 @@
+#include "sensing/har.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "data/transform.hpp"
+
+namespace plos::sensing {
+
+namespace {
+
+linalg::Vector random_unit(std::size_t dim, rng::Engine& engine) {
+  linalg::Vector v = engine.gaussian_vector(dim);
+  const double n = linalg::norm(v);
+  PLOS_ASSERT(n > 0.0);
+  linalg::scale(v, 1.0 / n);
+  return v;
+}
+
+}  // namespace
+
+data::MultiUserDataset generate_har_dataset(const HarSpec& spec,
+                                            rng::Engine& engine) {
+  PLOS_CHECK(spec.num_users >= 1, "generate_har_dataset: no users");
+  PLOS_CHECK(spec.dim >= 2, "generate_har_dataset: dim too small");
+  PLOS_CHECK(spec.samples_per_class >= 1,
+             "generate_har_dataset: no samples per class");
+  PLOS_CHECK(spec.trait_rank >= 1 && spec.trait_rank <= spec.dim,
+             "generate_har_dataset: invalid trait rank");
+
+  // Population-level structure shared by all users.
+  const linalg::Vector global_direction = random_unit(spec.dim, engine);
+  std::vector<linalg::Vector> trait_basis;
+  trait_basis.reserve(spec.trait_rank);
+  for (std::size_t r = 0; r < spec.trait_rank; ++r) {
+    trait_basis.push_back(random_unit(spec.dim, engine));
+  }
+
+  data::MultiUserDataset dataset;
+  dataset.users.resize(spec.num_users);
+  for (std::size_t t = 0; t < spec.num_users; ++t) {
+    rng::Engine user_engine = engine.fork(t);
+
+    // Personal class direction: global direction tilted by a unit vector of
+    // the trait subspace, renormalized. trait_direction_scale ≈ tangent of
+    // the tilt angle.
+    linalg::Vector tilt = linalg::zeros(spec.dim);
+    for (const auto& b : trait_basis) {
+      linalg::axpy(user_engine.gaussian(), b, tilt);
+    }
+    const double tilt_norm = linalg::norm(tilt);
+    linalg::Vector direction = global_direction;
+    if (tilt_norm > 0.0) {
+      linalg::axpy(spec.trait_direction_scale / tilt_norm, tilt, direction);
+    }
+    linalg::scale(direction, 1.0 / linalg::norm(direction));
+
+    // Personal class-agnostic offset in the trait subspace.
+    linalg::Vector offset = linalg::zeros(spec.dim);
+    for (const auto& b : trait_basis) {
+      linalg::axpy(user_engine.gaussian(0.0, spec.trait_offset_scale), b,
+                   offset);
+    }
+
+    data::UserData& user = dataset.users[t];
+    const double half = spec.class_separation / 2.0;
+    for (int cls : {+1, -1}) {
+      for (std::size_t i = 0; i < spec.samples_per_class; ++i) {
+        linalg::Vector x = offset;
+        linalg::axpy(static_cast<double>(cls) * half, direction, x);
+        const linalg::Vector noise =
+            user_engine.gaussian_vector(spec.dim, 0.0, spec.noise_stddev);
+        linalg::axpy(1.0, noise, x);
+        user.samples.push_back(std::move(x));
+        user.true_labels.push_back(cls);
+      }
+    }
+    user.revealed.assign(user.num_samples(), false);
+  }
+
+  if (spec.add_bias_dimension) data::augment_bias(dataset);
+  dataset.check_invariants();
+  return dataset;
+}
+
+}  // namespace plos::sensing

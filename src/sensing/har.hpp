@@ -1,0 +1,50 @@
+// HAR-like smartphone dataset generator (substitute for UCI HAR, §VI-C).
+//
+// The paper uses the UCI Human Activity Recognition dataset: 30 subjects,
+// 561 precomputed inertial features, classifying the least separable
+// activity pair (sitting vs standing) with ~50 samples per class per user.
+//
+// The generator reproduces the statistical structure the experiments rely
+// on directly in feature space:
+//   * a shared class-discriminating direction (the commonness every user
+//     benefits from);
+//   * a per-user rotation of that direction plus a per-user class-agnostic
+//     offset, both low-rank (the personal traits) — deliberately *weaker*
+//     than the body-sensor simulator's traits, matching the paper's
+//     observation that the All↔PLOS accuracy gap shrinks on HAR because a
+//     waist-mounted phone in a fixed orientation captures fewer personal
+//     placement effects;
+//   * heavy-tailed isotropic noise making the pair non separable.
+#pragma once
+
+#include <cstddef>
+
+#include "data/dataset.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::sensing {
+
+struct HarSpec {
+  std::size_t num_users = 30;
+  std::size_t dim = 561;
+  std::size_t samples_per_class = 50;
+  /// Strength of per-user rotation of the class direction (0 = identical
+  /// users). Body-sensor-equivalent traits would be ~0.8; HAR is milder.
+  double trait_direction_scale = 0.35;
+  /// Strength of the per-user class-agnostic feature offset.
+  double trait_offset_scale = 0.5;
+  /// Rank of the subspace personal offsets live in.
+  std::size_t trait_rank = 8;
+  /// Isotropic sample noise.
+  double noise_stddev = 1.0;
+  /// Distance between class means along the (per-user) class direction.
+  double class_separation = 3.2;
+  bool add_bias_dimension = true;
+};
+
+/// Generates the population with all labels hidden (sitting = -1,
+/// standing = +1), deterministic given the engine seed.
+data::MultiUserDataset generate_har_dataset(const HarSpec& spec,
+                                            rng::Engine& engine);
+
+}  // namespace plos::sensing

@@ -1,0 +1,71 @@
+#include "sensing/rotation3d.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace plos::sensing {
+
+double dot3(const Vec3& a, const Vec3& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+double norm3(const Vec3& a) { return std::sqrt(dot3(a, a)); }
+
+Vec3 normalized3(const Vec3& a) {
+  const double n = norm3(a);
+  PLOS_CHECK(n > 0.0, "normalized3: zero vector");
+  return {a[0] / n, a[1] / n, a[2] / n};
+}
+
+Rotation3::Rotation3() : m_{{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}} {}
+
+Rotation3 Rotation3::axis_angle(const Vec3& axis, double angle) {
+  const Vec3 u = normalized3(axis);
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  const double ic = 1.0 - c;
+  Rotation3 r;
+  r.m_ = {{{c + u[0] * u[0] * ic, u[0] * u[1] * ic - u[2] * s,
+            u[0] * u[2] * ic + u[1] * s},
+           {u[1] * u[0] * ic + u[2] * s, c + u[1] * u[1] * ic,
+            u[1] * u[2] * ic - u[0] * s},
+           {u[2] * u[0] * ic - u[1] * s, u[2] * u[1] * ic + u[0] * s,
+            c + u[2] * u[2] * ic}}};
+  return r;
+}
+
+Rotation3 Rotation3::random(rng::Engine& engine, double max_angle) {
+  PLOS_CHECK(max_angle >= 0.0, "Rotation3::random: negative max_angle");
+  // Uniform direction on the sphere via normalized Gaussian triple.
+  Vec3 axis;
+  double n = 0.0;
+  do {
+    axis = {engine.gaussian(), engine.gaussian(), engine.gaussian()};
+    n = norm3(axis);
+  } while (n < 1e-12);
+  const double angle = engine.uniform(0.0, max_angle);
+  return axis_angle(axis, angle);
+}
+
+Vec3 Rotation3::apply(const Vec3& v) const {
+  Vec3 out{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    out[i] = m_[i][0] * v[0] + m_[i][1] * v[1] + m_[i][2] * v[2];
+  }
+  return out;
+}
+
+Rotation3 Rotation3::compose(const Rotation3& other) const {
+  Rotation3 out;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) s += m_[i][k] * other.m_[k][j];
+      out.m_[i][j] = s;
+    }
+  }
+  return out;
+}
+
+}  // namespace plos::sensing

@@ -1,0 +1,41 @@
+// Minimal 3-D rotation utility (axis-angle, Rodrigues' formula).
+//
+// Models sensor-placement orientation: the paper let subjects attach nodes
+// "anywhere in the requested body areas" with no orientation instruction, so
+// each simulated node gets a per-user random mounting rotation.
+#pragma once
+
+#include <array>
+
+#include "rng/engine.hpp"
+
+namespace plos::sensing {
+
+using Vec3 = std::array<double, 3>;
+
+/// 3x3 rotation matrix (row-major).
+class Rotation3 {
+ public:
+  /// Identity rotation.
+  Rotation3();
+
+  /// Rotation by `angle` radians about (unit-normalized) `axis`.
+  static Rotation3 axis_angle(const Vec3& axis, double angle);
+
+  /// Uniformly random axis, angle uniform in [0, max_angle].
+  static Rotation3 random(rng::Engine& engine, double max_angle);
+
+  Vec3 apply(const Vec3& v) const;
+  Rotation3 compose(const Rotation3& other) const;  // this ∘ other
+
+  double entry(std::size_t i, std::size_t j) const { return m_[i][j]; }
+
+ private:
+  std::array<std::array<double, 3>, 3> m_;
+};
+
+double dot3(const Vec3& a, const Vec3& b);
+double norm3(const Vec3& a);
+Vec3 normalized3(const Vec3& a);
+
+}  // namespace plos::sensing

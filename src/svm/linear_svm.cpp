@@ -1,0 +1,86 @@
+#include "svm/linear_svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace plos::svm {
+
+double LinearSvmModel::decision_value(std::span<const double> x) const {
+  return linalg::dot(weights, x);
+}
+
+int LinearSvmModel::predict(std::span<const double> x) const {
+  return decision_value(x) >= 0.0 ? 1 : -1;
+}
+
+LinearSvmModel train_linear_svm(const std::vector<linalg::Vector>& samples,
+                                std::span<const int> labels,
+                                const LinearSvmOptions& options) {
+  PLOS_CHECK(samples.size() == labels.size(),
+             "train_linear_svm: samples/labels size mismatch");
+  PLOS_CHECK(options.c > 0.0, "train_linear_svm: C must be positive");
+  for (int y : labels) {
+    PLOS_CHECK(y == 1 || y == -1, "train_linear_svm: labels must be +/-1");
+  }
+
+  LinearSvmModel model;
+  if (samples.empty()) return model;
+  const std::size_t dim = samples.front().size();
+  for (const auto& x : samples) {
+    PLOS_CHECK(x.size() == dim, "train_linear_svm: ragged samples");
+  }
+
+  const std::size_t m = samples.size();
+  linalg::Vector alpha(m, 0.0);
+  linalg::Vector w(dim, 0.0);
+  linalg::Vector q_diag(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    q_diag[i] = linalg::squared_norm(samples[i]);
+  }
+
+  rng::Engine engine(options.seed);
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    engine.shuffle(order);
+    double max_violation = 0.0;
+    for (std::size_t i : order) {
+      const double yi = static_cast<double>(labels[i]);
+      const double g = yi * linalg::dot(w, samples[i]) - 1.0;
+      // Projected gradient for the box constraint 0 <= alpha_i <= C.
+      double pg = g;
+      if (alpha[i] <= 0.0) pg = std::min(g, 0.0);
+      if (alpha[i] >= options.c) pg = std::max(g, 0.0);
+      max_violation = std::max(max_violation, std::abs(pg));
+      if (pg == 0.0 || q_diag[i] <= 0.0) continue;
+      const double alpha_old = alpha[i];
+      alpha[i] = std::clamp(alpha_old - g / q_diag[i], 0.0, options.c);
+      const double delta = (alpha[i] - alpha_old) * yi;
+      if (delta != 0.0) linalg::axpy(delta, samples[i], w);
+    }
+    if (max_violation < options.tolerance) break;
+  }
+
+  model.weights = std::move(w);
+  return model;
+}
+
+double svm_primal_objective(const LinearSvmModel& model,
+                            const std::vector<linalg::Vector>& samples,
+                            std::span<const int> labels, double c) {
+  PLOS_CHECK(samples.size() == labels.size(),
+             "svm_primal_objective: size mismatch");
+  double obj = 0.5 * linalg::squared_norm(model.weights);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double margin =
+        static_cast<double>(labels[i]) * model.decision_value(samples[i]);
+    obj += c * std::max(0.0, 1.0 - margin);
+  }
+  return obj;
+}
+
+}  // namespace plos::svm

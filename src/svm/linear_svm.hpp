@@ -1,0 +1,51 @@
+// Linear L1-hinge SVM trained with dual coordinate descent
+// (Hsieh et al., ICML 2008 — the liblinear algorithm).
+//
+// Solves  min_w ½||w||² + C Σ_i max(0, 1 − y_i w·x_i)
+// through its dual  min_α ½ αᵀQα − eᵀα, 0 ≤ α_i ≤ C, Q_ij = y_i y_j x_i·x_j,
+// keeping w = Σ_i α_i y_i x_i incrementally updated.
+//
+// The hyperplane passes through the origin, matching the PLOS paper; callers
+// wanting an affine decision function append a constant-1 feature
+// (see data::augment_bias).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/vector.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::svm {
+
+struct LinearSvmOptions {
+  double c = 1.0;            ///< hinge-loss weight C (> 0)
+  double tolerance = 1e-6;   ///< stop when max projected-gradient violation dips below
+  int max_epochs = 1000;     ///< passes over the data
+  std::uint64_t seed = 7;    ///< coordinate-order shuffling seed
+};
+
+struct LinearSvmModel {
+  linalg::Vector weights;
+
+  /// Signed distance proxy w·x.
+  double decision_value(std::span<const double> x) const;
+
+  /// Predicted label in {-1, +1} (ties break to +1).
+  int predict(std::span<const double> x) const;
+};
+
+/// Trains on samples[i] with labels[i] in {-1, +1}.
+/// Requires at least one sample of each class to be meaningful, but will
+/// happily fit degenerate inputs (the dual is still well-defined).
+LinearSvmModel train_linear_svm(const std::vector<linalg::Vector>& samples,
+                                std::span<const int> labels,
+                                const LinearSvmOptions& options = {});
+
+/// Primal objective ½||w||² + C Σ hinge — used by tests to compare solvers.
+double svm_primal_objective(const LinearSvmModel& model,
+                            const std::vector<linalg::Vector>& samples,
+                            std::span<const int> labels, double c);
+
+}  // namespace plos::svm

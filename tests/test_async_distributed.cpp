@@ -1,0 +1,106 @@
+// Tests for the asynchronous (partial-participation) distributed PLOS.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "core/distributed_plos.hpp"
+#include "core/evaluation.hpp"
+#include "data/labeling.hpp"
+#include "data/synthetic.hpp"
+#include "net/simnet.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::core {
+namespace {
+
+data::MultiUserDataset make_population(std::uint64_t seed,
+                                       std::size_t num_users = 6) {
+  data::SyntheticSpec spec;
+  spec.num_users = num_users;
+  spec.points_per_class = 30;
+  spec.max_rotation = 0.5;
+  rng::Engine engine(seed);
+  auto dataset = data::generate_synthetic(spec, engine);
+  std::vector<std::size_t> providers;
+  for (std::size_t t = 0; t < num_users; t += 2) providers.push_back(t);
+  data::reveal_labels(dataset, providers, 0.3, engine);
+  return dataset;
+}
+
+AsyncDistributedPlosOptions fast_options(double participation) {
+  AsyncDistributedPlosOptions options;
+  options.base.params.lambda = 100.0;
+  options.base.params.cl = 10.0;
+  options.base.params.cu = 1.0;
+  options.base.cutting_plane.epsilon = 1e-2;
+  options.base.cccp.max_iterations = 3;
+  options.base.max_admm_iterations = 150;
+  options.participation = participation;
+  return options;
+}
+
+TEST(AsyncDistributedPlos, FullParticipationMatchesSynchronous) {
+  auto dataset = make_population(1);
+  const auto sync = train_distributed_plos(dataset, fast_options(1.0).base);
+  const auto async = train_async_distributed_plos(dataset, fast_options(1.0));
+  EXPECT_TRUE(linalg::approx_equal(sync.model.global_weights,
+                                   async.model.global_weights, 0.0));
+  EXPECT_EQ(sync.diagnostics.admm_iterations_total,
+            async.diagnostics.admm_iterations_total);
+}
+
+TEST(AsyncDistributedPlos, PartialParticipationStillLearns) {
+  auto dataset = make_population(2);
+  const auto result =
+      train_async_distributed_plos(dataset, fast_options(0.5));
+  const auto report = evaluate(dataset, predict_all(dataset, result.model));
+  EXPECT_GT(report.overall, 0.75);
+}
+
+TEST(AsyncDistributedPlos, AccuracyDegradesGracefully) {
+  auto dataset = make_population(3);
+  const auto full = train_async_distributed_plos(dataset, fast_options(1.0));
+  const auto sparse =
+      train_async_distributed_plos(dataset, fast_options(0.3));
+  const auto rf = evaluate(dataset, predict_all(dataset, full.model));
+  const auto rs = evaluate(dataset, predict_all(dataset, sparse.model));
+  EXPECT_GT(rs.overall, rf.overall - 0.15);
+}
+
+TEST(AsyncDistributedPlos, LowerParticipationSendsFewerMessagesPerRound) {
+  auto dataset = make_population(4, 8);
+  net::SimNetwork full_net(8, net::DeviceProfile{}, net::LinkProfile{});
+  net::SimNetwork sparse_net(8, net::DeviceProfile{}, net::LinkProfile{});
+  const auto full =
+      train_async_distributed_plos(dataset, fast_options(1.0), &full_net);
+  const auto sparse =
+      train_async_distributed_plos(dataset, fast_options(0.4), &sparse_net);
+
+  const double full_msgs_per_round =
+      static_cast<double>(full_net.server_metrics().bytes_received) /
+      std::max(1, full.diagnostics.admm_iterations_total);
+  const double sparse_msgs_per_round =
+      static_cast<double>(sparse_net.server_metrics().bytes_received) /
+      std::max(1, sparse.diagnostics.admm_iterations_total);
+  EXPECT_LT(sparse_msgs_per_round, 0.8 * full_msgs_per_round);
+}
+
+TEST(AsyncDistributedPlos, DeterministicGivenScheduleSeed) {
+  auto dataset = make_population(5);
+  const auto a = train_async_distributed_plos(dataset, fast_options(0.6));
+  const auto b = train_async_distributed_plos(dataset, fast_options(0.6));
+  EXPECT_TRUE(linalg::approx_equal(a.model.global_weights,
+                                   b.model.global_weights, 0.0));
+}
+
+TEST(AsyncDistributedPlos, InvalidParticipationThrows) {
+  auto dataset = make_population(6);
+  EXPECT_THROW(train_async_distributed_plos(dataset, fast_options(0.0)),
+               PreconditionError);
+  EXPECT_THROW(train_async_distributed_plos(dataset, fast_options(1.5)),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace plos::core

@@ -1,0 +1,182 @@
+// Tests for the All / Single / Group baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "common/assert.hpp"
+#include "core/baselines.hpp"
+#include "core/evaluation.hpp"
+#include "data/labeling.hpp"
+#include "data/synthetic.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::core {
+namespace {
+
+data::MultiUserDataset make_population(std::size_t num_users,
+                                       double max_rotation,
+                                       std::size_t num_providers,
+                                       double training_rate,
+                                       std::uint64_t seed,
+                                       std::size_t points_per_class = 40) {
+  data::SyntheticSpec spec;
+  spec.num_users = num_users;
+  spec.points_per_class = points_per_class;
+  spec.max_rotation = max_rotation;
+  rng::Engine engine(seed);
+  auto dataset = data::generate_synthetic(spec, engine);
+  std::vector<std::size_t> providers(num_providers);
+  for (std::size_t i = 0; i < num_providers; ++i) providers[i] = i;
+  data::reveal_labels(dataset, providers, training_rate, engine);
+  return dataset;
+}
+
+TEST(AllBaseline, GoodWhenUsersIdentical) {
+  auto dataset = make_population(4, 0.0, 2, 0.4, 1);
+  const auto report = evaluate(dataset, run_all_baseline(dataset));
+  EXPECT_GT(report.providers, 0.82);
+  EXPECT_GT(report.non_providers, 0.82);
+}
+
+TEST(AllBaseline, DegradesUnderRotation) {
+  auto aligned = make_population(6, 0.0, 6, 0.4, 2);
+  auto rotated = make_population(6, std::numbers::pi, 6, 0.4, 2);
+  const double acc_aligned =
+      evaluate(aligned, run_all_baseline(aligned)).overall;
+  const double acc_rotated =
+      evaluate(rotated, run_all_baseline(rotated)).overall;
+  EXPECT_GT(acc_aligned, acc_rotated + 0.15);
+}
+
+TEST(AllBaseline, PredictionShape) {
+  auto dataset = make_population(3, 0.0, 1, 0.4, 3, 10);
+  const auto predictions = run_all_baseline(dataset);
+  ASSERT_EQ(predictions.size(), 3u);
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(predictions[t].labels.size(), dataset.users[t].num_samples());
+    EXPECT_FALSE(predictions[t].match_clusters);
+  }
+}
+
+TEST(SingleBaseline, LabeledUsersLearnOwnModel) {
+  // With generous labels and rotations, Single still fits each provider.
+  auto dataset = make_population(4, std::numbers::pi, 4, 0.6, 4);
+  const auto report = evaluate(dataset, run_single_baseline(dataset));
+  EXPECT_GT(report.providers, 0.8);
+}
+
+TEST(SingleBaseline, UnlabeledUsersUseClustering) {
+  // Spherical well-separated blobs (the paper's anti-correlated covariance
+  // is deliberately elongated along the within-class axis, where plain
+  // k-means legitimately splits the wrong way).
+  data::SyntheticSpec spec;
+  spec.num_users = 3;
+  spec.points_per_class = 40;
+  spec.variance = 25.0;
+  spec.covariance = 0.0;
+  rng::Engine engine(5);
+  auto dataset = data::generate_synthetic(spec, engine);
+  data::reveal_labels(dataset, {0}, 0.5, engine);
+
+  const auto predictions = run_single_baseline(dataset);
+  EXPECT_FALSE(predictions[0].match_clusters);  // provider: classifier
+  EXPECT_TRUE(predictions[1].match_clusters);   // no labels: clusters
+  EXPECT_TRUE(predictions[2].match_clusters);
+  const auto report = evaluate(dataset, predictions);
+  EXPECT_GT(report.non_providers, 0.82);
+}
+
+TEST(SingleBaseline, UnaffectedByOtherUsersLabels) {
+  // Single never uses peers: removing user 2's labels must not change
+  // user 0's prediction.
+  auto dataset = make_population(3, 0.3, 3, 0.5, 6);
+  const auto before = run_single_baseline(dataset);
+  data::MultiUserDataset modified = dataset;
+  std::fill(modified.users[2].revealed.begin(),
+            modified.users[2].revealed.end(), false);
+  const auto after = run_single_baseline(modified);
+  EXPECT_EQ(before[0].labels, after[0].labels);
+}
+
+TEST(GroupBaseline, GroupsSimilarUsersTogether) {
+  // Three pairs of users at rotations {0, pi/3, 2pi/3}: LSH histograms +
+  // spectral clustering should group the pairs. (Angles are distinct mod
+  // pi: the unlabeled class union is symmetric under a pi rotation, so a
+  // {0, pi} pair would be indistinguishable without labels.)
+  data::SyntheticSpec spec;
+  spec.num_users = 6;
+  spec.points_per_class = 200;
+  spec.max_rotation = 0.0;
+  rng::Engine engine(7);
+  data::MultiUserDataset dataset;
+  dataset.users.resize(6);
+  const double angles[6] = {0.0, 0.0,
+                            std::numbers::pi / 3.0, std::numbers::pi / 3.0,
+                            2.0 * std::numbers::pi / 3.0,
+                            2.0 * std::numbers::pi / 3.0};
+  for (int t = 0; t < 6; ++t) {
+    data::SyntheticSpec one = spec;
+    one.num_users = 1;
+    rng::Engine user_engine = engine.fork(static_cast<std::uint64_t>(t));
+    auto d = data::generate_synthetic(one, user_engine);
+    for (auto& x : d.users[0].samples) {
+      // Rotate the 2-D part, keep the bias coordinate.
+      const linalg::Vector rotated =
+          data::rotate2d({x[0], x[1]}, angles[t]);
+      x[0] = rotated[0];
+      x[1] = rotated[1];
+    }
+    dataset.users[t] = std::move(d.users[0]);
+  }
+
+  GroupBaselineOptions options;
+  const auto assignment = group_users(dataset, options);
+  EXPECT_EQ(assignment[0], assignment[1]);
+  EXPECT_EQ(assignment[2], assignment[3]);
+  EXPECT_EQ(assignment[4], assignment[5]);
+  const std::set<std::size_t> distinct(assignment.begin(), assignment.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(GroupBaseline, BetweenAllAndSingleOnRotatedUsers) {
+  // Group exploits labels within a group but not across groups; with large
+  // rotations it should beat All on providers.
+  auto dataset = make_population(6, std::numbers::pi, 6, 0.5, 8, 60);
+  const auto group_report = evaluate(dataset, run_group_baseline(dataset));
+  const auto all_report = evaluate(dataset, run_all_baseline(dataset));
+  EXPECT_GT(group_report.providers, all_report.providers);
+}
+
+TEST(GroupBaseline, LabelFreeGroupFallsBackToClustering) {
+  // No labels anywhere: every user must get cluster predictions.
+  auto dataset = make_population(4, 0.0, 0, 0.0, 9, 20);
+  const auto predictions = run_group_baseline(dataset);
+  for (const auto& p : predictions) {
+    EXPECT_TRUE(p.match_clusters);
+    EXPECT_FALSE(p.labels.empty());
+  }
+}
+
+TEST(GroupBaseline, PredictionShapeAndDeterminism) {
+  auto dataset = make_population(5, 0.4, 2, 0.3, 10, 20);
+  const auto a = run_group_baseline(dataset);
+  const auto b = run_group_baseline(dataset);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(a[t].labels.size(), dataset.users[t].num_samples());
+    EXPECT_EQ(a[t].labels, b[t].labels);
+  }
+}
+
+TEST(GroupBaseline, MoreGroupsThanUsersClamped) {
+  auto dataset = make_population(2, 0.0, 1, 0.4, 11, 10);
+  GroupBaselineOptions options;
+  options.num_groups = 10;
+  const auto predictions = run_group_baseline(dataset, options);
+  EXPECT_EQ(predictions.size(), 2u);
+}
+
+}  // namespace
+}  // namespace plos::core

@@ -1,0 +1,262 @@
+// Tests for the clustering substrate: k-means, Hungarian matching, LSH
+// histograms, spectral clustering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cluster/hungarian.hpp"
+#include "cluster/kmeans.hpp"
+#include "cluster/lsh.hpp"
+#include "cluster/spectral.hpp"
+#include "common/assert.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::cluster {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+std::vector<Vector> blob(rng::Engine& engine, const Vector& center,
+                         std::size_t count, double spread) {
+  std::vector<Vector> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    Vector x = center;
+    for (auto& v : x) v += engine.gaussian(0.0, spread);
+    out.push_back(std::move(x));
+  }
+  return out;
+}
+
+TEST(KMeans, RecoversTwoBlobs) {
+  rng::Engine engine(1);
+  auto points = blob(engine, {5.0, 5.0}, 40, 0.5);
+  const auto negatives = blob(engine, {-5.0, -5.0}, 40, 0.5);
+  points.insert(points.end(), negatives.begin(), negatives.end());
+
+  const auto result = kmeans(points, 2, engine);
+  // First 40 together, last 40 together, different clusters.
+  for (std::size_t i = 1; i < 40; ++i) {
+    EXPECT_EQ(result.assignments[i], result.assignments[0]);
+    EXPECT_EQ(result.assignments[40 + i], result.assignments[40]);
+  }
+  EXPECT_NE(result.assignments[0], result.assignments[40]);
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean) {
+  rng::Engine engine(2);
+  const std::vector<Vector> points{{1.0, 1.0}, {3.0, 5.0}, {5.0, 3.0}};
+  const auto result = kmeans(points, 1, engine);
+  EXPECT_NEAR(result.centroids[0][0], 3.0, 1e-9);
+  EXPECT_NEAR(result.centroids[0][1], 3.0, 1e-9);
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia) {
+  rng::Engine engine(3);
+  const std::vector<Vector> points{{0.0}, {1.0}, {5.0}};
+  const auto result = kmeans(points, 3, engine);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, InvalidArgumentsThrow) {
+  rng::Engine engine(4);
+  EXPECT_THROW(kmeans({}, 1, engine), PreconditionError);
+  EXPECT_THROW(kmeans({{1.0}}, 2, engine), PreconditionError);
+  EXPECT_THROW(kmeans({{1.0}, {2.0, 3.0}}, 1, engine), PreconditionError);
+}
+
+TEST(KMeans, HandlesDuplicatePoints) {
+  rng::Engine engine(5);
+  const std::vector<Vector> points(10, Vector{1.0, 1.0});
+  const auto result = kmeans(points, 2, engine);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(Hungarian, IdentityAssignment) {
+  const auto cost = Matrix::from_rows({{0.0, 5.0}, {5.0, 0.0}});
+  const auto result = solve_assignment(cost);
+  EXPECT_EQ(result.assignment, (std::vector<std::size_t>{0, 1}));
+  EXPECT_DOUBLE_EQ(result.total_cost, 0.0);
+}
+
+TEST(Hungarian, CrossAssignment) {
+  const auto cost = Matrix::from_rows({{5.0, 0.0}, {0.0, 5.0}});
+  const auto result = solve_assignment(cost);
+  EXPECT_EQ(result.assignment, (std::vector<std::size_t>{1, 0}));
+  EXPECT_DOUBLE_EQ(result.total_cost, 0.0);
+}
+
+TEST(Hungarian, Known3x3) {
+  // Classic example; optimal cost is 5 (0->1, 1->0, 2->2 for cost 2+1+2).
+  const auto cost =
+      Matrix::from_rows({{4.0, 2.0, 8.0}, {1.0, 3.0, 7.0}, {6.0, 5.0, 2.0}});
+  const auto result = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(result.total_cost, 5.0);
+}
+
+TEST(Hungarian, NegativeCosts) {
+  const auto cost = Matrix::from_rows({{-1.0, 0.0}, {0.0, -1.0}});
+  const auto result = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(result.total_cost, -2.0);
+}
+
+// Property: Hungarian beats brute-force-checked random permutations.
+class HungarianProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HungarianProperty, BeatsRandomPermutations) {
+  rng::Engine engine(GetParam() * 53 + 11);
+  const std::size_t n = 2 + static_cast<std::size_t>(engine.uniform_int(0, 5));
+  Matrix cost(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) cost(i, j) = engine.gaussian(0.0, 3.0);
+  }
+  const auto result = solve_assignment(cost);
+  // Permutation validity.
+  const std::set<std::size_t> unique(result.assignment.begin(),
+                                     result.assignment.end());
+  EXPECT_EQ(unique.size(), n);
+
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (int probe = 0; probe < 500; ++probe) {
+    engine.shuffle(perm);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total += cost(i, perm[i]);
+    EXPECT_GE(total, result.total_cost - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(BestAssignmentAccuracy, PerfectWithFlippedIds) {
+  const std::vector<std::size_t> predicted{1, 1, 0, 0};
+  const std::vector<std::size_t> truth{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(best_assignment_accuracy(predicted, truth, 2), 1.0);
+}
+
+TEST(BestAssignmentAccuracy, PartialAgreement) {
+  const std::vector<std::size_t> predicted{0, 0, 0, 1};
+  const std::vector<std::size_t> truth{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(best_assignment_accuracy(predicted, truth, 2), 0.75);
+}
+
+TEST(BestAssignmentAccuracy, AtLeastHalfForBinary) {
+  // With two classes, the best of {identity, swap} is always >= 0.5.
+  rng::Engine engine(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::size_t> predicted(20), truth(20);
+    for (std::size_t i = 0; i < 20; ++i) {
+      predicted[i] = static_cast<std::size_t>(engine.uniform_int(0, 1));
+      truth[i] = static_cast<std::size_t>(engine.uniform_int(0, 1));
+    }
+    EXPECT_GE(best_assignment_accuracy(predicted, truth, 2), 0.5);
+  }
+}
+
+TEST(Lsh, BucketInRangeAndDeterministic) {
+  rng::Engine engine(8);
+  const RandomHyperplaneHasher hasher(4, 7, engine);
+  EXPECT_EQ(hasher.num_buckets(), 128u);
+  rng::Engine data_engine(9);
+  for (int i = 0; i < 100; ++i) {
+    const Vector x = data_engine.gaussian_vector(4);
+    const std::size_t b = hasher.bucket(x);
+    EXPECT_LT(b, 128u);
+    EXPECT_EQ(b, hasher.bucket(x));  // deterministic
+  }
+}
+
+TEST(Lsh, OppositePointsLandInComplementaryBuckets) {
+  rng::Engine engine(10);
+  const RandomHyperplaneHasher hasher(3, 5, engine);
+  const Vector x{1.0, -2.0, 0.5};
+  const Vector neg{-1.0, 2.0, -0.5};
+  // Every sign flips (no zero dot products almost surely) -> bitwise
+  // complement within 5 bits.
+  EXPECT_EQ(hasher.bucket(x) ^ hasher.bucket(neg), 0b11111u);
+}
+
+TEST(Lsh, HistogramNormalized) {
+  rng::Engine engine(11);
+  const RandomHyperplaneHasher hasher(2, 4, engine);
+  const auto points = blob(engine, {1.0, 1.0}, 50, 1.0);
+  const Vector h = hasher.histogram(points);
+  EXPECT_NEAR(linalg::sum(h), 1.0, 1e-12);
+  for (double v : h) EXPECT_GE(v, 0.0);
+}
+
+TEST(Lsh, EmptyHistogramIsZero) {
+  rng::Engine engine(12);
+  const RandomHyperplaneHasher hasher(2, 3, engine);
+  const Vector h = hasher.histogram({});
+  EXPECT_DOUBLE_EQ(linalg::sum(h), 0.0);
+}
+
+TEST(Jaccard, IdenticalIsOne) {
+  const Vector h{0.5, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(generalized_jaccard(h, h), 1.0);
+}
+
+TEST(Jaccard, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(generalized_jaccard(Vector{1.0, 0.0}, Vector{0.0, 1.0}),
+                   0.0);
+}
+
+TEST(Jaccard, BothEmptyIsOne) {
+  EXPECT_DOUBLE_EQ(generalized_jaccard(Vector{0.0}, Vector{0.0}), 1.0);
+}
+
+TEST(Jaccard, SymmetricAndBounded) {
+  rng::Engine engine(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vector a(8), b(8);
+    for (auto& v : a) v = engine.uniform(0.0, 1.0);
+    for (auto& v : b) v = engine.uniform(0.0, 1.0);
+    const double sab = generalized_jaccard(a, b);
+    EXPECT_DOUBLE_EQ(sab, generalized_jaccard(b, a));
+    EXPECT_GE(sab, 0.0);
+    EXPECT_LE(sab, 1.0);
+  }
+}
+
+TEST(Jaccard, RejectsNegativeEntries) {
+  EXPECT_THROW(generalized_jaccard(Vector{-0.1}, Vector{0.1}),
+               PreconditionError);
+}
+
+TEST(Spectral, RecoversBlockStructure) {
+  // Two obvious communities with strong intra- and weak inter-similarity.
+  const std::size_t n = 10;
+  Matrix similarity(n, n, 0.05);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if ((i < 5) == (j < 5)) similarity(i, j) = 1.0;
+    }
+  }
+  rng::Engine engine(14);
+  const auto assignment = spectral_clustering(similarity, 2, engine);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_EQ(assignment[i], assignment[0]);
+    EXPECT_EQ(assignment[5 + i], assignment[5]);
+  }
+  EXPECT_NE(assignment[0], assignment[5]);
+}
+
+TEST(Spectral, SingleClusterTrivial) {
+  rng::Engine engine(15);
+  const auto assignment =
+      spectral_clustering(Matrix::identity(4), 1, engine);
+  for (std::size_t v : assignment) EXPECT_EQ(v, 0u);
+}
+
+TEST(Spectral, RejectsNegativeSimilarity) {
+  rng::Engine engine(16);
+  Matrix s = Matrix::identity(3);
+  s(0, 1) = -0.5;
+  EXPECT_THROW(spectral_clustering(s, 2, engine), PreconditionError);
+}
+
+}  // namespace
+}  // namespace plos::cluster

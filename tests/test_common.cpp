@@ -1,0 +1,94 @@
+// Tests for the common substrate: contract checking and the stopwatch,
+// plus the PersonalizedModel value type.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/stopwatch.hpp"
+#include "core/model.hpp"
+
+namespace plos {
+namespace {
+
+TEST(Assert, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(PLOS_CHECK(1 + 1 == 2, "arithmetic works"));
+  EXPECT_NO_THROW(PLOS_ASSERT(true));
+}
+
+TEST(Assert, FailingCheckThrowsWithContext) {
+  try {
+    PLOS_CHECK(false, "the message");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);       // expression
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);  // file
+    EXPECT_NE(what.find("the message"), std::string::npos);  // message
+  }
+}
+
+TEST(Assert, AssertWithoutMessage) {
+  EXPECT_THROW(PLOS_ASSERT(2 < 1), PreconditionError);
+}
+
+TEST(Assert, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  const auto bump = [&] {
+    ++calls;
+    return true;
+  };
+  PLOS_CHECK(bump(), "");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Stopwatch, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch watch;
+  const double a = watch.elapsed_seconds();
+  const double b = watch.elapsed_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Stopwatch, ResetRestartsFromZero) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  const double before = watch.elapsed_seconds();
+  watch.reset();
+  EXPECT_LE(watch.elapsed_seconds(), before + 1e-3);
+}
+
+TEST(PersonalizedModel, ZerosShape) {
+  const auto model = core::PersonalizedModel::zeros(3, 4);
+  EXPECT_EQ(model.num_users(), 3u);
+  EXPECT_EQ(model.dim(), 4u);
+  EXPECT_DOUBLE_EQ(linalg::norm(model.global_weights), 0.0);
+}
+
+TEST(PersonalizedModel, UserWeightsComposeGlobalAndDeviation) {
+  auto model = core::PersonalizedModel::zeros(2, 2);
+  model.global_weights = {1.0, 2.0};
+  model.user_deviations[1] = {0.5, -2.0};
+  EXPECT_EQ(model.user_weights(0), (linalg::Vector{1.0, 2.0}));
+  EXPECT_EQ(model.user_weights(1), (linalg::Vector{1.5, 0.0}));
+}
+
+TEST(PersonalizedModel, DecisionValueAndPredict) {
+  auto model = core::PersonalizedModel::zeros(1, 2);
+  model.global_weights = {1.0, -1.0};
+  EXPECT_DOUBLE_EQ(model.decision_value(0, linalg::Vector{2.0, 0.5}), 1.5);
+  EXPECT_EQ(model.predict(0, linalg::Vector{2.0, 0.5}), 1);
+  EXPECT_EQ(model.predict(0, linalg::Vector{0.0, 0.5}), -1);
+  EXPECT_EQ(model.predict(0, linalg::Vector{1.0, 1.0}), 1);  // tie -> +1
+}
+
+TEST(PersonalizedModel, OutOfRangeUserThrows) {
+  const auto model = core::PersonalizedModel::zeros(1, 2);
+  EXPECT_THROW(model.user_weights(1), PreconditionError);
+  EXPECT_THROW(model.predict(5, linalg::Vector{0.0, 0.0}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace plos

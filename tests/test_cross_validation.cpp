@@ -1,0 +1,134 @@
+// Tests for cross-validation-based parameter selection.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "core/baselines.hpp"
+#include "core/cross_validation.hpp"
+#include "data/labeling.hpp"
+#include "data/synthetic.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::core {
+namespace {
+
+data::MultiUserDataset easy_population(std::uint64_t seed) {
+  data::SyntheticSpec spec;
+  spec.num_users = 3;
+  spec.points_per_class = 30;
+  spec.label_noise = 0.0;
+  rng::Engine engine(seed);
+  auto dataset = data::generate_synthetic(spec, engine);
+  data::reveal_labels(dataset, {0, 1, 2}, 0.5, engine);
+  return dataset;
+}
+
+TEST(CrossValidation, HighAccuracyOnLearnableData) {
+  const auto dataset = easy_population(1);
+  const double acc = cross_validate(dataset, [](const auto& fold) {
+    return run_all_baseline(fold);
+  });
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(CrossValidation, ChanceLevelOnRandomPredictor) {
+  const auto dataset = easy_population(2);
+  // A predictor that ignores the data entirely: always +1.
+  const double acc = cross_validate(dataset, [](const auto& fold) {
+    std::vector<UserPrediction> out(fold.num_users());
+    for (std::size_t t = 0; t < fold.num_users(); ++t) {
+      out[t].labels.assign(fold.users[t].num_samples(), 1);
+    }
+    return out;
+  });
+  EXPECT_NEAR(acc, 0.5, 0.15);
+}
+
+TEST(CrossValidation, HeldOutLabelsAreHiddenDuringTraining) {
+  const auto dataset = easy_population(3);
+  const std::size_t total_revealed = [&] {
+    std::size_t n = 0;
+    for (const auto& u : dataset.users) n += u.num_revealed();
+    return n;
+  }();
+
+  CrossValidationOptions options;
+  options.num_folds = 3;
+  cross_validate(
+      dataset,
+      [&](const data::MultiUserDataset& fold) {
+        std::size_t fold_revealed = 0;
+        for (const auto& u : fold.users) fold_revealed += u.num_revealed();
+        EXPECT_LT(fold_revealed, total_revealed);
+        std::vector<UserPrediction> out(fold.num_users());
+        for (std::size_t t = 0; t < fold.num_users(); ++t) {
+          out[t].labels.assign(fold.users[t].num_samples(), 1);
+        }
+        return out;
+      },
+      options);
+}
+
+TEST(CrossValidation, LeaveOneOutMode) {
+  data::SyntheticSpec spec;
+  spec.num_users = 1;
+  spec.points_per_class = 8;
+  spec.label_noise = 0.0;
+  rng::Engine engine(4);
+  auto dataset = data::generate_synthetic(spec, engine);
+  data::reveal_labels(dataset, {0}, 0.5, engine);
+
+  CrossValidationOptions options;
+  options.num_folds = 0;  // LOO
+  const double acc = cross_validate(
+      dataset, [](const auto& fold) { return run_all_baseline(fold); },
+      options);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(CrossValidation, RequiresTwoRevealedSamples) {
+  data::SyntheticSpec spec;
+  spec.num_users = 1;
+  spec.points_per_class = 5;
+  rng::Engine engine(5);
+  auto dataset = data::generate_synthetic(spec, engine);  // nothing revealed
+  EXPECT_THROW(
+      cross_validate(dataset,
+                     [](const auto& fold) { return run_all_baseline(fold); }),
+      PreconditionError);
+}
+
+TEST(SelectBestParameter, PicksInformativeCandidate) {
+  const auto dataset = easy_population(6);
+  // Candidate 0 trains a real model; candidate 1 predicts a constant.
+  const std::vector<double> candidates{1.0, 0.0};
+  const std::size_t best = select_best_parameter(
+      dataset, candidates, [](double candidate) -> TrainPredictFn {
+        if (candidate > 0.5) {
+          return [](const auto& fold) { return run_all_baseline(fold); };
+        }
+        return [](const auto& fold) {
+          std::vector<UserPrediction> out(fold.num_users());
+          for (std::size_t t = 0; t < fold.num_users(); ++t) {
+            out[t].labels.assign(fold.users[t].num_samples(), 1);
+          }
+          return out;
+        };
+      });
+  EXPECT_EQ(best, 0u);
+}
+
+TEST(SelectBestParameter, EmptyCandidatesThrow) {
+  const auto dataset = easy_population(7);
+  EXPECT_THROW(
+      select_best_parameter(dataset, {},
+                            [](double) -> TrainPredictFn {
+                              return [](const auto& fold) {
+                                return run_all_baseline(fold);
+                              };
+                            }),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace plos::core

@@ -1,0 +1,261 @@
+// Tests for the shared 1-slack cutting-plane machinery, including a
+// brute-force check that Eq. 14 really picks the most violated constraint
+// among all 2^m subset selections.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "core/cutting_plane.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::core {
+namespace {
+
+using linalg::Vector;
+
+data::UserData small_user() {
+  data::UserData u;
+  u.samples = {{1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.5}, {0.3, -0.7}};
+  u.true_labels = {1, -1, -1, 1};
+  u.revealed = {true, true, false, false};
+  return u;
+}
+
+TEST(UserContext, SplitsByVisibility) {
+  const auto user = small_user();
+  const auto ctx = PlosUserContext::from_user(user);
+  EXPECT_EQ(ctx.labeled, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(ctx.unlabeled, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(ctx.num_samples(), 4u);
+}
+
+TEST(CccpSigns, MatchDecisionValues) {
+  const auto user = small_user();
+  const auto ctx = PlosUserContext::from_user(user);
+  const Vector w{1.0, 0.0};
+  const auto signs = cccp_signs(ctx, w);
+  ASSERT_EQ(signs.size(), 2u);
+  EXPECT_EQ(signs[0], -1);  // w·(-1, 0.5) = -1
+  EXPECT_EQ(signs[1], 1);   // w·(0.3, -0.7) = 0.3
+}
+
+TEST(CccpSigns, ZeroDecisionValueIsPositive) {
+  data::UserData u;
+  u.samples = {{0.0, 1.0}};
+  u.true_labels = {1};
+  u.revealed = {false};
+  const auto ctx = PlosUserContext::from_user(u);
+  EXPECT_EQ(cccp_signs(ctx, Vector{1.0, 0.0})[0], 1);
+}
+
+TEST(MostViolated, SelectsOnlyMarginViolators) {
+  // With large weights every margin exceeds 1 and nothing is selected.
+  const auto user = small_user();
+  const auto ctx = PlosUserContext::from_user(user);
+  Vector w{10.0, -10.0};
+  const auto signs = cccp_signs(ctx, w);
+  const auto plane = most_violated_constraint(ctx, signs, w, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(plane.offset, 0.0);
+  EXPECT_NEAR(linalg::norm(plane.s), 0.0, 1e-12);
+}
+
+TEST(MostViolated, ZeroWeightsSelectEverything) {
+  const auto user = small_user();
+  const auto ctx = PlosUserContext::from_user(user);
+  const Vector w{0.0, 0.0};
+  const auto signs = cccp_signs(ctx, w);
+  const auto plane = most_violated_constraint(ctx, signs, w, 2.0, 1.0);
+  // offset = (Cl*2 + Cu*2)/4 = (4 + 2)/4 = 1.5.
+  EXPECT_DOUBLE_EQ(plane.offset, 1.5);
+}
+
+TEST(MostViolated, WeightsClAndCuEnterSeparately) {
+  const auto user = small_user();
+  const auto ctx = PlosUserContext::from_user(user);
+  const Vector w{0.0, 0.0};
+  const auto signs = cccp_signs(ctx, w);
+  const auto p1 = most_violated_constraint(ctx, signs, w, 4.0, 0.0);
+  EXPECT_DOUBLE_EQ(p1.offset, 2.0);  // only labeled terms
+  const auto p2 = most_violated_constraint(ctx, signs, w, 0.0, 4.0);
+  EXPECT_DOUBLE_EQ(p2.offset, 2.0);  // only unlabeled terms
+}
+
+TEST(ConstraintViolationAndSlack, Formulas) {
+  CuttingPlane plane;
+  plane.s = {1.0, 0.0};
+  plane.offset = 2.0;
+  const Vector w{0.5, 0.0};
+  EXPECT_DOUBLE_EQ(constraint_violation(plane, w, 0.25), 2.0 - 0.5 - 0.25);
+
+  CuttingPlane weaker;
+  weaker.s = {2.0, 0.0};
+  weaker.offset = 0.2;
+  EXPECT_DOUBLE_EQ(optimal_slack({plane, weaker}, w), 1.5);
+  EXPECT_DOUBLE_EQ(optimal_slack({weaker}, w), 0.0);  // clamped at zero
+  EXPECT_DOUBLE_EQ(optimal_slack({}, w), 0.0);
+}
+
+// Property: Eq. 14's greedy selection yields the subset-c constraint with
+// the largest violation b_c − s_c·w among ALL 2^m subsets.
+class MostViolatedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MostViolatedProperty, BeatsAllSubsets) {
+  rng::Engine engine(GetParam() * 17 + 5);
+  const std::size_t m = 1 + static_cast<std::size_t>(engine.uniform_int(0, 9));
+  const std::size_t dim = 2;
+
+  data::UserData u;
+  for (std::size_t i = 0; i < m; ++i) {
+    u.samples.push_back(engine.gaussian_vector(dim));
+    u.true_labels.push_back(engine.bernoulli(0.5) ? 1 : -1);
+    u.revealed.push_back(engine.bernoulli(0.5));
+  }
+  const auto ctx = PlosUserContext::from_user(u);
+  const Vector w = engine.gaussian_vector(dim);
+  const auto signs = cccp_signs(ctx, w);
+  const double cl = engine.uniform(0.1, 3.0);
+  const double cu = engine.uniform(0.1, 3.0);
+
+  const auto best = most_violated_constraint(ctx, signs, w, cl, cu);
+  const double best_violation = best.offset - linalg::dot(best.s, w);
+
+  // Enumerate all subsets.
+  for (std::size_t mask = 0; mask < (std::size_t{1} << m); ++mask) {
+    Vector s(dim, 0.0);
+    double offset = 0.0;
+    std::size_t unlabeled_pos = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const bool is_labeled = u.revealed[i];
+      double coeff = 0.0;
+      if (is_labeled) {
+        coeff = cl * static_cast<double>(u.true_labels[i]);
+      } else {
+        coeff = cu * static_cast<double>(signs[unlabeled_pos]);
+      }
+      if (!is_labeled) ++unlabeled_pos;
+      if (mask & (std::size_t{1} << i)) {
+        linalg::axpy(coeff, u.samples[i], s);
+        offset += is_labeled ? cl : cu;
+      }
+    }
+    linalg::scale(s, 1.0 / static_cast<double>(m));
+    offset /= static_cast<double>(m);
+    EXPECT_LE(offset - linalg::dot(s, w), best_violation + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MostViolatedProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+data::UserData gaussian_user(rng::Engine& engine, std::size_t per_class,
+                             double gap, bool reveal_none = true) {
+  data::UserData u;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    u.samples.push_back({gap + engine.gaussian(0.0, 0.4),
+                         engine.gaussian(0.0, 0.4), 1.0});
+    u.true_labels.push_back(1);
+    u.samples.push_back({-gap + engine.gaussian(0.0, 0.4),
+                         engine.gaussian(0.0, 0.4), 1.0});
+    u.true_labels.push_back(-1);
+  }
+  u.revealed.assign(u.num_samples(), !reveal_none);
+  return u;
+}
+
+TEST(LocalDeviationFit, ClassifiesSeparableDataWithTrueSigns) {
+  rng::Engine engine(501);
+  const auto user = gaussian_user(engine, 30, 3.0);
+  const auto ctx = PlosUserContext::from_user(user);
+  const linalg::Vector w0{0.05, 0.0, 0.0};  // weak but correctly oriented
+  std::vector<int> signs;
+  for (std::size_t i : ctx.unlabeled) signs.push_back(user.true_labels[i]);
+
+  const auto fit =
+      fit_local_deviation(ctx, signs, w0, /*lambda_over_t=*/1.0, 10.0, 1.0,
+                          1e-3, 100);
+  for (std::size_t i = 0; i < user.num_samples(); ++i) {
+    const int predicted =
+        linalg::dot(fit.weights, user.samples[i]) >= 0.0 ? 1 : -1;
+    EXPECT_EQ(predicted, user.true_labels[i]);
+  }
+  EXPECT_GE(fit.objective, 0.0);
+}
+
+TEST(LocalDeviationFit, EmptyUserReturnsGlobalWeights) {
+  data::UserData empty;
+  const auto ctx = PlosUserContext::from_user(empty);
+  const linalg::Vector w0{1.0, -2.0};
+  const auto fit = fit_local_deviation(ctx, {}, w0, 1.0, 10.0, 1.0, 1e-3, 50);
+  EXPECT_TRUE(linalg::approx_equal(fit.weights, w0, 0.0));
+  EXPECT_DOUBLE_EQ(fit.objective, 0.0);
+}
+
+TEST(LocalDeviationFit, ObjectiveBeatsZeroDeviation) {
+  // The fit minimizes (λ/T)||v||² + ξ; v = 0 is feasible, so the optimal
+  // objective can never exceed the slack of the raw global weights.
+  rng::Engine engine(502);
+  const auto user = gaussian_user(engine, 25, 2.0);
+  const auto ctx = PlosUserContext::from_user(user);
+  const linalg::Vector w0 = engine.gaussian_vector(3, 0.0, 0.1);
+  const auto signs = cccp_signs(ctx, w0);
+
+  const auto fit = fit_local_deviation(ctx, signs, w0, 2.0, 10.0, 1.0,
+                                       1e-3, 100);
+  // ξ at v=0 equals the most violated constraint's violation at w0.
+  const auto plane = most_violated_constraint(ctx, signs, w0, 10.0, 1.0);
+  const double zero_dev_objective =
+      std::max(0.0, plane.offset - linalg::dot(plane.s, w0));
+  EXPECT_LE(fit.objective, zero_dev_objective + 1e-4);
+}
+
+TEST(ClusterInitialSigns, RecoversCleanClusterStructure) {
+  // w0 classifies at chance on this user; the user's own two clean blobs
+  // plus polarity alignment should produce near-perfect signs.
+  rng::Engine engine(503);
+  const auto user = gaussian_user(engine, 40, 3.0);
+  const auto ctx = PlosUserContext::from_user(user);
+  // Mostly-correct but weak global orientation.
+  const linalg::Vector w0{0.03, 0.01, 0.0};
+  const auto signs = cluster_initial_signs(ctx, w0, 10.0, 10.0, 1.0, 7);
+  std::size_t correct = 0;
+  for (std::size_t k = 0; k < ctx.unlabeled.size(); ++k) {
+    if (signs[k] == user.true_labels[ctx.unlabeled[k]]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) /
+                static_cast<double>(ctx.unlabeled.size()),
+            0.95);
+}
+
+TEST(ClusterInitialSigns, TinyUsersFallBackToWeightSigns) {
+  data::UserData u;
+  u.samples = {{1.0, 1.0}, {-1.0, 1.0}};
+  u.true_labels = {1, -1};
+  u.revealed = {false, false};
+  const auto ctx = PlosUserContext::from_user(u);
+  const linalg::Vector w0{1.0, 0.0};
+  const auto signs = cluster_initial_signs(ctx, w0, 1.0, 10.0, 1.0, 7);
+  EXPECT_EQ(signs, cccp_signs(ctx, w0));
+}
+
+TEST(ClusterInitialSigns, RejectsLabeledUsers) {
+  rng::Engine engine(504);
+  const auto user = gaussian_user(engine, 5, 2.0, /*reveal_none=*/false);
+  const auto ctx = PlosUserContext::from_user(user);
+  EXPECT_THROW(
+      cluster_initial_signs(ctx, linalg::Vector{0.0, 0.0, 0.0}, 1.0, 10.0,
+                            1.0, 7),
+      PreconditionError);
+}
+
+TEST(MostViolated, SignsSizeMismatchThrows) {
+  const auto user = small_user();
+  const auto ctx = PlosUserContext::from_user(user);
+  const Vector w{0.0, 0.0};
+  const std::vector<int> wrong_signs{1};
+  EXPECT_THROW(most_violated_constraint(ctx, wrong_signs, w, 1.0, 1.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace plos::core

@@ -1,0 +1,264 @@
+// Tests for dataset containers, labeling policies, the synthetic generator,
+// and feature transforms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+#include "data/dataset.hpp"
+#include "data/labeling.hpp"
+#include "data/synthetic.hpp"
+#include "data/transform.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::data {
+namespace {
+
+using linalg::Vector;
+
+UserData make_user(std::size_t n, int label, std::size_t dim = 2) {
+  UserData u;
+  for (std::size_t i = 0; i < n; ++i) {
+    u.samples.push_back(Vector(dim, static_cast<double>(i)));
+    u.true_labels.push_back(label);
+  }
+  u.revealed.assign(n, false);
+  return u;
+}
+
+TEST(Dataset, RevealedCountsAndIndices) {
+  UserData u = make_user(4, 1);
+  u.revealed = {true, false, true, false};
+  EXPECT_EQ(u.num_revealed(), 2u);
+  EXPECT_TRUE(u.provides_labels());
+  EXPECT_EQ(u.revealed_indices(), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(u.hidden_indices(), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Dataset, LabeledUnlabeledUserSplit) {
+  MultiUserDataset d;
+  d.users.push_back(make_user(3, 1));
+  d.users.push_back(make_user(3, -1));
+  d.users[0].revealed[0] = true;
+  EXPECT_EQ(d.labeled_users(), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(d.unlabeled_users(), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(d.total_samples(), 6u);
+  EXPECT_EQ(d.dim(), 2u);
+}
+
+TEST(Dataset, InvariantViolationsThrow) {
+  MultiUserDataset d;
+  d.users.push_back(make_user(2, 1));
+  d.users[0].true_labels[0] = 0;  // invalid label
+  EXPECT_THROW(d.check_invariants(), PreconditionError);
+
+  d.users[0].true_labels[0] = 1;
+  d.users[0].revealed.pop_back();  // mask size mismatch
+  EXPECT_THROW(d.check_invariants(), PreconditionError);
+}
+
+TEST(Labeling, HideAllClearsEverything) {
+  MultiUserDataset d;
+  d.users.push_back(make_user(3, 1));
+  d.users[0].revealed = {true, true, true};
+  hide_all_labels(d);
+  EXPECT_EQ(d.users[0].num_revealed(), 0u);
+}
+
+TEST(Labeling, RevealFractionRespectsBudget) {
+  MultiUserDataset d;
+  UserData u;
+  for (int i = 0; i < 50; ++i) {
+    u.samples.push_back(Vector{0.0});
+    u.true_labels.push_back(i < 25 ? 1 : -1);
+  }
+  u.revealed.assign(50, false);
+  d.users.push_back(std::move(u));
+
+  rng::Engine engine(1);
+  reveal_labels(d, {0}, 0.2, engine);
+  EXPECT_EQ(d.users[0].num_revealed(), 10u);
+}
+
+TEST(Labeling, RevealGuaranteesClassCoverage) {
+  MultiUserDataset d;
+  UserData u;
+  for (int i = 0; i < 40; ++i) {
+    u.samples.push_back(Vector{0.0});
+    u.true_labels.push_back(i == 0 ? 1 : -1);  // single positive sample
+  }
+  u.revealed.assign(40, false);
+  d.users.push_back(std::move(u));
+
+  rng::Engine engine(2);
+  reveal_labels(d, {0}, 0.05, engine);  // budget 2
+  bool has_positive = false, has_negative = false;
+  for (std::size_t i = 0; i < 40; ++i) {
+    if (!d.users[0].revealed[i]) continue;
+    (d.users[0].true_labels[i] > 0 ? has_positive : has_negative) = true;
+  }
+  EXPECT_TRUE(has_positive);
+  EXPECT_TRUE(has_negative);
+}
+
+TEST(Labeling, OnlyListedProvidersRevealed) {
+  MultiUserDataset d;
+  d.users.push_back(make_user(10, 1));
+  d.users.push_back(make_user(10, -1));
+  rng::Engine engine(3);
+  reveal_labels(d, {1}, 0.5, engine);
+  EXPECT_EQ(d.users[0].num_revealed(), 0u);
+  EXPECT_GT(d.users[1].num_revealed(), 0u);
+}
+
+TEST(Labeling, ChooseProvidersDistinctAndSorted) {
+  MultiUserDataset d;
+  for (int i = 0; i < 10; ++i) d.users.push_back(make_user(2, 1));
+  rng::Engine engine(4);
+  const auto providers = choose_providers(d, 4, engine);
+  EXPECT_EQ(providers.size(), 4u);
+  for (std::size_t i = 1; i < providers.size(); ++i) {
+    EXPECT_LT(providers[i - 1], providers[i]);
+  }
+  EXPECT_THROW(choose_providers(d, 11, engine), PreconditionError);
+}
+
+TEST(Synthetic, ShapeMatchesSpec) {
+  SyntheticSpec spec;
+  spec.num_users = 5;
+  spec.points_per_class = 30;
+  rng::Engine engine(5);
+  const auto d = generate_synthetic(spec, engine);
+  EXPECT_EQ(d.num_users(), 5u);
+  EXPECT_EQ(d.dim(), 3u);  // 2-D + bias
+  for (const auto& u : d.users) {
+    EXPECT_EQ(u.num_samples(), 60u);
+    EXPECT_EQ(u.num_revealed(), 0u);
+  }
+}
+
+TEST(Synthetic, LabelNoiseApproximatelyTenPercent) {
+  SyntheticSpec spec;
+  spec.num_users = 20;
+  spec.points_per_class = 200;
+  spec.add_bias_dimension = false;
+  rng::Engine engine(6);
+  const auto d = generate_synthetic(spec, engine);
+  // Count samples whose label disagrees with the class mean they were drawn
+  // around: first points_per_class are the +1 class.
+  std::size_t flipped = 0, total = 0;
+  for (const auto& u : d.users) {
+    for (std::size_t i = 0; i < u.num_samples(); ++i) {
+      const int generating_class =
+          i < spec.points_per_class ? 1 : -1;
+      if (u.true_labels[i] != generating_class) ++flipped;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(flipped) / static_cast<double>(total), 0.10,
+              0.02);
+}
+
+TEST(Synthetic, RotationMovesClassMeans) {
+  SyntheticSpec spec;
+  spec.num_users = 2;
+  spec.points_per_class = 300;
+  spec.max_rotation = std::numbers::pi / 2.0;
+  spec.add_bias_dimension = false;
+  spec.label_noise = 0.0;
+  rng::Engine engine(7);
+  const auto d = generate_synthetic(spec, engine);
+
+  // User 0 has rotation 0: +1 mean near (10, 10). User 1 rotated by pi/2:
+  // +1 mean near (-10, 10).
+  const auto class_mean = [&](const UserData& u) {
+    Vector m(2, 0.0);
+    for (std::size_t i = 0; i < spec.points_per_class; ++i) {
+      linalg::axpy(1.0, u.samples[i], m);
+    }
+    linalg::scale(m, 1.0 / static_cast<double>(spec.points_per_class));
+    return m;
+  };
+  const Vector m0 = class_mean(d.users[0]);
+  const Vector m1 = class_mean(d.users[1]);
+  EXPECT_NEAR(m0[0], 10.0, 2.0);
+  EXPECT_NEAR(m0[1], 10.0, 2.0);
+  EXPECT_NEAR(m1[0], -10.0, 2.0);
+  EXPECT_NEAR(m1[1], 10.0, 2.0);
+}
+
+TEST(Synthetic, Rotate2dKnownAngles) {
+  const Vector x{1.0, 0.0};
+  const Vector y = rotate2d(x, std::numbers::pi / 2.0);
+  EXPECT_NEAR(y[0], 0.0, 1e-12);
+  EXPECT_NEAR(y[1], 1.0, 1e-12);
+  EXPECT_THROW(rotate2d(Vector{1.0, 2.0, 3.0}, 0.1), PreconditionError);
+}
+
+TEST(Synthetic, DeterministicGivenSeed) {
+  SyntheticSpec spec;
+  spec.num_users = 3;
+  spec.points_per_class = 10;
+  rng::Engine e1(8), e2(8);
+  const auto d1 = generate_synthetic(spec, e1);
+  const auto d2 = generate_synthetic(spec, e2);
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (std::size_t i = 0; i < d1.users[t].num_samples(); ++i) {
+      EXPECT_TRUE(linalg::approx_equal(d1.users[t].samples[i],
+                                       d2.users[t].samples[i], 0.0));
+      EXPECT_EQ(d1.users[t].true_labels[i], d2.users[t].true_labels[i]);
+    }
+  }
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  MultiUserDataset d;
+  UserData u;
+  rng::Engine engine(9);
+  for (int i = 0; i < 500; ++i) {
+    u.samples.push_back({engine.gaussian(5.0, 3.0), engine.gaussian(-2.0, 0.5)});
+    u.true_labels.push_back(1);
+  }
+  u.revealed.assign(500, false);
+  d.users.push_back(std::move(u));
+
+  const auto s = Standardizer::fit(d);
+  s.apply_in_place(d);
+  const auto refit = Standardizer::fit(d);
+  EXPECT_NEAR(refit.mean()[0], 0.0, 1e-9);
+  EXPECT_NEAR(refit.mean()[1], 0.0, 1e-9);
+  EXPECT_NEAR(refit.scale()[0], 1.0, 1e-9);
+  EXPECT_NEAR(refit.scale()[1], 1.0, 1e-9);
+}
+
+TEST(Standardizer, ConstantDimensionGetsUnitScale) {
+  MultiUserDataset d;
+  UserData u;
+  for (int i = 0; i < 10; ++i) {
+    u.samples.push_back({1.0, static_cast<double>(i)});
+    u.true_labels.push_back(1);
+  }
+  u.revealed.assign(10, false);
+  d.users.push_back(std::move(u));
+  const auto s = Standardizer::fit(d);
+  EXPECT_DOUBLE_EQ(s.scale()[0], 1.0);
+  const Vector out = s.apply(Vector{1.0, 0.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(Transform, AugmentBiasAppendsOne) {
+  const Vector x{2.0, 3.0};
+  const Vector out = augment_bias(x);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+
+  MultiUserDataset d;
+  d.users.push_back(make_user(3, 1));
+  augment_bias(d);
+  EXPECT_EQ(d.dim(), 3u);
+  for (const auto& s : d.users[0].samples) EXPECT_DOUBLE_EQ(s.back(), 1.0);
+}
+
+}  // namespace
+}  // namespace plos::data

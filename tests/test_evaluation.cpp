@@ -1,0 +1,112 @@
+// Tests for the evaluation harness.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "core/evaluation.hpp"
+
+namespace plos::core {
+namespace {
+
+using linalg::Vector;
+
+data::UserData make_user(const std::vector<int>& labels, bool provides) {
+  data::UserData u;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    u.samples.push_back(Vector{static_cast<double>(i)});
+    u.true_labels.push_back(labels[i]);
+  }
+  u.revealed.assign(labels.size(), false);
+  if (provides) u.revealed[0] = true;
+  return u;
+}
+
+TEST(UserAccuracy, ExactMatch) {
+  const auto user = make_user({1, -1, 1, -1}, true);
+  UserPrediction p;
+  p.labels = {1, -1, 1, -1};
+  EXPECT_DOUBLE_EQ(user_accuracy(user, p), 1.0);
+}
+
+TEST(UserAccuracy, PartialMatch) {
+  const auto user = make_user({1, -1, 1, -1}, true);
+  UserPrediction p;
+  p.labels = {1, -1, -1, 1};
+  EXPECT_DOUBLE_EQ(user_accuracy(user, p), 0.5);
+}
+
+TEST(UserAccuracy, ClusterMatchingForgivesGlobalFlip) {
+  const auto user = make_user({1, 1, -1, -1}, false);
+  UserPrediction p;
+  p.labels = {-1, -1, 1, 1};  // perfectly anti-aligned clusters
+  p.match_clusters = true;
+  EXPECT_DOUBLE_EQ(user_accuracy(user, p), 1.0);
+  p.match_clusters = false;
+  EXPECT_DOUBLE_EQ(user_accuracy(user, p), 0.0);
+}
+
+TEST(UserAccuracy, SizeMismatchThrows) {
+  const auto user = make_user({1, -1}, true);
+  UserPrediction p;
+  p.labels = {1};
+  EXPECT_THROW(user_accuracy(user, p), PreconditionError);
+}
+
+TEST(Evaluate, SplitsProvidersAndNonProviders) {
+  data::MultiUserDataset d;
+  d.users.push_back(make_user({1, 1}, true));    // provider
+  d.users.push_back(make_user({-1, -1}, false)); // non-provider
+  std::vector<UserPrediction> predictions(2);
+  predictions[0].labels = {1, 1};    // 100%
+  predictions[1].labels = {-1, 1};   // 50%
+  const auto report = evaluate(d, predictions);
+  EXPECT_EQ(report.num_providers, 1u);
+  EXPECT_EQ(report.num_non_providers, 1u);
+  EXPECT_DOUBLE_EQ(report.providers, 1.0);
+  EXPECT_DOUBLE_EQ(report.non_providers, 0.5);
+  EXPECT_DOUBLE_EQ(report.overall, 0.75);
+}
+
+TEST(Evaluate, AllProviders) {
+  data::MultiUserDataset d;
+  d.users.push_back(make_user({1}, true));
+  std::vector<UserPrediction> predictions(1);
+  predictions[0].labels = {1};
+  const auto report = evaluate(d, predictions);
+  EXPECT_EQ(report.num_non_providers, 0u);
+  EXPECT_DOUBLE_EQ(report.non_providers, 0.0);  // empty split stays zero
+  EXPECT_DOUBLE_EQ(report.overall, 1.0);
+}
+
+TEST(Evaluate, SizeMismatchThrows) {
+  data::MultiUserDataset d;
+  d.users.push_back(make_user({1}, true));
+  EXPECT_THROW(evaluate(d, {}), PreconditionError);
+}
+
+TEST(PredictAll, UsesPersonalizedWeights) {
+  data::MultiUserDataset d;
+  data::UserData u;
+  u.samples = {{1.0}, {-1.0}};
+  u.true_labels = {1, -1};
+  u.revealed = {false, false};
+  d.users.push_back(u);
+  d.users.push_back(u);
+
+  PersonalizedModel model = PersonalizedModel::zeros(2, 1);
+  model.global_weights = {1.0};
+  model.user_deviations[1] = {-2.0};  // user 1's weights flip to -1
+
+  const auto predictions = predict_all(d, model);
+  EXPECT_EQ(predictions[0].labels, (std::vector<int>{1, -1}));
+  EXPECT_EQ(predictions[1].labels, (std::vector<int>{-1, 1}));
+}
+
+TEST(PredictAll, ModelUserCountMismatchThrows) {
+  data::MultiUserDataset d;
+  d.users.push_back(make_user({1}, true));
+  const auto model = PersonalizedModel::zeros(2, 1);
+  EXPECT_THROW(predict_all(d, model), PreconditionError);
+}
+
+}  // namespace
+}  // namespace plos::core

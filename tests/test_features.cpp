@@ -1,0 +1,196 @@
+// Tests for signal statistics, windowing, and the 120-d feature extractor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+#include "features/extractor.hpp"
+#include "features/stats.hpp"
+#include "features/window.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::features {
+namespace {
+
+using linalg::Vector;
+
+TEST(Stats, StddevKnown) {
+  // Population stddev of {2, 4, 4, 4, 5, 5, 7, 9} is 2.
+  const Vector x{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stddev(x), 2.0);
+}
+
+TEST(Stats, StddevConstantIsZero) {
+  EXPECT_DOUBLE_EQ(stddev(Vector{3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const Vector x{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 0.5), 2.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const Vector x{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(x, 0.25), 2.5);
+}
+
+TEST(Stats, MedianEvenCount) {
+  EXPECT_DOUBLE_EQ(median(Vector{1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, MadKnown) {
+  // median = 2, deviations {1, 0, 1} -> MAD = 1.
+  EXPECT_DOUBLE_EQ(median_absolute_deviation(Vector{1.0, 2.0, 3.0}), 1.0);
+}
+
+TEST(Stats, EnergyKnown) {
+  EXPECT_DOUBLE_EQ(energy(Vector{1.0, 2.0, 2.0}), 3.0);
+}
+
+TEST(Stats, IqrKnown) {
+  const Vector x{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(interquartile_range(x), 2.0);
+}
+
+TEST(Stats, MinMax) {
+  const Vector x{3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(max_value(x), 3.0);
+  EXPECT_DOUBLE_EQ(min_value(x), -1.0);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  const Vector empty;
+  EXPECT_THROW(stddev(empty), PreconditionError);
+  EXPECT_THROW(quantile(empty, 0.5), PreconditionError);
+  EXPECT_THROW(energy(empty), PreconditionError);
+  EXPECT_THROW(max_value(empty), PreconditionError);
+}
+
+TEST(Stats, SignalFeaturesLayout) {
+  const Vector x{1.0, 2.0, 3.0, 4.0};
+  const Vector f = signal_features(x);
+  ASSERT_EQ(f.size(), kPerSignalFeatureCount);
+  EXPECT_DOUBLE_EQ(f[0], 2.5);               // mean
+  EXPECT_DOUBLE_EQ(f[3], 4.0);               // max
+  EXPECT_DOUBLE_EQ(f[4], 1.0);               // min
+  EXPECT_DOUBLE_EQ(f[5], 30.0 / 4.0);        // energy
+}
+
+TEST(Window, PaperConfiguration) {
+  // 20 Hz * 113 s = 2260 samples, 64-long windows, stride 32 -> 69 windows
+  // (the paper reports ~70 per activity).
+  const auto windows = sliding_windows(2260, WindowSpec{64, 32});
+  EXPECT_EQ(windows.size(), 69u);
+  EXPECT_EQ(windows.front().begin, 0u);
+  EXPECT_EQ(windows.front().end, 64u);
+  EXPECT_EQ(windows[1].begin, 32u);
+}
+
+TEST(Window, ExactFit) {
+  const auto windows = sliding_windows(64, WindowSpec{64, 32});
+  EXPECT_EQ(windows.size(), 1u);
+}
+
+TEST(Window, TooShortGivesNone) {
+  EXPECT_TRUE(sliding_windows(63, WindowSpec{64, 32}).empty());
+}
+
+TEST(Window, NonOverlapping) {
+  const auto windows = sliding_windows(100, WindowSpec{10, 10});
+  EXPECT_EQ(windows.size(), 10u);
+}
+
+TEST(Window, InvalidSpecThrows) {
+  EXPECT_THROW(sliding_windows(100, WindowSpec{0, 10}), PreconditionError);
+  EXPECT_THROW(sliding_windows(100, WindowSpec{10, 0}), PreconditionError);
+}
+
+TEST(Window, ViewBounds) {
+  const Vector signal(100, 0.0);
+  EXPECT_EQ(window_view(signal, {10, 20}).size(), 10u);
+  EXPECT_THROW(window_view(signal, {90, 110}), PreconditionError);
+}
+
+NodeSignals constant_node(std::size_t n, double ax, double ay, double az) {
+  NodeSignals node;
+  node.accel_x.assign(n, ax);
+  node.accel_y.assign(n, ay);
+  node.accel_z.assign(n, az);
+  node.gyro_u.assign(n, 0.0);
+  node.gyro_v.assign(n, 0.0);
+  return node;
+}
+
+TEST(Extractor, AccelCrossFeaturesGravityOnly) {
+  const Vector ax(10, 0.0), ay(10, 0.0), az(10, -1.0);
+  const Vector f = accel_cross_features(ax, ay, az);
+  ASSERT_EQ(f.size(), kAccelCrossFeatureCount);
+  EXPECT_NEAR(f[0], 1.0, 1e-12);             // |a| = 1 g
+  EXPECT_NEAR(f[1], std::numbers::pi / 2.0, 1e-12);      // angle to x
+  EXPECT_NEAR(f[2], std::numbers::pi / 2.0, 1e-12);      // angle to y
+  EXPECT_NEAR(f[3], std::numbers::pi, 1e-12);            // angle to z (pointing down)
+  EXPECT_NEAR(f[4], 1.0, 1e-12);             // SMA
+}
+
+TEST(Extractor, AccelCrossFeaturesZeroVector) {
+  const Vector zeros(5, 0.0);
+  const Vector f = accel_cross_features(zeros, zeros, zeros);
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Extractor, NodeFeatureCount) {
+  const NodeSignals node = constant_node(64, 0.1, 0.2, -0.9);
+  const Vector f = node_window_features(node, {0, 64});
+  EXPECT_EQ(f.size(), kNodeFeatureCount);
+}
+
+TEST(Extractor, ThreeNodesGive120Dims) {
+  const std::vector<NodeSignals> nodes(3, constant_node(64, 0.0, 0.0, -1.0));
+  const Vector f = multi_node_window_features(nodes, {0, 64});
+  EXPECT_EQ(f.size(), 120u);
+}
+
+TEST(Extractor, ExtractWindowsShape) {
+  const std::vector<NodeSignals> nodes(3, constant_node(2260, 0.0, 0.0, -1.0));
+  const auto features = extract_windows(nodes, WindowSpec{64, 32});
+  EXPECT_EQ(features.size(), 69u);
+  for (const auto& f : features) EXPECT_EQ(f.size(), 120u);
+}
+
+TEST(Extractor, RejectsMismatchedNodeLengths) {
+  std::vector<NodeSignals> nodes{constant_node(100, 0, 0, -1),
+                                 constant_node(99, 0, 0, -1)};
+  EXPECT_THROW(extract_windows(nodes, WindowSpec{10, 5}), PreconditionError);
+}
+
+TEST(Extractor, RejectsRaggedSignalsWithinNode) {
+  NodeSignals node = constant_node(50, 0, 0, -1);
+  node.gyro_v.resize(49);
+  EXPECT_THROW(node_window_features(node, {0, 10}), PreconditionError);
+}
+
+// Property: features distinguish differently-oriented constant gravity.
+class ExtractorOrientationProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtractorOrientationProperty, DistinctOrientationsDistinctFeatures) {
+  rng::Engine engine(GetParam() + 400);
+  const double a1 = engine.uniform(0.0, 3.1);
+  const double a2 = a1 + engine.uniform(0.5, 1.5);
+  const NodeSignals n1 =
+      constant_node(64, std::sin(a1), 0.0, -std::cos(a1));
+  const NodeSignals n2 =
+      constant_node(64, std::sin(a2), 0.0, -std::cos(a2));
+  const Vector f1 = node_window_features(n1, {0, 64});
+  const Vector f2 = node_window_features(n2, {0, 64});
+  EXPECT_FALSE(linalg::approx_equal(f1, f2, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtractorOrientationProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace plos::features

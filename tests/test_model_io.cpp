@@ -1,0 +1,100 @@
+// Tests for model serialization and on-disk persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/model_io.hpp"
+#include "net/serialize.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::core {
+namespace {
+
+PersonalizedModel random_model(std::size_t users, std::size_t dim,
+                               std::uint64_t seed) {
+  rng::Engine engine(seed);
+  PersonalizedModel model;
+  model.global_weights = engine.gaussian_vector(dim);
+  for (std::size_t t = 0; t < users; ++t) {
+    model.user_deviations.push_back(engine.gaussian_vector(dim));
+  }
+  return model;
+}
+
+void expect_models_equal(const PersonalizedModel& a,
+                         const PersonalizedModel& b) {
+  ASSERT_EQ(a.num_users(), b.num_users());
+  EXPECT_TRUE(linalg::approx_equal(a.global_weights, b.global_weights, 0.0));
+  for (std::size_t t = 0; t < a.num_users(); ++t) {
+    EXPECT_TRUE(
+        linalg::approx_equal(a.user_deviations[t], b.user_deviations[t], 0.0));
+  }
+}
+
+TEST(ModelIo, RoundTripBytes) {
+  const auto model = random_model(5, 17, 1);
+  const auto bytes = serialize_model(model);
+  const auto parsed = deserialize_model(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  expect_models_equal(model, *parsed);
+}
+
+TEST(ModelIo, RoundTripEmptyModel) {
+  PersonalizedModel model;  // zero users, zero dim
+  const auto parsed = deserialize_model(serialize_model(model));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_users(), 0u);
+  EXPECT_EQ(parsed->dim(), 0u);
+}
+
+TEST(ModelIo, RejectsBadMagic) {
+  auto bytes = serialize_model(random_model(2, 3, 2));
+  bytes[0] ^= 0xff;
+  EXPECT_FALSE(deserialize_model(bytes).has_value());
+}
+
+TEST(ModelIo, RejectsTruncation) {
+  const auto bytes = serialize_model(random_model(2, 3, 3));
+  for (std::size_t cut : {bytes.size() - 1, bytes.size() / 2, std::size_t{5}}) {
+    EXPECT_FALSE(
+        deserialize_model(std::span(bytes.data(), cut)).has_value())
+        << "cut at " << cut;
+  }
+}
+
+TEST(ModelIo, RejectsTrailingGarbage) {
+  auto bytes = serialize_model(random_model(1, 2, 4));
+  bytes.push_back(0);
+  EXPECT_FALSE(deserialize_model(bytes).has_value());
+}
+
+TEST(ModelIo, RejectsInconsistentDimensions) {
+  // Hand-build a buffer whose deviation length mismatches w0.
+  net::Serializer s;
+  s.write_u32(0x504c4f53);
+  s.write_u32(1);
+  s.write_u64(1);
+  s.write_vector(std::vector<double>{1.0, 2.0});
+  s.write_vector(std::vector<double>{3.0});  // wrong length
+  EXPECT_FALSE(deserialize_model(s.buffer()).has_value());
+}
+
+TEST(ModelIo, SaveLoadFile) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "plos_model_io_test.bin")
+          .string();
+  const auto model = random_model(4, 9, 5);
+  ASSERT_TRUE(save_model(model, path));
+  const auto loaded = load_model(path);
+  ASSERT_TRUE(loaded.has_value());
+  expect_models_equal(model, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, LoadMissingFileFails) {
+  EXPECT_FALSE(load_model("/nonexistent/dir/model.bin").has_value());
+}
+
+}  // namespace
+}  // namespace plos::core

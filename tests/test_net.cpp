@@ -1,0 +1,146 @@
+// Tests for binary serialization and the network/device simulator.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "net/serialize.hpp"
+#include "net/simnet.hpp"
+
+namespace plos::net {
+namespace {
+
+TEST(Serialize, RoundTripScalars) {
+  Serializer s;
+  s.write_u32(7);
+  s.write_u64(1ULL << 40);
+  s.write_f64(-3.25);
+  Deserializer d(s.buffer());
+  EXPECT_EQ(d.read_u32(), 7u);
+  EXPECT_EQ(d.read_u64(), 1ULL << 40);
+  EXPECT_DOUBLE_EQ(d.read_f64(), -3.25);
+  EXPECT_TRUE(d.exhausted());
+}
+
+TEST(Serialize, RoundTripVector) {
+  Serializer s;
+  const std::vector<double> v{1.0, -2.5, 1e300, 0.0};
+  s.write_vector(v);
+  Deserializer d(s.buffer());
+  EXPECT_EQ(d.read_vector(), v);
+}
+
+TEST(Serialize, EmptyVector) {
+  Serializer s;
+  s.write_vector(std::vector<double>{});
+  EXPECT_EQ(s.size_bytes(), 8u);  // just the length prefix
+  Deserializer d(s.buffer());
+  EXPECT_TRUE(d.read_vector().empty());
+}
+
+TEST(Serialize, SizeIsExact) {
+  Serializer s;
+  s.write_u32(1);
+  s.write_vector(std::vector<double>(10, 0.0));
+  EXPECT_EQ(s.size_bytes(), 4u + 8u + 80u);
+}
+
+TEST(Serialize, UnderflowThrows) {
+  Serializer s;
+  s.write_u32(1);
+  Deserializer d(s.buffer());
+  d.read_u32();
+  EXPECT_THROW(d.read_u32(), PreconditionError);
+}
+
+TEST(Serialize, CorruptVectorLengthThrows) {
+  Serializer s;
+  s.write_u64(1000);  // claims 1000 doubles, provides none
+  Deserializer d(s.buffer());
+  EXPECT_THROW(d.read_vector(), PreconditionError);
+}
+
+SimNetwork make_network(std::size_t devices = 3) {
+  DeviceProfile device;
+  device.cpu_slowdown = 10.0;
+  device.compute_power_watts = 2.0;
+  device.tx_energy_j_per_kb = 0.008;
+  device.rx_energy_j_per_kb = 0.005;
+  LinkProfile link;
+  link.latency_s = 0.01;
+  link.bandwidth_kbps = 1024.0;  // 1 KiB takes 8/1024*1024 = 8 ms
+  return SimNetwork(devices, device, link);
+}
+
+TEST(SimNetwork, ByteAccounting) {
+  SimNetwork net = make_network();
+  net.send_to_device(0, 100);
+  net.send_to_server(0, 50);
+  net.send_to_server(1, 70);
+  EXPECT_EQ(net.device_metrics(0).bytes_received, 100u);
+  EXPECT_EQ(net.device_metrics(0).bytes_sent, 50u);
+  EXPECT_EQ(net.device_metrics(1).bytes_sent, 70u);
+  EXPECT_EQ(net.server_metrics().bytes_sent, 100u);
+  EXPECT_EQ(net.server_metrics().bytes_received, 120u);
+  EXPECT_EQ(net.device_metrics(0).messages_received, 1u);
+  EXPECT_EQ(net.device_metrics(0).messages_sent, 1u);
+}
+
+TEST(SimNetwork, ComputeScaledByCpuFactor) {
+  SimNetwork net = make_network();
+  net.account_device_compute(0, 0.5);
+  EXPECT_DOUBLE_EQ(net.device_metrics(0).compute_seconds, 5.0);
+  net.account_server_compute(0.25);
+  EXPECT_DOUBLE_EQ(net.server_metrics().compute_seconds, 0.25);
+}
+
+TEST(SimNetwork, RoundWallClockIsServerPlusSlowestDevice) {
+  SimNetwork net = make_network(2);
+  net.account_device_compute(0, 0.1);  // 1.0 s device time
+  net.account_device_compute(1, 0.3);  // 3.0 s device time
+  net.account_server_compute(0.5);
+  net.end_round();
+  EXPECT_DOUBLE_EQ(net.total_simulated_seconds(), 0.5 + 3.0);
+  EXPECT_EQ(net.rounds_completed(), 1u);
+}
+
+TEST(SimNetwork, TransferTimeEntersRound) {
+  SimNetwork net = make_network(1);
+  net.send_to_device(0, 1024);  // latency 0.01 + 8/1024*... = 0.01 + 1/128
+  net.end_round();
+  EXPECT_NEAR(net.total_simulated_seconds(), 0.01 + 8.0 / 1024.0, 1e-12);
+}
+
+TEST(SimNetwork, EnergyModel) {
+  SimNetwork net = make_network(1);
+  net.account_device_compute(0, 0.1);  // 1 device-second * 2 W = 2 J
+  net.send_to_server(0, 2048);         // 2 KB * 0.008 J/KB = 0.016 J
+  net.send_to_device(0, 1024);         // 1 KB * 0.005 J/KB = 0.005 J
+  EXPECT_NEAR(net.device_metrics(0).energy_joules, 2.0 + 0.016 + 0.005, 1e-12);
+  EXPECT_NEAR(net.total_device_energy(), 2.021, 1e-12);
+}
+
+TEST(SimNetwork, MeanBytesPerDevice) {
+  SimNetwork net = make_network(2);
+  net.send_to_device(0, 100);
+  net.send_to_device(1, 300);
+  EXPECT_DOUBLE_EQ(net.mean_bytes_per_device(), 200.0);
+}
+
+TEST(SimNetwork, RoundsResetScratch) {
+  SimNetwork net = make_network(1);
+  net.account_device_compute(0, 0.1);
+  net.end_round();
+  net.end_round();  // empty round adds nothing
+  EXPECT_DOUBLE_EQ(net.total_simulated_seconds(), 1.0);
+  EXPECT_EQ(net.rounds_completed(), 2u);
+}
+
+TEST(SimNetwork, InvalidUsageThrows) {
+  SimNetwork net = make_network(1);
+  EXPECT_THROW(net.send_to_device(5, 10), PreconditionError);
+  EXPECT_THROW(net.account_device_compute(0, -1.0), PreconditionError);
+  EXPECT_THROW(SimNetwork(0, DeviceProfile{}, LinkProfile{}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace plos::net

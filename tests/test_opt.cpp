@@ -1,0 +1,149 @@
+// Tests for the L-BFGS optimizer and the finite-difference gradient check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "opt/lbfgs.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::opt {
+namespace {
+
+using linalg::Vector;
+
+// Convex quadratic ½ x^T A x − b^T x with known minimizer.
+ObjectiveFn quadratic(const std::vector<Vector>& a, const Vector& b) {
+  return [a, b](std::span<const double> x, std::span<double> g) {
+    double value = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      double ax = 0.0;
+      for (std::size_t j = 0; j < x.size(); ++j) ax += a[i][j] * x[j];
+      g[i] = ax - b[i];
+      value += 0.5 * x[i] * ax - b[i] * x[i];
+    }
+    return value;
+  };
+}
+
+TEST(Lbfgs, SolvesDiagonalQuadratic) {
+  const std::vector<Vector> a{{2.0, 0.0}, {0.0, 8.0}};
+  const Vector b{2.0, 8.0};  // minimizer (1, 1)
+  const auto result = minimize_lbfgs(quadratic(a, b), Vector{0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-5);
+}
+
+TEST(Lbfgs, SolvesIllConditionedQuadratic) {
+  const std::vector<Vector> a{{100.0, 0.0}, {0.0, 0.01}};
+  const Vector b{100.0, 0.01};  // minimizer (1, 1)
+  LbfgsOptions options;
+  options.max_iterations = 2000;
+  options.tolerance = 1e-9;
+  const auto result =
+      minimize_lbfgs(quadratic(a, b), Vector{-3.0, 7.0}, options);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-3);
+}
+
+TEST(Lbfgs, MinimizesRosenbrock) {
+  const ObjectiveFn rosenbrock = [](std::span<const double> x,
+                                    std::span<double> g) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    g[0] = -2.0 * a - 400.0 * x[0] * b;
+    g[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  };
+  LbfgsOptions options;
+  options.max_iterations = 5000;
+  options.tolerance = 1e-8;
+  const auto result =
+      minimize_lbfgs(rosenbrock, Vector{-1.2, 1.0}, options);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-3);
+  EXPECT_LT(result.objective, 1e-6);
+}
+
+TEST(Lbfgs, LogisticRegressionSeparable) {
+  // Smooth logistic loss on two separated points plus L2: the solver must
+  // find a direction classifying both.
+  const ObjectiveFn f = [](std::span<const double> x, std::span<double> g) {
+    const double pts[2][2] = {{2.0, 1.0}, {-2.0, -1.0}};
+    const int labels[2] = {1, -1};
+    double value = 0.5 * (x[0] * x[0] + x[1] * x[1]);
+    g[0] = x[0];
+    g[1] = x[1];
+    for (int i = 0; i < 2; ++i) {
+      const double m =
+          labels[i] * (x[0] * pts[i][0] + x[1] * pts[i][1]);
+      value += std::log1p(std::exp(-m));
+      const double c = -labels[i] / (1.0 + std::exp(m));
+      g[0] += c * pts[i][0];
+      g[1] += c * pts[i][1];
+    }
+    return value;
+  };
+  const auto result = minimize_lbfgs(f, Vector{0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.x[0] * 2.0 + result.x[1], 0.0);  // classifies +1 point
+}
+
+TEST(Lbfgs, InvalidInputsThrow) {
+  const ObjectiveFn f = [](std::span<const double> x, std::span<double> g) {
+    g[0] = 2.0 * x[0];
+    return x[0] * x[0];
+  };
+  EXPECT_THROW(minimize_lbfgs(f, Vector{}), PreconditionError);
+  LbfgsOptions options;
+  options.history = 0;
+  EXPECT_THROW(minimize_lbfgs(f, Vector{1.0}, options), PreconditionError);
+}
+
+TEST(GradientCheck, FlagsWrongGradient) {
+  const ObjectiveFn good = [](std::span<const double> x, std::span<double> g) {
+    g[0] = 2.0 * x[0];
+    return x[0] * x[0];
+  };
+  const ObjectiveFn bad = [](std::span<const double> x, std::span<double> g) {
+    g[0] = 3.0 * x[0];  // wrong
+    return x[0] * x[0];
+  };
+  const Vector at{1.5};
+  EXPECT_LT(gradient_check(good, at), 1e-6);
+  EXPECT_GT(gradient_check(bad, at), 1.0);
+}
+
+// Property: random SPD quadratics are solved to their analytic minimizer.
+class LbfgsQuadraticProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LbfgsQuadraticProperty, MatchesAnalyticMinimizer) {
+  rng::Engine engine(GetParam() * 97 + 13);
+  const std::size_t n = 2 + static_cast<std::size_t>(engine.uniform_int(0, 6));
+  std::vector<Vector> a(n, Vector(n, 0.0));
+  // SPD matrix B B^T + I.
+  std::vector<Vector> basis(n);
+  for (auto& row : basis) row = engine.gaussian_vector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a[i][j] = linalg::dot(basis[i], basis[j]) + (i == j ? 1.0 : 0.0);
+    }
+  }
+  const Vector x_true = engine.gaussian_vector(n);
+  Vector b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) b[i] = linalg::dot(a[i], x_true);
+
+  LbfgsOptions options;
+  options.max_iterations = 1000;
+  options.tolerance = 1e-9;
+  const auto result =
+      minimize_lbfgs(quadratic(a, b), Vector(n, 0.0), options);
+  EXPECT_TRUE(linalg::approx_equal(result.x, x_true, 1e-4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LbfgsQuadraticProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace plos::opt

@@ -1,0 +1,286 @@
+// Tests for the QP solver library: projections, capped-simplex QP (the PLOS
+// dual shape), and box QP, validated against brute-force grid search and
+// KKT conditions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "qp/box_qp.hpp"
+#include "qp/capped_simplex_qp.hpp"
+#include "qp/projection.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::qp {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(Projection, CappedSimplexAlreadyFeasible) {
+  Vector x{0.2, 0.3};
+  project_capped_simplex(x, 1.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.2);
+  EXPECT_DOUBLE_EQ(x[1], 0.3);
+}
+
+TEST(Projection, CappedSimplexClipsNegatives) {
+  Vector x{-0.5, 0.4};
+  project_capped_simplex(x, 1.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.4);
+}
+
+TEST(Projection, CappedSimplexProjectsOntoFace) {
+  Vector x{2.0, 2.0};
+  project_capped_simplex(x, 1.0);
+  EXPECT_NEAR(x[0], 0.5, 1e-12);
+  EXPECT_NEAR(x[1], 0.5, 1e-12);
+}
+
+TEST(Projection, CappedSimplexZeroCap) {
+  Vector x{1.0, 2.0, 3.0};
+  project_capped_simplex(x, 0.0);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Projection, CappedSimplexRejectsNegativeCap) {
+  Vector x{1.0};
+  EXPECT_THROW(project_capped_simplex(x, -1.0), PreconditionError);
+}
+
+TEST(Projection, BoxClamps) {
+  Vector x{-2.0, 0.5, 7.0};
+  project_box(x, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+  EXPECT_DOUBLE_EQ(x[2], 1.0);
+}
+
+// Property: the projection is the closest feasible point — no random
+// feasible probe may be closer.
+class CappedSimplexProjectionProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CappedSimplexProjectionProperty, IsClosestFeasiblePoint) {
+  rng::Engine engine(GetParam());
+  const std::size_t n = 1 + static_cast<std::size_t>(engine.uniform_int(0, 7));
+  const double cap = engine.uniform(0.0, 2.0);
+  const Vector original = engine.gaussian_vector(n, 0.0, 2.0);
+
+  Vector projected = original;
+  project_capped_simplex(projected, cap);
+
+  // Feasibility.
+  double sum = 0.0;
+  for (double v : projected) {
+    EXPECT_GE(v, -1e-12);
+    sum += v;
+  }
+  EXPECT_LE(sum, cap + 1e-9);
+
+  const double base = linalg::squared_distance(projected, original);
+  for (int probe = 0; probe < 200; ++probe) {
+    Vector candidate = engine.gaussian_vector(n, 0.0, 2.0);
+    project_capped_simplex(candidate, cap);  // any feasible point
+    EXPECT_GE(linalg::squared_distance(candidate, original), base - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CappedSimplexProjectionProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+CappedSimplexQpProblem tiny_problem() {
+  // min 1/2 x^T H x - c^T x over {x >= 0, x0 + x1 <= 1}, H = I, c = (2, 1).
+  // Unconstrained optimum (2,1) is infeasible; the constrained optimum lies
+  // on the face x0 + x1 = 1: minimize along it -> x = (1, 0).
+  CappedSimplexQpProblem p;
+  p.hessian = Matrix::identity(2);
+  p.linear = {2.0, 1.0};
+  p.groups = {{0, 1}};
+  p.caps = {1.0};
+  return p;
+}
+
+TEST(CappedSimplexQp, SolvesTinyKnownProblem) {
+  const auto result = solve_capped_simplex_qp(tiny_problem());
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.solution[0], 1.0, 1e-6);
+  EXPECT_NEAR(result.solution[1], 0.0, 1e-6);
+}
+
+TEST(CappedSimplexQp, InteriorOptimum) {
+  CappedSimplexQpProblem p;
+  p.hessian = Matrix::identity(2);
+  p.linear = {0.25, 0.25};
+  p.groups = {{0, 1}};
+  p.caps = {1.0};
+  const auto result = solve_capped_simplex_qp(p);
+  EXPECT_NEAR(result.solution[0], 0.25, 1e-6);
+  EXPECT_NEAR(result.solution[1], 0.25, 1e-6);
+}
+
+TEST(CappedSimplexQp, EmptyProblem) {
+  CappedSimplexQpProblem p;
+  const auto result = solve_capped_simplex_qp(p);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.solution.empty());
+}
+
+TEST(CappedSimplexQp, ValidatesGroupPartition) {
+  CappedSimplexQpProblem p = tiny_problem();
+  p.groups = {{0}};  // does not cover index 1
+  EXPECT_THROW(solve_capped_simplex_qp(p), PreconditionError);
+  p.groups = {{0, 1}, {1}};  // overlap
+  p.caps = {1.0, 1.0};
+  EXPECT_THROW(solve_capped_simplex_qp(p), PreconditionError);
+}
+
+TEST(CappedSimplexQp, WarmStartMatchesColdSolution) {
+  const auto cold = solve_capped_simplex_qp(tiny_problem());
+  QpOptions options;
+  options.warm_start = {0.3, 0.3};
+  const auto warm = solve_capped_simplex_qp(tiny_problem(), options);
+  EXPECT_NEAR(warm.solution[0], cold.solution[0], 1e-6);
+  EXPECT_NEAR(warm.solution[1], cold.solution[1], 1e-6);
+}
+
+TEST(CappedSimplexQp, KktResidualSmallAtSolution) {
+  const auto result = solve_capped_simplex_qp(tiny_problem());
+  EXPECT_LT(kkt_residual(tiny_problem(), result.solution), 1e-5);
+  // And clearly non-small away from it.
+  EXPECT_GT(kkt_residual(tiny_problem(), Vector{0.0, 0.0}), 0.1);
+}
+
+// Property: on random PSD problems with random group structure the solver's
+// objective beats (or matches) every random feasible probe, and KKT holds.
+class CappedSimplexQpProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static CappedSimplexQpProblem random_problem(rng::Engine& engine) {
+    const std::size_t n =
+        2 + static_cast<std::size_t>(engine.uniform_int(0, 6));
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b(i, j) = engine.gaussian();
+    }
+    CappedSimplexQpProblem p;
+    p.hessian = b.matmul(b.transposed());
+    for (std::size_t i = 0; i < n; ++i) p.hessian(i, i) += 0.1;
+    p.linear = engine.gaussian_vector(n);
+    // Random partition into 1-3 groups.
+    const std::size_t num_groups =
+        1 + static_cast<std::size_t>(engine.uniform_int(0, 2));
+    p.groups.assign(num_groups, {});
+    for (std::size_t i = 0; i < n; ++i) {
+      p.groups[static_cast<std::size_t>(engine.uniform_int(
+                   0, static_cast<std::int64_t>(num_groups) - 1))]
+          .push_back(i);
+    }
+    // Drop empty groups (must not reference zero indices).
+    std::vector<std::vector<std::size_t>> groups;
+    for (auto& g : p.groups) {
+      if (!g.empty()) groups.push_back(std::move(g));
+    }
+    // Every index must be covered; rebuild caps for surviving groups.
+    p.groups = std::move(groups);
+    p.caps.assign(p.groups.size(), 0.0);
+    for (auto& c : p.caps) c = engine.uniform(0.1, 2.0);
+    return p;
+  }
+};
+
+TEST_P(CappedSimplexQpProperty, BeatsRandomFeasibleProbesAndSatisfiesKkt) {
+  rng::Engine engine(GetParam() * 977 + 3);
+  const auto p = random_problem(engine);
+  const auto result = solve_capped_simplex_qp(p);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(kkt_residual(p, result.solution), 1e-4);
+
+  const auto objective = [&](const Vector& x) {
+    return 0.5 * linalg::dot(x, p.hessian.matvec(x)) -
+           linalg::dot(p.linear, x);
+  };
+  for (int probe = 0; probe < 300; ++probe) {
+    Vector x = engine.gaussian_vector(p.linear.size(), 0.0, 1.0);
+    for (std::size_t g = 0; g < p.groups.size(); ++g) {
+      Vector block(p.groups[g].size());
+      for (std::size_t k = 0; k < block.size(); ++k) {
+        block[k] = x[p.groups[g][k]];
+      }
+      project_capped_simplex(block, p.caps[g]);
+      for (std::size_t k = 0; k < block.size(); ++k) {
+        x[p.groups[g][k]] = block[k];
+      }
+    }
+    EXPECT_GE(objective(x), result.objective - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CappedSimplexQpProperty,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+TEST(BoxQp, UnconstrainedInteriorSolution) {
+  BoxQpProblem p;
+  p.hessian = Matrix::identity(2);
+  p.linear = {0.25, 0.5};
+  p.lo = 0.0;
+  p.hi = 1.0;
+  const auto result = solve_box_qp(p);
+  EXPECT_NEAR(result.solution[0], 0.25, 1e-6);
+  EXPECT_NEAR(result.solution[1], 0.5, 1e-6);
+}
+
+TEST(BoxQp, ClampsAtBounds) {
+  BoxQpProblem p;
+  p.hessian = Matrix::identity(2);
+  p.linear = {5.0, -3.0};
+  p.lo = 0.0;
+  p.hi = 1.0;
+  const auto result = solve_box_qp(p);
+  EXPECT_NEAR(result.solution[0], 1.0, 1e-6);
+  EXPECT_NEAR(result.solution[1], 0.0, 1e-6);
+}
+
+TEST(BoxQp, RejectsInvertedBounds) {
+  BoxQpProblem p;
+  p.hessian = Matrix::identity(1);
+  p.linear = {0.0};
+  p.lo = 1.0;
+  p.hi = 0.0;
+  EXPECT_THROW(solve_box_qp(p), PreconditionError);
+}
+
+class BoxQpProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoxQpProperty, BeatsRandomFeasibleProbes) {
+  rng::Engine engine(GetParam() * 31 + 7);
+  const std::size_t n = 2 + static_cast<std::size_t>(engine.uniform_int(0, 5));
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = engine.gaussian();
+  }
+  BoxQpProblem p;
+  p.hessian = b.matmul(b.transposed());
+  for (std::size_t i = 0; i < n; ++i) p.hessian(i, i) += 0.1;
+  p.linear = engine.gaussian_vector(n);
+  p.lo = 0.0;
+  p.hi = engine.uniform(0.5, 2.0);
+
+  const auto result = solve_box_qp(p);
+  EXPECT_TRUE(result.converged);
+  const auto objective = [&](const Vector& x) {
+    return 0.5 * linalg::dot(x, p.hessian.matvec(x)) -
+           linalg::dot(p.linear, x);
+  };
+  for (int probe = 0; probe < 300; ++probe) {
+    Vector x(n);
+    for (auto& v : x) v = engine.uniform(p.lo, p.hi);
+    EXPECT_GE(objective(x), result.objective - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxQpProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace plos::qp

@@ -1,0 +1,129 @@
+// Tests for the dual-coordinate-descent linear SVM.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "rng/engine.hpp"
+#include "svm/linear_svm.hpp"
+
+namespace plos::svm {
+namespace {
+
+using linalg::Vector;
+
+std::pair<std::vector<Vector>, std::vector<int>> separable_blobs(
+    rng::Engine& engine, std::size_t per_class, double gap) {
+  std::vector<Vector> xs;
+  std::vector<int> ys;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    xs.push_back({gap + engine.gaussian(0.0, 0.5),
+                  gap + engine.gaussian(0.0, 0.5), 1.0});
+    ys.push_back(1);
+    xs.push_back({-gap + engine.gaussian(0.0, 0.5),
+                  -gap + engine.gaussian(0.0, 0.5), 1.0});
+    ys.push_back(-1);
+  }
+  return {xs, ys};
+}
+
+TEST(LinearSvm, EmptyInputGivesEmptyModel) {
+  const auto model = train_linear_svm({}, {});
+  EXPECT_TRUE(model.weights.empty());
+}
+
+TEST(LinearSvm, RejectsBadLabels) {
+  EXPECT_THROW(train_linear_svm({{1.0}}, std::vector<int>{0}),
+               PreconditionError);
+}
+
+TEST(LinearSvm, RejectsSizeMismatch) {
+  EXPECT_THROW(train_linear_svm({{1.0}}, std::vector<int>{1, -1}),
+               PreconditionError);
+}
+
+TEST(LinearSvm, RejectsNonPositiveC) {
+  LinearSvmOptions options;
+  options.c = 0.0;
+  EXPECT_THROW(train_linear_svm({{1.0}}, std::vector<int>{1}, options),
+               PreconditionError);
+}
+
+TEST(LinearSvm, SeparatesBlobs) {
+  rng::Engine engine(3);
+  const auto [xs, ys] = separable_blobs(engine, 50, 3.0);
+  const auto model = train_linear_svm(xs, ys);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(model.predict(xs[i]), ys[i]);
+  }
+}
+
+TEST(LinearSvm, TrivialOnePointProblem) {
+  // Single positive point x = (2): optimum w = 1/2 (margin exactly 1) when
+  // C >= 1/4: min 1/2 w^2 + C max(0, 1 - 2w) -> w* = 1/2.
+  const auto model =
+      train_linear_svm({{2.0}}, std::vector<int>{1});
+  EXPECT_NEAR(model.weights[0], 0.5, 1e-4);
+}
+
+TEST(LinearSvm, SmallCProducesSmallerWeights) {
+  rng::Engine engine(5);
+  const auto [xs, ys] = separable_blobs(engine, 30, 2.0);
+  LinearSvmOptions weak;
+  weak.c = 1e-4;
+  LinearSvmOptions strong;
+  strong.c = 10.0;
+  const double weak_norm =
+      linalg::norm(train_linear_svm(xs, ys, weak).weights);
+  const double strong_norm =
+      linalg::norm(train_linear_svm(xs, ys, strong).weights);
+  EXPECT_LT(weak_norm, strong_norm);
+}
+
+TEST(LinearSvm, DecisionValueMatchesDot) {
+  LinearSvmModel model;
+  model.weights = {1.0, -2.0};
+  EXPECT_DOUBLE_EQ(model.decision_value(Vector{3.0, 1.0}), 1.0);
+  EXPECT_EQ(model.predict(Vector{3.0, 1.0}), 1);
+  EXPECT_EQ(model.predict(Vector{0.0, 1.0}), -1);
+}
+
+// Property: the DCD solution's primal objective is no worse than random
+// perturbations of it (local optimality in the convex primal ⇒ global).
+class SvmOptimalityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SvmOptimalityProperty, PrimalObjectiveLocallyOptimal) {
+  rng::Engine engine(GetParam() * 131 + 17);
+  const std::size_t per_class =
+      10 + static_cast<std::size_t>(engine.uniform_int(0, 30));
+  const double gap = engine.uniform(0.3, 2.5);  // possibly non-separable
+  const auto [xs, ys] = separable_blobs(engine, per_class, gap);
+
+  LinearSvmOptions options;
+  options.c = engine.uniform(0.05, 5.0);
+  options.tolerance = 1e-8;
+  options.max_epochs = 3000;
+  const auto model = train_linear_svm(xs, ys, options);
+  const double best = svm_primal_objective(model, xs, ys, options.c);
+
+  for (int probe = 0; probe < 100; ++probe) {
+    LinearSvmModel perturbed = model;
+    for (auto& w : perturbed.weights) w += engine.gaussian(0.0, 0.05);
+    EXPECT_GE(svm_primal_objective(perturbed, xs, ys, options.c),
+              best - 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvmOptimalityProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(LinearSvm, DeterministicGivenSeed) {
+  rng::Engine engine(9);
+  const auto [xs, ys] = separable_blobs(engine, 20, 1.0);
+  const auto a = train_linear_svm(xs, ys);
+  const auto b = train_linear_svm(xs, ys);
+  EXPECT_TRUE(linalg::approx_equal(a.weights, b.weights, 0.0));
+}
+
+}  // namespace
+}  // namespace plos::svm
