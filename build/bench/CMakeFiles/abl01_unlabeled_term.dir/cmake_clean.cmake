@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_unlabeled_term.dir/abl01_unlabeled_term.cpp.o"
+  "CMakeFiles/abl01_unlabeled_term.dir/abl01_unlabeled_term.cpp.o.d"
+  "abl01_unlabeled_term"
+  "abl01_unlabeled_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_unlabeled_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_cutting_plane_eps.dir/abl02_cutting_plane_eps.cpp.o"
+  "CMakeFiles/abl02_cutting_plane_eps.dir/abl02_cutting_plane_eps.cpp.o.d"
+  "abl02_cutting_plane_eps"
+  "abl02_cutting_plane_eps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_cutting_plane_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

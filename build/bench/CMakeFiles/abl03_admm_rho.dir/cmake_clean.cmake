@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_admm_rho.dir/abl03_admm_rho.cpp.o"
+  "CMakeFiles/abl03_admm_rho.dir/abl03_admm_rho.cpp.o.d"
+  "abl03_admm_rho"
+  "abl03_admm_rho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_admm_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

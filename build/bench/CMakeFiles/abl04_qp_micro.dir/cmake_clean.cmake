@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl04_qp_micro.dir/abl04_qp_micro.cpp.o"
+  "CMakeFiles/abl04_qp_micro.dir/abl04_qp_micro.cpp.o.d"
+  "abl04_qp_micro"
+  "abl04_qp_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl04_qp_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

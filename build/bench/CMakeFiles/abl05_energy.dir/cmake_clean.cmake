@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl05_energy.dir/abl05_energy.cpp.o"
+  "CMakeFiles/abl05_energy.dir/abl05_energy.cpp.o.d"
+  "abl05_energy"
+  "abl05_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl05_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl06_loss_functions.dir/abl06_loss_functions.cpp.o"
+  "CMakeFiles/abl06_loss_functions.dir/abl06_loss_functions.cpp.o.d"
+  "abl06_loss_functions"
+  "abl06_loss_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl06_loss_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl07_async_participation.dir/abl07_async_participation.cpp.o"
+  "CMakeFiles/abl07_async_participation.dir/abl07_async_participation.cpp.o.d"
+  "abl07_async_participation"
+  "abl07_async_participation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl07_async_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

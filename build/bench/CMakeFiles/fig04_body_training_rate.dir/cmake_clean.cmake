@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_body_training_rate.dir/fig04_body_training_rate.cpp.o"
+  "CMakeFiles/fig04_body_training_rate.dir/fig04_body_training_rate.cpp.o.d"
+  "fig04_body_training_rate"
+  "fig04_body_training_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_body_training_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_har_num_providers.dir/fig05_har_num_providers.cpp.o"
+  "CMakeFiles/fig05_har_num_providers.dir/fig05_har_num_providers.cpp.o.d"
+  "fig05_har_num_providers"
+  "fig05_har_num_providers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_har_num_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

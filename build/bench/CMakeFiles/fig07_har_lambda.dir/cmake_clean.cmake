@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_har_lambda.dir/fig07_har_lambda.cpp.o"
+  "CMakeFiles/fig07_har_lambda.dir/fig07_har_lambda.cpp.o.d"
+  "fig07_har_lambda"
+  "fig07_har_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_har_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

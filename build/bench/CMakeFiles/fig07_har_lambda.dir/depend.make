@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_har_lambda.
+# This may be replaced when dependencies are built.

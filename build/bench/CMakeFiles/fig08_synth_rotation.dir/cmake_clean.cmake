@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_synth_rotation.dir/fig08_synth_rotation.cpp.o"
+  "CMakeFiles/fig08_synth_rotation.dir/fig08_synth_rotation.cpp.o.d"
+  "fig08_synth_rotation"
+  "fig08_synth_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_synth_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

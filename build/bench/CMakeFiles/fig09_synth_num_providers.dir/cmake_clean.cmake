@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_synth_num_providers.dir/fig09_synth_num_providers.cpp.o"
+  "CMakeFiles/fig09_synth_num_providers.dir/fig09_synth_num_providers.cpp.o.d"
+  "fig09_synth_num_providers"
+  "fig09_synth_num_providers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_synth_num_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

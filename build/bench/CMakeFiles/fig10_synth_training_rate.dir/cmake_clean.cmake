@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_synth_training_rate.dir/fig10_synth_training_rate.cpp.o"
+  "CMakeFiles/fig10_synth_training_rate.dir/fig10_synth_training_rate.cpp.o.d"
+  "fig10_synth_training_rate"
+  "fig10_synth_training_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_synth_training_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

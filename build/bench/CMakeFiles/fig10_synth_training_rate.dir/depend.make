@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_synth_training_rate.
+# This may be replaced when dependencies are built.

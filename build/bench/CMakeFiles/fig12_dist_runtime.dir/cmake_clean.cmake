@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dist_runtime.dir/fig12_dist_runtime.cpp.o"
+  "CMakeFiles/fig12_dist_runtime.dir/fig12_dist_runtime.cpp.o.d"
+  "fig12_dist_runtime"
+  "fig12_dist_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dist_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plos_bench_support.dir/bench_support.cpp.o"
+  "CMakeFiles/plos_bench_support.dir/bench_support.cpp.o.d"
+  "libplos_bench_support.a"
+  "libplos_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plos_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_start_user.dir/cold_start_user.cpp.o"
+  "CMakeFiles/cold_start_user.dir/cold_start_user.cpp.o.d"
+  "cold_start_user"
+  "cold_start_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_start_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_deployment.dir/federated_deployment.cpp.o"
+  "CMakeFiles/federated_deployment.dir/federated_deployment.cpp.o.d"
+  "federated_deployment"
+  "federated_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("linalg")
+subdirs("rng")
+subdirs("qp")
+subdirs("opt")
+subdirs("svm")
+subdirs("cluster")
+subdirs("features")
+subdirs("data")
+subdirs("sensing")
+subdirs("net")
+subdirs("core")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plos_cluster.dir/hungarian.cpp.o"
+  "CMakeFiles/plos_cluster.dir/hungarian.cpp.o.d"
+  "CMakeFiles/plos_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/plos_cluster.dir/kmeans.cpp.o.d"
+  "CMakeFiles/plos_cluster.dir/lsh.cpp.o"
+  "CMakeFiles/plos_cluster.dir/lsh.cpp.o.d"
+  "CMakeFiles/plos_cluster.dir/spectral.cpp.o"
+  "CMakeFiles/plos_cluster.dir/spectral.cpp.o.d"
+  "libplos_cluster.a"
+  "libplos_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plos_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for plos_cluster.
+# This may be replaced when dependencies are built.

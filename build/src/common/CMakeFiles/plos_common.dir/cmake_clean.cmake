@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plos_common.dir/assert.cpp.o"
+  "CMakeFiles/plos_common.dir/assert.cpp.o.d"
+  "libplos_common.a"
+  "libplos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

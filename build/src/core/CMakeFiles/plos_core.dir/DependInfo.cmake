@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/plos_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/plos_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/centralized_plos.cpp" "src/core/CMakeFiles/plos_core.dir/centralized_plos.cpp.o" "gcc" "src/core/CMakeFiles/plos_core.dir/centralized_plos.cpp.o.d"
+  "/root/repo/src/core/cross_validation.cpp" "src/core/CMakeFiles/plos_core.dir/cross_validation.cpp.o" "gcc" "src/core/CMakeFiles/plos_core.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/core/cutting_plane.cpp" "src/core/CMakeFiles/plos_core.dir/cutting_plane.cpp.o" "gcc" "src/core/CMakeFiles/plos_core.dir/cutting_plane.cpp.o.d"
+  "/root/repo/src/core/distributed_plos.cpp" "src/core/CMakeFiles/plos_core.dir/distributed_plos.cpp.o" "gcc" "src/core/CMakeFiles/plos_core.dir/distributed_plos.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/plos_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/plos_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/logistic_plos.cpp" "src/core/CMakeFiles/plos_core.dir/logistic_plos.cpp.o" "gcc" "src/core/CMakeFiles/plos_core.dir/logistic_plos.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/plos_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/plos_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/plos_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/plos_core.dir/model_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/plos_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/CMakeFiles/plos_qp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/plos_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/plos_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/plos_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/plos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/plos_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/plos_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

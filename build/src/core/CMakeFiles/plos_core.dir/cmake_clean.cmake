@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plos_core.dir/baselines.cpp.o"
+  "CMakeFiles/plos_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/plos_core.dir/centralized_plos.cpp.o"
+  "CMakeFiles/plos_core.dir/centralized_plos.cpp.o.d"
+  "CMakeFiles/plos_core.dir/cross_validation.cpp.o"
+  "CMakeFiles/plos_core.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/plos_core.dir/cutting_plane.cpp.o"
+  "CMakeFiles/plos_core.dir/cutting_plane.cpp.o.d"
+  "CMakeFiles/plos_core.dir/distributed_plos.cpp.o"
+  "CMakeFiles/plos_core.dir/distributed_plos.cpp.o.d"
+  "CMakeFiles/plos_core.dir/evaluation.cpp.o"
+  "CMakeFiles/plos_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/plos_core.dir/logistic_plos.cpp.o"
+  "CMakeFiles/plos_core.dir/logistic_plos.cpp.o.d"
+  "CMakeFiles/plos_core.dir/model.cpp.o"
+  "CMakeFiles/plos_core.dir/model.cpp.o.d"
+  "CMakeFiles/plos_core.dir/model_io.cpp.o"
+  "CMakeFiles/plos_core.dir/model_io.cpp.o.d"
+  "libplos_core.a"
+  "libplos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plos_data.dir/dataset.cpp.o"
+  "CMakeFiles/plos_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/plos_data.dir/labeling.cpp.o"
+  "CMakeFiles/plos_data.dir/labeling.cpp.o.d"
+  "CMakeFiles/plos_data.dir/synthetic.cpp.o"
+  "CMakeFiles/plos_data.dir/synthetic.cpp.o.d"
+  "CMakeFiles/plos_data.dir/transform.cpp.o"
+  "CMakeFiles/plos_data.dir/transform.cpp.o.d"
+  "libplos_data.a"
+  "libplos_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plos_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plos_features.dir/extractor.cpp.o"
+  "CMakeFiles/plos_features.dir/extractor.cpp.o.d"
+  "CMakeFiles/plos_features.dir/stats.cpp.o"
+  "CMakeFiles/plos_features.dir/stats.cpp.o.d"
+  "CMakeFiles/plos_features.dir/window.cpp.o"
+  "CMakeFiles/plos_features.dir/window.cpp.o.d"
+  "libplos_features.a"
+  "libplos_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plos_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plos_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/plos_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/plos_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/plos_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/plos_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/plos_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/plos_linalg.dir/vector.cpp.o"
+  "CMakeFiles/plos_linalg.dir/vector.cpp.o.d"
+  "libplos_linalg.a"
+  "libplos_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plos_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

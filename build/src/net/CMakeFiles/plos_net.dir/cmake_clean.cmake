@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plos_net.dir/serialize.cpp.o"
+  "CMakeFiles/plos_net.dir/serialize.cpp.o.d"
+  "CMakeFiles/plos_net.dir/simnet.cpp.o"
+  "CMakeFiles/plos_net.dir/simnet.cpp.o.d"
+  "libplos_net.a"
+  "libplos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

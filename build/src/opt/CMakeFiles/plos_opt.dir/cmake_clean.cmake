@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plos_opt.dir/lbfgs.cpp.o"
+  "CMakeFiles/plos_opt.dir/lbfgs.cpp.o.d"
+  "libplos_opt.a"
+  "libplos_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plos_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplos_opt.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plos_qp.dir/box_qp.cpp.o"
+  "CMakeFiles/plos_qp.dir/box_qp.cpp.o.d"
+  "CMakeFiles/plos_qp.dir/capped_simplex_qp.cpp.o"
+  "CMakeFiles/plos_qp.dir/capped_simplex_qp.cpp.o.d"
+  "CMakeFiles/plos_qp.dir/projection.cpp.o"
+  "CMakeFiles/plos_qp.dir/projection.cpp.o.d"
+  "libplos_qp.a"
+  "libplos_qp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plos_qp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/engine.cpp" "src/rng/CMakeFiles/plos_rng.dir/engine.cpp.o" "gcc" "src/rng/CMakeFiles/plos_rng.dir/engine.cpp.o.d"
+  "/root/repo/src/rng/multivariate_normal.cpp" "src/rng/CMakeFiles/plos_rng.dir/multivariate_normal.cpp.o" "gcc" "src/rng/CMakeFiles/plos_rng.dir/multivariate_normal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/plos_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

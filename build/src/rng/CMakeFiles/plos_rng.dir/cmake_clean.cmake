@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plos_rng.dir/engine.cpp.o"
+  "CMakeFiles/plos_rng.dir/engine.cpp.o.d"
+  "CMakeFiles/plos_rng.dir/multivariate_normal.cpp.o"
+  "CMakeFiles/plos_rng.dir/multivariate_normal.cpp.o.d"
+  "libplos_rng.a"
+  "libplos_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plos_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensing/body_sensor.cpp" "src/sensing/CMakeFiles/plos_sensing.dir/body_sensor.cpp.o" "gcc" "src/sensing/CMakeFiles/plos_sensing.dir/body_sensor.cpp.o.d"
+  "/root/repo/src/sensing/har.cpp" "src/sensing/CMakeFiles/plos_sensing.dir/har.cpp.o" "gcc" "src/sensing/CMakeFiles/plos_sensing.dir/har.cpp.o.d"
+  "/root/repo/src/sensing/rotation3d.cpp" "src/sensing/CMakeFiles/plos_sensing.dir/rotation3d.cpp.o" "gcc" "src/sensing/CMakeFiles/plos_sensing.dir/rotation3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/plos_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/plos_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/plos_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/plos_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

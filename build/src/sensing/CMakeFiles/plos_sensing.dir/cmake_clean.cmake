@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plos_sensing.dir/body_sensor.cpp.o"
+  "CMakeFiles/plos_sensing.dir/body_sensor.cpp.o.d"
+  "CMakeFiles/plos_sensing.dir/har.cpp.o"
+  "CMakeFiles/plos_sensing.dir/har.cpp.o.d"
+  "CMakeFiles/plos_sensing.dir/rotation3d.cpp.o"
+  "CMakeFiles/plos_sensing.dir/rotation3d.cpp.o.d"
+  "libplos_sensing.a"
+  "libplos_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plos_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plos_svm.dir/linear_svm.cpp.o"
+  "CMakeFiles/plos_svm.dir/linear_svm.cpp.o.d"
+  "libplos_svm.a"
+  "libplos_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plos_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

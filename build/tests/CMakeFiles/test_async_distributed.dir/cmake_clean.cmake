@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_distributed.dir/test_async_distributed.cpp.o"
+  "CMakeFiles/test_async_distributed.dir/test_async_distributed.cpp.o.d"
+  "test_async_distributed"
+  "test_async_distributed.pdb"
+  "test_async_distributed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_centralized_plos.dir/test_centralized_plos.cpp.o"
+  "CMakeFiles/test_centralized_plos.dir/test_centralized_plos.cpp.o.d"
+  "test_centralized_plos"
+  "test_centralized_plos.pdb"
+  "test_centralized_plos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_centralized_plos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_centralized_plos.
+# This may be replaced when dependencies are built.

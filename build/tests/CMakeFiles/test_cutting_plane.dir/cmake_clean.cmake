@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cutting_plane.dir/test_cutting_plane.cpp.o"
+  "CMakeFiles/test_cutting_plane.dir/test_cutting_plane.cpp.o.d"
+  "test_cutting_plane"
+  "test_cutting_plane.pdb"
+  "test_cutting_plane[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cutting_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cutting_plane.
+# This may be replaced when dependencies are built.

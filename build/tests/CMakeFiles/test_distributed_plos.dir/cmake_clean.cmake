@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_plos.dir/test_distributed_plos.cpp.o"
+  "CMakeFiles/test_distributed_plos.dir/test_distributed_plos.cpp.o.d"
+  "test_distributed_plos"
+  "test_distributed_plos.pdb"
+  "test_distributed_plos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_plos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

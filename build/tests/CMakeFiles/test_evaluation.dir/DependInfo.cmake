@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_evaluation.cpp" "tests/CMakeFiles/test_evaluation.dir/test_evaluation.cpp.o" "gcc" "tests/CMakeFiles/test_evaluation.dir/test_evaluation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/plos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/plos_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/CMakeFiles/plos_qp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/plos_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/plos_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/plos_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/plos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/plos_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/plos_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logistic_plos.dir/test_logistic_plos.cpp.o"
+  "CMakeFiles/test_logistic_plos.dir/test_logistic_plos.cpp.o.d"
+  "test_logistic_plos"
+  "test_logistic_plos.pdb"
+  "test_logistic_plos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logistic_plos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plos_run.dir/plos_run.cpp.o"
+  "CMakeFiles/plos_run.dir/plos_run.cpp.o.d"
+  "plos_run"
+  "plos_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plos_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
