@@ -1,16 +1,51 @@
 #include "bench_support.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "obs/metrics.hpp"
 #include "rng/engine.hpp"
 
 namespace plos::bench {
 
+namespace {
+
+const char* bench_metrics_path() {
+  static const char* path = std::getenv("PLOS_BENCH_METRICS");
+  return path;
+}
+
+}  // namespace
+
+bool bench_metrics_enabled() { return bench_metrics_path() != nullptr; }
+
+PhaseMetrics::PhaseMetrics(std::string phase) : phase_(std::move(phase)) {
+  if (!bench_metrics_enabled()) return;
+  active_ = true;
+  obs::metrics().set_enabled(true);
+  obs::metrics().reset_values();
+}
+
+PhaseMetrics::~PhaseMetrics() {
+  if (!active_) return;
+  std::FILE* file = std::fopen(bench_metrics_path(), "a");
+  if (file == nullptr) return;
+  const std::string snapshot = obs::metrics().to_json();
+  std::fprintf(file, "{\"phase\":\"%s\",\"metrics\":%s}\n", phase_.c_str(),
+               snapshot.c_str());
+  std::fclose(file);
+}
+
 MethodReports run_all_methods(const data::MultiUserDataset& dataset,
                               const core::CentralizedPlosOptions& options) {
   MethodReports reports;
-  const auto plos = core::train_centralized_plos(dataset, options);
-  reports.plos = core::evaluate(dataset, core::predict_all(dataset, plos.model));
+  {
+    const PhaseMetrics phase("plos_train");
+    const auto plos = core::train_centralized_plos(dataset, options);
+    reports.plos =
+        core::evaluate(dataset, core::predict_all(dataset, plos.model));
+  }
+  const PhaseMetrics phase("baselines");
   reports.all = core::evaluate(dataset, core::run_all_baseline(dataset));
   reports.group = core::evaluate(dataset, core::run_group_baseline(dataset));
   reports.single = core::evaluate(dataset, core::run_single_baseline(dataset));

@@ -74,4 +74,31 @@ void print_row(double x, std::span<const double> values);
 std::vector<std::string> accuracy_series_names();
 std::vector<double> accuracy_series_values(const MethodReports& reports);
 
+// ---- opt-in per-phase metrics dump ---------------------------------------
+
+/// True when the PLOS_BENCH_METRICS environment variable names an output
+/// file; benches then record solver-internal metrics per phase.
+bool bench_metrics_enabled();
+
+/// RAII phase scope. When bench_metrics_enabled(), construction enables the
+/// global metrics registry and zeroes its values; destruction appends one
+/// JSON line `{"phase":"<name>","metrics":<registry snapshot>}` to the
+/// PLOS_BENCH_METRICS file. The snapshot carries the solver-internal
+/// breakdown (time in QP vs cutting-plane separation vs serialization,
+/// iteration histograms, simnet traffic) for BENCH_*.json post-processing.
+/// A no-op when the variable is unset, so benches stay overhead-free by
+/// default.
+class PhaseMetrics {
+ public:
+  explicit PhaseMetrics(std::string phase);
+  ~PhaseMetrics();
+
+  PhaseMetrics(const PhaseMetrics&) = delete;
+  PhaseMetrics& operator=(const PhaseMetrics&) = delete;
+
+ private:
+  std::string phase_;
+  bool active_ = false;
+};
+
 }  // namespace plos::bench

@@ -5,6 +5,9 @@
 #include "common/assert.hpp"
 #include "common/stopwatch.hpp"
 #include "core/cutting_plane.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rng/engine.hpp"
 #include "svm/linear_svm.hpp"
 
@@ -44,6 +47,7 @@ class DualState {
     linear_.push_back(plane.offset);
     groups_[user].push_back(a);
     planes_.push_back({user, std::move(plane)});
+    count_constraint_added();
   }
 
   /// Solves the dual and recovers (w0, v_t) into `model`.
@@ -170,6 +174,9 @@ CentralizedPlosResult train_centralized_plos(
   PLOS_CHECK(options.params.lambda > 0.0,
              "train_centralized_plos: lambda must be positive");
 
+  PLOS_SPAN("plos.centralized_train");
+  PLOS_LOG_INFO("centralized train start", obs::F("users", num_users),
+                obs::F("dim", dim), obs::F("lambda", options.params.lambda));
   const Stopwatch watch;
   CentralizedPlosResult result;
   result.model = PersonalizedModel::zeros(num_users, dim);
@@ -184,6 +191,9 @@ CentralizedPlosResult train_centralized_plos(
   double previous_objective = std::numeric_limits<double>::infinity();
   PersonalizedModel previous_model = result.model;
   for (int cccp = 0; cccp < options.cccp.max_iterations; ++cccp) {
+    PLOS_SPAN("plos.cccp_round", "round", cccp);
+    const Stopwatch round_watch;
+    const int round_qp_solves_before = result.diagnostics.qp_solves;
     result.diagnostics.cccp_iterations = cccp + 1;
 
     // Fix the CCCP linearization signs at the current iterate.
@@ -215,6 +225,7 @@ CentralizedPlosResult train_centralized_plos(
     result.model = PersonalizedModel::zeros(num_users, dim);
 
     for (int it = 0; it < options.cutting_plane.max_iterations; ++it) {
+      PLOS_SPAN("plos.cutting_plane_iteration", "iteration", it);
       bool added = false;
       for (std::size_t t = 0; t < num_users; ++t) {
         if (contexts[t].num_samples() == 0) continue;
@@ -241,14 +252,29 @@ CentralizedPlosResult train_centralized_plos(
 
     const double objective =
         plos_objective(dataset, result.model, options.params);
+    result.diagnostics.round_seconds.push_back(round_watch.elapsed_seconds());
+    result.diagnostics.round_qp_solves.push_back(
+        result.diagnostics.qp_solves - round_qp_solves_before);
     // CCCP descent safeguard: the subproblems are solved only to the
     // cutting-plane tolerance, so a round can fail to improve the true
     // objective — in that case keep the previous iterate and stop.
     if (objective > previous_objective) {
+      PLOS_LOG_DEBUG("cccp round rejected", obs::F("round", cccp),
+                     obs::F("objective", objective),
+                     obs::F("previous", previous_objective));
       result.model = previous_model;
       break;
     }
     result.diagnostics.objective_trace.push_back(objective);
+    // Gauge samples mirror the accepted-objective trace, so a snapshot's
+    // "plos.objective" trajectory is monotone like the diagnostics trace.
+    static obs::Gauge& objective_gauge = obs::metrics().gauge("plos.objective");
+    objective_gauge.set(objective);
+    PLOS_LOG_DEBUG("cccp round", obs::F("round", cccp),
+                   obs::F("objective", objective),
+                   obs::F("constraints", dual.size()),
+                   obs::F("qp_solves", result.diagnostics.round_qp_solves.back()),
+                   obs::F("seconds", result.diagnostics.round_seconds.back()));
     if (previous_objective - objective <=
         options.cccp.objective_tolerance * (1.0 + std::abs(objective))) {
       break;
@@ -258,6 +284,11 @@ CentralizedPlosResult train_centralized_plos(
   }
 
   result.diagnostics.train_seconds = watch.elapsed_seconds();
+  PLOS_LOG_INFO("centralized train done",
+                obs::F("cccp_rounds", result.diagnostics.cccp_iterations),
+                obs::F("qp_solves", result.diagnostics.qp_solves),
+                obs::F("constraints", result.diagnostics.final_constraint_count),
+                obs::F("seconds", result.diagnostics.train_seconds));
   return result;
 }
 

@@ -48,6 +48,12 @@ struct PlosDiagnostics {
   int qp_solves = 0;
   std::size_t final_constraint_count = 0;
   double train_seconds = 0.0;
+  /// Per-CCCP-round breakdown (one entry per *started* round, including a
+  /// final round rejected by the descent safeguard): wall time spent in the
+  /// round and dual QP solves it performed. train_seconds aggregates these;
+  /// the per-round view is what convergence/performance analysis needs.
+  std::vector<double> round_seconds;
+  std::vector<int> round_qp_solves;
 };
 
 struct CentralizedPlosResult {

@@ -4,6 +4,8 @@
 
 #include "cluster/kmeans.hpp"
 #include "common/assert.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
 #include "qp/capped_simplex_qp.hpp"
 #include "rng/engine.hpp"
 
@@ -70,6 +72,7 @@ LocalDeviationFit fit_local_deviation(const PlosUserContext& ctx,
     next(a, a) = linalg::squared_norm(plane.s);
     dots = std::move(next);
     working_set.push_back(plane);
+    count_constraint_added();
 
     // Dual: max Σγ(b_c − s_c·w0) − ½ κ ||Σγs||², γ ≥ 0, Σγ ≤ 1.
     const std::size_t n = working_set.size();
@@ -173,6 +176,7 @@ CuttingPlane most_violated_constraint(const PlosUserContext& ctx,
                                       std::span<const int> signs,
                                       std::span<const double> user_weights,
                                       double cl, double cu) {
+  const Stopwatch watch;
   PLOS_CHECK(ctx.user != nullptr, "most_violated_constraint: null user");
   PLOS_CHECK(signs.size() == ctx.unlabeled.size(),
              "most_violated_constraint: signs/unlabeled size mismatch");
@@ -205,12 +209,30 @@ CuttingPlane most_violated_constraint(const PlosUserContext& ctx,
   linalg::scale(plane.s, inv_m);
   plane.offset = inv_m * (cl * static_cast<double>(selected_labeled) +
                           cu * static_cast<double>(selected_unlabeled));
+
+  static obs::Counter& separations =
+      obs::metrics().counter("plos.cutting_plane.separations");
+  static obs::Counter& seconds =
+      obs::metrics().counter("plos.cutting_plane.separation_seconds");
+  separations.increment();
+  seconds.add(watch.elapsed_seconds());
   return plane;
 }
 
 double constraint_violation(const CuttingPlane& plane,
                             std::span<const double> user_weights, double xi) {
-  return plane.offset - linalg::dot(plane.s, user_weights) - xi;
+  const double violation =
+      plane.offset - linalg::dot(plane.s, user_weights) - xi;
+  static obs::Gauge& gauge =
+      obs::metrics().gauge("plos.cutting_plane.violation");
+  gauge.set(violation);
+  return violation;
+}
+
+void count_constraint_added() {
+  static obs::Counter& constraints =
+      obs::metrics().counter("plos.cutting_plane.constraints_added");
+  constraints.increment();
 }
 
 double optimal_slack(const std::vector<CuttingPlane>& working_set,

@@ -86,8 +86,14 @@ CuttingPlane most_violated_constraint(const PlosUserContext& ctx,
                                       double cl, double cu);
 
 /// Violation b_c − s_c·w − ξ of a constraint at weights w with slack ξ.
+/// Mirrors the value into the "plos.cutting_plane.violation" gauge.
 double constraint_violation(const CuttingPlane& plane,
                             std::span<const double> user_weights, double xi);
+
+/// Bumps the shared "plos.cutting_plane.constraints_added" counter; called
+/// by every working-set grow site (centralized dual, device dual, local
+/// deviation fit) so the registry sees one population-wide count.
+void count_constraint_added();
 
 /// Optimal slack for a working set Ω at weights w:
 /// ξ = max(0, max_{c ∈ Ω} b_c − s_c·w).

@@ -7,6 +7,9 @@
 #include "common/stopwatch.hpp"
 #include "core/cutting_plane.hpp"
 #include "net/serialize.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rng/engine.hpp"
 #include "svm/linear_svm.hpp"
 
@@ -14,24 +17,36 @@ namespace plos::core {
 
 namespace {
 
+// Accumulates wire-format serialization wall time so bench snapshots can
+// split solver time into QP vs separation vs serialization.
+void count_serialize_seconds(const Stopwatch& watch) {
+  static obs::Counter& seconds =
+      obs::metrics().counter("net.serialize.seconds");
+  seconds.add(watch.elapsed_seconds());
+}
+
 // Wire formats. Sizes are what the simulator charges, so they are real
 // serializations, not estimates.
 std::size_t broadcast_bytes(std::span<const double> w0,
                             std::span<const double> u) {
+  const Stopwatch watch;
   net::Serializer s;
   s.write_u32(/*message type*/ 1);
   s.write_vector(w0);
   s.write_vector(u);
+  count_serialize_seconds(watch);
   return s.size_bytes();
 }
 
 std::size_t update_bytes(std::span<const double> w, std::span<const double> v,
                          double xi) {
+  const Stopwatch watch;
   net::Serializer s;
   s.write_u32(/*message type*/ 2);
   s.write_vector(w);
   s.write_vector(v);
   s.write_f64(xi);
+  count_serialize_seconds(watch);
   return s.size_bytes();
 }
 
@@ -120,6 +135,9 @@ class Device {
     return sol;
   }
 
+  /// Cumulative dual QP solves this device has performed.
+  int qp_solves() const { return qp_solves_; }
+
  private:
   void add_plane(CuttingPlane plane) {
     const std::size_t a = working_set_.size();
@@ -135,6 +153,7 @@ class Device {
     dots(a, a) = linalg::squared_norm(plane.s);
     dots_ = std::move(dots);
     working_set_.push_back(std::move(plane));
+    count_constraint_added();
   }
 
   void solve_dual(const linalg::Vector& d, LocalSolution& sol) {
@@ -158,6 +177,7 @@ class Device {
     qp_options.warm_start = previous_gamma_;
     qp_options.warm_start.resize(n, 0.0);
     const qp::QpResult result = qp::solve_capped_simplex_qp(problem, qp_options);
+    ++qp_solves_;
     previous_gamma_ = result.solution;
 
     linalg::Vector g = linalg::zeros(d.size());
@@ -180,6 +200,7 @@ class Device {
   std::vector<CuttingPlane> working_set_;
   linalg::Matrix dots_;  ///< cached pairwise ⟨s_i, s_j⟩
   linalg::Vector previous_gamma_;
+  int qp_solves_ = 0;
 };
 
 }  // namespace
@@ -206,6 +227,10 @@ DistributedPlosResult train_distributed_impl(
                "train_distributed_plos: network/device count mismatch");
   }
 
+  PLOS_SPAN("plos.distributed_train");
+  PLOS_LOG_INFO("distributed train start", obs::F("users", num_users),
+                obs::F("dim", dim), obs::F("rho", options.rho),
+                obs::F("participation", participation));
   const Stopwatch total_watch;
   DistributedPlosResult result;
   result.model = PersonalizedModel::zeros(num_users, dim);
@@ -258,7 +283,17 @@ DistributedPlosResult train_distributed_impl(
   const double sqrt_t = std::sqrt(static_cast<double>(num_users));
   double previous_cccp_objective = std::numeric_limits<double>::infinity();
 
+  const auto total_device_qp_solves = [&devices]() {
+    int total = 0;
+    for (const Device& device : devices) total += device.qp_solves();
+    return total;
+  };
+
   for (int cccp = 0; cccp < options.cccp.max_iterations; ++cccp) {
+    PLOS_SPAN("plos.cccp_round", "round", cccp);
+    const Stopwatch round_watch;
+    const int round_admm_before = result.diagnostics.admm_iterations_total;
+    const int round_qp_before = total_device_qp_solves();
     result.diagnostics.cccp_iterations = cccp + 1;
     for (std::size_t t = 0; t < num_users; ++t) {
       Stopwatch device_watch;
@@ -270,6 +305,7 @@ DistributedPlosResult train_distributed_impl(
 
     double objective = 0.0;
     for (int admm = 0; admm < options.max_admm_iterations; ++admm) {
+      PLOS_SPAN("plos.admm_round", "iteration", admm);
       ++result.diagnostics.admm_iterations_total;
       const linalg::Vector w0_old = w0;
       std::vector<linalg::Vector> u_old = u;
@@ -286,6 +322,7 @@ DistributedPlosResult train_distributed_impl(
         if (network != nullptr) {
           network->send_to_device(t, broadcast_bytes(w0, u[t]));
         }
+        PLOS_SPAN("plos.device_solve", "device", static_cast<double>(t));
         Stopwatch device_watch;
         auto sol = devices[t].solve(w0, u[t]);
         if (network != nullptr) {
@@ -341,6 +378,19 @@ DistributedPlosResult train_distributed_impl(
       result.diagnostics.objective_trace.push_back(objective);
       result.diagnostics.primal_residual_trace.push_back(primal_residual);
       result.diagnostics.dual_residual_trace.push_back(dual_residual);
+      static obs::Gauge& primal_gauge =
+          obs::metrics().gauge("plos.admm.primal_residual");
+      static obs::Gauge& dual_gauge =
+          obs::metrics().gauge("plos.admm.dual_residual");
+      static obs::Gauge& objective_gauge =
+          obs::metrics().gauge("plos.admm.objective");
+      primal_gauge.set(primal_residual);
+      dual_gauge.set(dual_residual);
+      objective_gauge.set(objective);
+      PLOS_LOG_TRACE("admm iteration", obs::F("cccp", cccp),
+                     obs::F("admm", admm), obs::F("objective", objective),
+                     obs::F("primal_residual", primal_residual),
+                     obs::F("dual_residual", dual_residual));
 
       // Paper thresholds (Eq. 24) plus Boyd's relative terms.
       const double primal_threshold =
@@ -355,12 +405,24 @@ DistributedPlosResult train_distributed_impl(
       }
     }
 
+    result.diagnostics.round_seconds.push_back(round_watch.elapsed_seconds());
+    result.diagnostics.round_admm_iterations.push_back(
+        result.diagnostics.admm_iterations_total - round_admm_before);
+    result.diagnostics.round_qp_solves.push_back(total_device_qp_solves() -
+                                                 round_qp_before);
+    PLOS_LOG_DEBUG(
+        "cccp round", obs::F("round", cccp), obs::F("objective", objective),
+        obs::F("admm_iterations", result.diagnostics.round_admm_iterations.back()),
+        obs::F("qp_solves", result.diagnostics.round_qp_solves.back()),
+        obs::F("seconds", result.diagnostics.round_seconds.back()));
+
     if (std::abs(previous_cccp_objective - objective) <=
         options.cccp.objective_tolerance * (1.0 + std::abs(objective))) {
       break;
     }
     previous_cccp_objective = objective;
   }
+  result.diagnostics.qp_solves = total_device_qp_solves();
 
   result.model.global_weights = w0;
   for (std::size_t t = 0; t < num_users; ++t) {
@@ -369,6 +431,12 @@ DistributedPlosResult train_distributed_impl(
     result.model.user_deviations[t] = linalg::sub(w[t], w0);
   }
   result.diagnostics.train_seconds = total_watch.elapsed_seconds();
+  PLOS_LOG_INFO(
+      "distributed train done",
+      obs::F("cccp_rounds", result.diagnostics.cccp_iterations),
+      obs::F("admm_iterations", result.diagnostics.admm_iterations_total),
+      obs::F("qp_solves", result.diagnostics.qp_solves),
+      obs::F("seconds", result.diagnostics.train_seconds));
   return result;
 }
 

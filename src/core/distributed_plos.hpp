@@ -57,10 +57,17 @@ struct DistributedPlosOptions {
 struct DistributedPlosDiagnostics {
   int cccp_iterations = 0;
   int admm_iterations_total = 0;  ///< summed over CCCP rounds
+  int qp_solves = 0;              ///< device dual QP solves, all devices
   std::vector<double> objective_trace;        ///< per ADMM iteration
   std::vector<double> primal_residual_trace;  ///< ||r|| per ADMM iteration
   std::vector<double> dual_residual_trace;    ///< ||s|| per ADMM iteration
   double train_seconds = 0.0;  ///< real (not simulated) wall time
+  /// Per-CCCP-round breakdown: wall time, ADMM iterations run, and device
+  /// dual QP solves within the round (what train_seconds and
+  /// admm_iterations_total aggregate away).
+  std::vector<double> round_seconds;
+  std::vector<int> round_admm_iterations;
+  std::vector<int> round_qp_solves;
 };
 
 struct DistributedPlosResult {

@@ -2,7 +2,37 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace plos::net {
+
+namespace {
+
+// The registry mirrors aggregate traffic/energy so metrics snapshots carry
+// the communication budget without walking SimNetwork instances. Per-device
+// splits stay in DeviceMetrics.
+struct SimnetInstruments {
+  obs::Counter& bytes_to_device;
+  obs::Counter& bytes_to_server;
+  obs::Counter& messages_to_device;
+  obs::Counter& messages_to_server;
+  obs::Counter& device_energy_joules;
+  obs::Counter& rounds;
+};
+
+SimnetInstruments& simnet_instruments() {
+  static SimnetInstruments* instruments = new SimnetInstruments{
+      obs::metrics().counter("simnet.bytes_to_device"),
+      obs::metrics().counter("simnet.bytes_to_server"),
+      obs::metrics().counter("simnet.messages_to_device"),
+      obs::metrics().counter("simnet.messages_to_server"),
+      obs::metrics().counter("simnet.device_energy_joules"),
+      obs::metrics().counter("simnet.rounds"),
+  };
+  return *instruments;
+}
+
+}  // namespace
 
 SimNetwork::SimNetwork(std::size_t num_devices, DeviceProfile device_profile,
                        LinkProfile link_profile)
@@ -30,6 +60,10 @@ void SimNetwork::send_to_device(std::size_t device, std::size_t bytes) {
   devices_[device].messages_received += 1;
   devices_[device].energy_joules += kb * device_profile_.rx_energy_j_per_kb;
   round_device_seconds_[device] += transfer_seconds(bytes);
+  simnet_instruments().bytes_to_device.add(static_cast<double>(bytes));
+  simnet_instruments().messages_to_device.increment();
+  simnet_instruments().device_energy_joules.add(
+      kb * device_profile_.rx_energy_j_per_kb);
 }
 
 void SimNetwork::send_to_server(std::size_t device, std::size_t bytes) {
@@ -40,6 +74,10 @@ void SimNetwork::send_to_server(std::size_t device, std::size_t bytes) {
   devices_[device].messages_sent += 1;
   devices_[device].energy_joules += kb * device_profile_.tx_energy_j_per_kb;
   round_device_seconds_[device] += transfer_seconds(bytes);
+  simnet_instruments().bytes_to_server.add(static_cast<double>(bytes));
+  simnet_instruments().messages_to_server.increment();
+  simnet_instruments().device_energy_joules.add(
+      kb * device_profile_.tx_energy_j_per_kb);
 }
 
 void SimNetwork::account_device_compute(std::size_t device,
@@ -52,6 +90,8 @@ void SimNetwork::account_device_compute(std::size_t device,
   devices_[device].energy_joules +=
       device_seconds * device_profile_.compute_power_watts;
   round_device_seconds_[device] += device_seconds;
+  simnet_instruments().device_energy_joules.add(
+      device_seconds * device_profile_.compute_power_watts);
 }
 
 void SimNetwork::account_server_compute(double measured_seconds) {
@@ -68,6 +108,7 @@ void SimNetwork::end_round() {
   std::fill(round_device_seconds_.begin(), round_device_seconds_.end(), 0.0);
   round_server_seconds_ = 0.0;
   ++rounds_;
+  simnet_instruments().rounds.increment();
 }
 
 const DeviceMetrics& SimNetwork::device_metrics(std::size_t device) const {

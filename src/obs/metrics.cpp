@@ -1,0 +1,241 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace plos::obs {
+
+namespace {
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string json_string(std::string_view text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+template <typename Value>
+std::string json_array(const std::vector<Value>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_number(static_cast<double>(values[i]));
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+void Gauge::set(double value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  value_.store(value, std::memory_order_relaxed);
+  has_value_.store(true, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.size() < kMaxSamples) samples_.push_back(value);
+}
+
+std::vector<double> Gauge::samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+Histogram::Histogram(const std::atomic<bool>* enabled,
+                     std::span<const double> bucket_bounds)
+    : bounds_(bucket_bounds.begin(), bucket_bounds.end()),
+      counts_(bounds_.size() + 1, 0),
+      enabled_(enabled) {
+  PLOS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                 std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                     bounds_.end(),
+             "Histogram: bucket bounds must be strictly increasing");
+}
+
+void Histogram::record(double value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  const std::size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_[bucket];
+  sum_ += value;
+  min_ = total_ == 0 ? value : std::min(min_, value);
+  max_ = total_ == 0 ? value : std::max(max_, value);
+  ++total_;
+}
+
+std::size_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+std::vector<std::size_t> Histogram::bucket_counts() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+std::span<const double> default_iteration_buckets() {
+  static constexpr std::array<double, 12> kBuckets = {
+      1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000};
+  return kBuckets;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bucket_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<Histogram>(
+                                             new Histogram(&enabled_,
+                                                           bucket_bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->value_.store(0.0, std::memory_order_relaxed);
+    gauge->has_value_.store(false, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> gauge_lock(gauge->mutex_);
+    gauge->samples_.clear();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    const std::lock_guard<std::mutex> histogram_lock(histogram->mutex_);
+    std::fill(histogram->counts_.begin(), histogram->counts_.end(), 0);
+    histogram->total_ = 0;
+    histogram->sum_ = 0.0;
+    histogram->min_ = 0.0;
+    histogram->max_ = 0.0;
+  }
+}
+
+std::string Registry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += json_string(name);
+    out += ':';
+    out += json_number(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += json_string(name);
+    out += ":{\"value\":";
+    out += json_number(gauge->value());
+    out += ",\"samples\":";
+    out += json_array(gauge->samples());
+    out += '}';
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += json_string(name);
+    out += ":{\"bounds\":";
+    out += json_array(histogram->bounds());
+    out += ",\"counts\":";
+    out += json_array(histogram->bucket_counts());
+    out += ",\"count\":";
+    out += json_number(static_cast<double>(histogram->count()));
+    out += ",\"sum\":";
+    out += json_number(histogram->sum());
+    out += ",\"min\":";
+    out += json_number(histogram->min());
+    out += ",\"max\":";
+    out += json_number(histogram->max());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+Registry& metrics() {
+  static Registry* registry = new Registry(/*enabled=*/false);
+  return *registry;
+}
+
+}  // namespace plos::obs

@@ -1,0 +1,144 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms,
+// with snapshot-to-JSON export.
+//
+//   * Counter   — monotonically increasing double (bytes, solves, seconds).
+//   * Gauge     — last-written value plus a bounded sample trace, so a
+//                 snapshot carries the *trajectory* (objective per CCCP
+//                 round, ADMM residuals per iteration), not just the final
+//                 scalar.
+//   * Histogram — fixed upper-bound buckets plus an overflow bucket, with
+//                 count/sum/min/max (QP iteration distributions).
+//
+// Instruments are created on first lookup and live as long as their
+// Registry; `reset_values()` zeroes values but keeps instrument identities,
+// so references cached in hot paths (function-local statics against the
+// global registry) stay valid across resets.
+//
+// Recording is gated on the owning registry's enabled flag: a disabled
+// registry makes every record call one relaxed atomic load and a branch.
+// The global registry (`obs::metrics()`) starts disabled — instrumented
+// library code costs nothing until a tool, bench, or test opts in.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plos::obs {
+
+class Registry;
+
+class Counter {
+ public:
+  void add(double delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1.0); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  std::atomic<double> value_{0.0};
+  const std::atomic<bool>* enabled_;
+};
+
+class Gauge {
+ public:
+  /// Caps the per-gauge sample trace; the last value is always kept.
+  static constexpr std::size_t kMaxSamples = 65536;
+
+  void set(double value);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  bool has_value() const { return has_value_.load(std::memory_order_relaxed); }
+  std::vector<double> samples() const;
+
+ private:
+  friend class Registry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  std::atomic<double> value_{0.0};
+  std::atomic<bool> has_value_{false};
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+  const std::atomic<bool>* enabled_;
+};
+
+class Histogram {
+ public:
+  void record(double value);
+  std::size_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  /// Upper bucket bounds, as fixed at creation.
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::size_t> bucket_counts() const;
+
+ private:
+  friend class Registry;
+  Histogram(const std::atomic<bool>* enabled,
+            std::span<const double> bucket_bounds);
+
+  const std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  const std::atomic<bool>* enabled_;
+};
+
+/// Bucket bounds suited to iteration counts of the FISTA QP solvers.
+std::span<const double> default_iteration_buckets();
+
+class Registry {
+ public:
+  explicit Registry(bool enabled = true) : enabled_(enabled) {}
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Lookup-or-create. References stay valid for the Registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// On first creation the bucket bounds are fixed from `bucket_bounds`
+  /// (must be strictly increasing); later lookups ignore the argument.
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> bucket_bounds);
+
+  /// Zeroes every instrument's values; instrument identities survive.
+  void reset_values();
+
+  /// Snapshot of all instruments as a JSON object:
+  /// {"counters":{name:value,…},
+  ///  "gauges":{name:{"value":v,"samples":[…]},…},
+  ///  "histograms":{name:{"bounds":[…],"counts":[…],"count":n,"sum":s,
+  ///                      "min":m,"max":M},…}}
+  std::string to_json() const;
+
+ private:
+  std::atomic<bool> enabled_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-global registry used by the built-in solver instrumentation.
+/// Leaky singleton, created disabled.
+Registry& metrics();
+
+}  // namespace plos::obs

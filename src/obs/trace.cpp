@@ -1,0 +1,145 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace plos::obs {
+
+namespace {
+
+// Small dense thread ids (Chrome renders one lane per tid).
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+thread_local int span_depth = 0;
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string json_string(std::string_view text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::set_enabled(bool enabled) {
+  if (enabled && !enabled_.load(std::memory_order_relaxed)) epoch_.reset();
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void TraceCollector::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+void TraceCollector::record(Event event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceCollector::Event> TraceCollector::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string TraceCollector::to_chrome_json() const {
+  const std::vector<Event> snapshot = events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const Event& e = snapshot[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    out += json_string(e.name);
+    out += ",\"cat\":\"plos\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += json_number(static_cast<double>(e.tid));
+    out += ",\"ts\":";
+    out += json_number(e.ts_us);
+    out += ",\"dur\":";
+    out += json_number(e.dur_us);
+    out += ",\"args\":{\"depth\":";
+    out += json_number(static_cast<double>(e.depth));
+    if (e.has_arg) {
+      out += ',';
+      out += json_string(e.arg_name);
+      out += ':';
+      out += json_number(e.arg);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceCollector::write_chrome_json(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = to_chrome_json();
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* arg_name, double arg)
+    : name_(name), arg_name_(arg_name), arg_(arg) {
+  if (!TraceCollector::enabled()) return;
+  active_ = true;
+  depth_ = span_depth++;
+  start_us_ = TraceCollector::instance().now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --span_depth;
+  TraceCollector& collector = TraceCollector::instance();
+  TraceCollector::Event event;
+  event.name = name_;
+  event.ts_us = start_us_;
+  event.dur_us = collector.now_us() - start_us_;
+  event.tid = current_tid();
+  event.depth = depth_;
+  if (arg_name_ != nullptr) {
+    event.has_arg = true;
+    event.arg_name = arg_name_;
+    event.arg = arg_;
+  }
+  collector.record(std::move(event));
+}
+
+}  // namespace plos::obs

@@ -3,6 +3,9 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qp/projection.hpp"
 
 namespace plos::qp {
@@ -38,6 +41,8 @@ double lipschitz_estimate(const linalg::Matrix& h) {
 }  // namespace
 
 QpResult solve_box_qp(const BoxQpProblem& problem, const QpOptions& options) {
+  PLOS_SPAN("qp.box_solve");
+  const Stopwatch watch;
   const std::size_t n = problem.linear.size();
   PLOS_CHECK(problem.hessian.rows() == n && problem.hessian.cols() == n,
              "BoxQp: hessian/linear size mismatch");
@@ -94,6 +99,14 @@ QpResult solve_box_qp(const BoxQpProblem& problem, const QpOptions& options) {
 
   result.solution = std::move(x);
   result.objective = objective(problem, result.solution);
+
+  static obs::Counter& solves = obs::metrics().counter("qp.box.solves");
+  static obs::Counter& seconds = obs::metrics().counter("qp.box.seconds");
+  static obs::Histogram& iterations = obs::metrics().histogram(
+      "qp.box.iterations", obs::default_iteration_buckets());
+  solves.increment();
+  seconds.add(watch.elapsed_seconds());
+  iterations.record(static_cast<double>(result.iterations));
   return result;
 }
 

@@ -3,6 +3,9 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qp/projection.hpp"
 
 namespace plos::qp {
@@ -79,6 +82,8 @@ double lipschitz_estimate(const linalg::Matrix& h) {
 
 QpResult solve_capped_simplex_qp(const CappedSimplexQpProblem& problem,
                                  const QpOptions& options) {
+  PLOS_SPAN("qp.capped_simplex_solve");
+  const Stopwatch watch;
   validate(problem);
   const std::size_t n = problem.linear.size();
 
@@ -143,6 +148,17 @@ QpResult solve_capped_simplex_qp(const CappedSimplexQpProblem& problem,
 
   result.solution = std::move(x);
   result.objective = objective(problem, result.solution);
+
+  // Instrument handles are resolved once; the registry is a process-lifetime
+  // singleton, so the cached references never dangle across reset_values().
+  static obs::Counter& solves = obs::metrics().counter("qp.capped_simplex.solves");
+  static obs::Counter& seconds =
+      obs::metrics().counter("qp.capped_simplex.seconds");
+  static obs::Histogram& iterations = obs::metrics().histogram(
+      "qp.capped_simplex.iterations", obs::default_iteration_buckets());
+  solves.increment();
+  seconds.add(watch.elapsed_seconds());
+  iterations.record(static_cast<double>(result.iterations));
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "core/evaluation.hpp"
 #include "data/labeling.hpp"
 #include "data/synthetic.hpp"
+#include "obs/metrics.hpp"
 #include "rng/engine.hpp"
 
 namespace plos::core {
@@ -79,6 +80,49 @@ TEST(CentralizedPlos, DiagnosticsPopulated) {
   EXPECT_GT(result.diagnostics.qp_solves, 0);
   EXPECT_GT(result.diagnostics.final_constraint_count, 0u);
   EXPECT_GE(result.diagnostics.train_seconds, 0.0);
+  // Per-round diagnostics cover every started CCCP round and sum up to the
+  // aggregate QP-solve count.
+  ASSERT_GE(result.diagnostics.round_seconds.size(), 1u);
+  ASSERT_EQ(result.diagnostics.round_qp_solves.size(),
+            result.diagnostics.round_seconds.size());
+  int per_round_qp_total = 0;
+  for (std::size_t i = 0; i < result.diagnostics.round_seconds.size(); ++i) {
+    EXPECT_GE(result.diagnostics.round_seconds[i], 0.0);
+    EXPECT_GT(result.diagnostics.round_qp_solves[i], 0);
+    per_round_qp_total += result.diagnostics.round_qp_solves[i];
+  }
+  EXPECT_EQ(per_round_qp_total, result.diagnostics.qp_solves);
+}
+
+TEST(CentralizedPlos, TrainingEmitsMetricsSnapshot) {
+  // Integration check for the observability layer: with the global registry
+  // enabled, a training run must leave behind a non-empty snapshot whose
+  // objective gauge mirrors the (monotone) accepted-round objective trace.
+  obs::metrics().set_enabled(true);
+  obs::metrics().reset_values();
+  auto dataset = make_population(3, 0.5, 2, 0.3, 4);
+  const auto result = train_centralized_plos(dataset, fast_options());
+  const std::string snapshot = obs::metrics().to_json();
+  obs::metrics().set_enabled(false);
+
+  EXPECT_GT(snapshot.size(), 2u) << "empty metrics snapshot: " << snapshot;
+  EXPECT_NE(snapshot.find("plos.objective"), std::string::npos);
+  EXPECT_NE(snapshot.find("qp.capped_simplex.solves"), std::string::npos);
+  EXPECT_NE(snapshot.find("plos.cutting_plane.constraints_added"),
+            std::string::npos);
+
+  const auto& objective = obs::metrics().gauge("plos.objective");
+  const auto samples = objective.samples();
+  ASSERT_EQ(samples.size(), result.diagnostics.objective_trace.size());
+  ASSERT_FALSE(samples.empty());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(samples[i], result.diagnostics.objective_trace[i]);
+    if (i > 0) {
+      EXPECT_LE(samples[i], samples[i - 1] + 1e-9)
+          << "objective gauge rose at accepted round " << i;
+    }
+  }
+  EXPECT_GT(obs::metrics().counter("qp.capped_simplex.solves").value(), 0.0);
 }
 
 TEST(CentralizedPlos, LargeLambdaShrinksDeviations) {

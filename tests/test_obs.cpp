@@ -1,0 +1,432 @@
+// Tests for the plos::obs observability layer: structured logger, metrics
+// registry, and trace spans.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace plos::obs {
+namespace {
+
+// ---- minimal JSON syntax checker ----------------------------------------
+// Recursive-descent validator (no external deps): enough to assert that the
+// registry and trace serializers emit well-formed JSON, which is what
+// chrome://tracing / Perfetto / downstream tooling require.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool is_valid_json(std::string_view text) {
+  return JsonChecker(text).valid();
+}
+
+TEST(JsonChecker, SanityOnKnownInputs) {
+  EXPECT_TRUE(is_valid_json(R"({"a":[1,2.5,-3e-2],"b":{"c":"x\"y"},"d":null})"));
+  EXPECT_FALSE(is_valid_json(R"({"a":1)"));
+  EXPECT_FALSE(is_valid_json(R"({"a":})"));
+  EXPECT_FALSE(is_valid_json("{,}"));
+}
+
+// ---- logger --------------------------------------------------------------
+
+class LoggerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sink_ = std::make_shared<MemorySink>();
+    Logger::instance().set_sink(sink_);
+    Logger::instance().set_level(Level::kTrace);
+  }
+
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(Level::kInfo);
+  }
+
+  std::shared_ptr<MemorySink> sink_;
+};
+
+TEST_F(LoggerTest, RuntimeLevelFiltersRecords) {
+  Logger::instance().set_level(Level::kWarn);
+  PLOS_LOG_TRACE("invisible trace");
+  PLOS_LOG_DEBUG("invisible debug");
+  PLOS_LOG_INFO("invisible info");
+  PLOS_LOG_WARN("visible warn");
+  PLOS_LOG_ERROR("visible error");
+  const auto lines = sink_->lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("level=warn"), std::string::npos);
+  EXPECT_NE(lines[0].find("msg=\"visible warn\""), std::string::npos);
+  EXPECT_NE(lines[1].find("level=error"), std::string::npos);
+}
+
+TEST_F(LoggerTest, OffLevelSilencesEverything) {
+  Logger::instance().set_level(Level::kOff);
+  PLOS_LOG_ERROR("nothing");
+  EXPECT_TRUE(sink_->lines().empty());
+}
+
+TEST_F(LoggerTest, FieldsRenderAsKeyValuePairs) {
+  PLOS_LOG_INFO("solve done", F("iters", 42), F("objective", 1.5),
+                F("converged", true), F("method", "fista"));
+  const auto lines = sink_->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("iters=42"), std::string::npos);
+  EXPECT_NE(lines[0].find("objective=1.5"), std::string::npos);
+  EXPECT_NE(lines[0].find("converged=true"), std::string::npos);
+  EXPECT_NE(lines[0].find("method=\"fista\""), std::string::npos);
+  EXPECT_EQ(lines[0].back(), '\n');
+}
+
+TEST_F(LoggerTest, QuotesAndNewlinesAreEscaped) {
+  PLOS_LOG_INFO("a \"b\"\nc");
+  const auto lines = sink_->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("msg=\"a \\\"b\\\"\\nc\""), std::string::npos);
+  // One record stays one line despite the embedded newline.
+  EXPECT_EQ(lines[0].find('\n'), lines[0].size() - 1);
+}
+
+TEST_F(LoggerTest, IntegerFieldsCoverSignsAndWidths) {
+  PLOS_LOG_INFO("ints", F("neg", -7), F("big", std::size_t{1} << 40));
+  const auto lines = sink_->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("neg=-7"), std::string::npos);
+  EXPECT_NE(lines[0].find("big=1099511627776"), std::string::npos);
+}
+
+TEST(LogLevel, ParseRoundTrips) {
+  for (Level level : {Level::kTrace, Level::kDebug, Level::kInfo, Level::kWarn,
+                      Level::kError, Level::kOff}) {
+    const auto parsed = parse_level(level_name(level));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(parse_level("verbose").has_value());
+  EXPECT_FALSE(parse_level("").has_value());
+}
+
+// ---- metrics -------------------------------------------------------------
+
+TEST(Metrics, CounterAccumulates) {
+  Registry registry;
+  Counter& counter = registry.counter("c");
+  counter.increment();
+  counter.add(2.5);
+  EXPECT_DOUBLE_EQ(counter.value(), 3.5);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&registry.counter("c"), &counter);
+}
+
+TEST(Metrics, DisabledRegistryDropsRecords) {
+  Registry registry(/*enabled=*/false);
+  Counter& counter = registry.counter("c");
+  Gauge& gauge = registry.gauge("g");
+  Histogram& histogram = registry.histogram("h", default_iteration_buckets());
+  counter.increment();
+  gauge.set(7.0);
+  histogram.record(3.0);
+  EXPECT_DOUBLE_EQ(counter.value(), 0.0);
+  EXPECT_FALSE(gauge.has_value());
+  EXPECT_TRUE(gauge.samples().empty());
+  EXPECT_EQ(histogram.count(), 0u);
+
+  registry.set_enabled(true);
+  counter.increment();
+  gauge.set(7.0);
+  EXPECT_DOUBLE_EQ(counter.value(), 1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.0);
+}
+
+TEST(Metrics, GaugeKeepsLastValueAndSampleTrace) {
+  Registry registry;
+  Gauge& gauge = registry.gauge("g");
+  EXPECT_FALSE(gauge.has_value());
+  gauge.set(3.0);
+  gauge.set(1.0);
+  gauge.set(2.0);
+  EXPECT_TRUE(gauge.has_value());
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+  const auto samples = gauge.samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(samples[0], 3.0);
+  EXPECT_DOUBLE_EQ(samples[1], 1.0);
+  EXPECT_DOUBLE_EQ(samples[2], 2.0);
+}
+
+TEST(Metrics, HistogramBucketsAreInclusiveUpperBounds) {
+  Registry registry;
+  const double bounds[] = {1.0, 2.0, 5.0};
+  Histogram& histogram = registry.histogram("h", bounds);
+  histogram.record(0.5);  // <= 1
+  histogram.record(1.0);  // <= 1 (inclusive)
+  histogram.record(1.5);  // <= 2
+  histogram.record(5.0);  // <= 5 (inclusive)
+  histogram.record(7.0);  // overflow
+  const auto counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 7.0);
+}
+
+TEST(Metrics, ResetValuesKeepsInstrumentIdentity) {
+  Registry registry;
+  Counter& counter = registry.counter("c");
+  Gauge& gauge = registry.gauge("g");
+  const double bounds[] = {1.0, 2.0};
+  Histogram& histogram = registry.histogram("h", bounds);
+  counter.add(5.0);
+  gauge.set(1.0);
+  histogram.record(1.5);
+
+  registry.reset_values();
+  EXPECT_DOUBLE_EQ(counter.value(), 0.0);
+  EXPECT_FALSE(gauge.has_value());
+  EXPECT_TRUE(gauge.samples().empty());
+  EXPECT_EQ(histogram.count(), 0u);
+  // The references still point at the live instruments.
+  EXPECT_EQ(&registry.counter("c"), &counter);
+  counter.increment();
+  EXPECT_DOUBLE_EQ(registry.counter("c").value(), 1.0);
+}
+
+TEST(Metrics, SnapshotIsValidJsonWithAllInstruments) {
+  Registry registry;
+  registry.counter("a.count").add(3.0);
+  registry.gauge("b.gauge").set(1.25);
+  const double bounds[] = {1.0, 10.0};
+  registry.histogram("c.hist", bounds).record(4.0);
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"b.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"samples\":[1.25]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"c.hist\""), std::string::npos);
+}
+
+TEST(Metrics, EmptyRegistrySnapshotIsValidJson) {
+  const Registry registry;
+  EXPECT_TRUE(is_valid_json(registry.to_json()));
+}
+
+// ---- trace spans ---------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::instance().clear();
+    TraceCollector::instance().set_enabled(true);
+  }
+
+  void TearDown() override {
+    TraceCollector::instance().set_enabled(false);
+    TraceCollector::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledCollectorRecordsNothing) {
+  TraceCollector::instance().set_enabled(false);
+  { PLOS_SPAN("invisible"); }
+  EXPECT_TRUE(TraceCollector::instance().events().empty());
+}
+
+TEST_F(TraceTest, SpansNestWithDepthAndContainment) {
+  {
+    PLOS_SPAN("outer");
+    {
+      PLOS_SPAN("middle");
+      { PLOS_SPAN("inner", "index", 3.0); }
+    }
+  }
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans close innermost-first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "middle");
+  EXPECT_EQ(events[2].name, "outer");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].depth, 0);
+  EXPECT_TRUE(events[0].has_arg);
+  EXPECT_EQ(events[0].arg_name, "index");
+  EXPECT_DOUBLE_EQ(events[0].arg, 3.0);
+  // Child intervals are contained in their parent's interval.
+  for (int child = 0; child < 2; ++child) {
+    const auto& inner = events[child];
+    const auto& outer = events[child + 1];
+    EXPECT_GE(inner.ts_us, outer.ts_us);
+    EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us);
+  }
+}
+
+TEST_F(TraceTest, SequentialSpansShareDepthZero) {
+  { PLOS_SPAN("first"); }
+  { PLOS_SPAN("second"); }
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+}
+
+TEST_F(TraceTest, ChromeJsonIsValidAndCarriesEvents) {
+  {
+    PLOS_SPAN("qp_solve");
+    { PLOS_SPAN("projection"); }
+  }
+  const std::string json = TraceCollector::instance().to_chrome_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"qp_solve\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"projection\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyCollectorStillSerializesValidJson) {
+  const std::string json = TraceCollector::instance().to_chrome_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plos::obs

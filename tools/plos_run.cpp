@@ -26,6 +26,9 @@
 #include "data/labeling.hpp"
 #include "data/synthetic.hpp"
 #include "net/simnet.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rng/engine.hpp"
 #include "sensing/body_sensor.hpp"
 #include "sensing/har.hpp"
@@ -48,6 +51,9 @@ struct Args {
   bool distributed = false;
   bool logistic = false;
   std::string save_model_path;
+  std::string log_level;    // empty = logging stays off
+  std::string trace_out;    // empty = no trace collection
+  std::string metrics_out;  // empty = no metrics snapshot
 };
 
 void print_usage() {
@@ -64,19 +70,78 @@ void print_usage() {
       "  --distributed              train PLOS with ADMM on a simulated fleet\n"
       "  --logistic                 use the logistic-loss PLOS variant\n"
       "  --save-model PATH          checkpoint the trained PLOS model\n"
+      "  --log-level LEVEL          trace|debug|info|warn|error|off (stderr)\n"
+      "  --trace-out FILE           write Chrome trace-event JSON of solver\n"
+      "                             spans (open in chrome://tracing/Perfetto)\n"
+      "  --metrics-out FILE         write a metrics-registry JSON snapshot\n"
       "  --help                     this message\n");
+}
+
+// ---- strict flag parsing -------------------------------------------------
+// Every parse failure (unknown flag, missing value, malformed number)
+// prints a diagnostic plus a usage hint and makes the tool exit non-zero:
+// a typo must never silently fall back to defaults mid-experiment.
+
+bool parse_double_value(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+bool parse_u64_value(const char* text, std::uint64_t& out) {
+  if (text[0] == '-') return false;
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+bool valid_methods_list(const std::string& methods) {
+  std::size_t start = 0;
+  while (start <= methods.size()) {
+    const std::size_t comma = methods.find(',', start);
+    const std::string token =
+        methods.substr(start, comma == std::string::npos ? std::string::npos
+                                                         : comma - start);
+    if (token != "plos" && token != "all" && token != "group" &&
+        token != "single") {
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
 }
 
 std::optional<Args> parse(int argc, char** argv) {
   Args args;
-  for (int i = 1; i < argc; ++i) {
+  bool ok = true;
+  for (int i = 1; i < argc && ok; ++i) {
     const std::string flag = argv[i];
+    // Fetches the flag's value; records an error when it is absent.
     const auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
-        std::exit(2);
+        std::fprintf(stderr, "plos_run: missing value for %s\n", flag.c_str());
+        ok = false;
+        return "";
       }
       return argv[++i];
+    };
+    const auto double_value = [&](double& out) {
+      const char* text = value();
+      if (ok && !parse_double_value(text, out)) {
+        std::fprintf(stderr, "plos_run: %s expects a number, got '%s'\n",
+                     flag.c_str(), text);
+        ok = false;
+      }
+    };
+    const auto u64_value = [&](std::uint64_t& out) {
+      const char* text = value();
+      if (ok && !parse_u64_value(text, out)) {
+        std::fprintf(stderr,
+                     "plos_run: %s expects a non-negative integer, got '%s'\n",
+                     flag.c_str(), text);
+        ok = false;
+      }
     };
     if (flag == "--help" || flag == "-h") {
       print_usage();
@@ -85,35 +150,89 @@ std::optional<Args> parse(int argc, char** argv) {
       args.dataset = value();
     } else if (flag == "--methods") {
       args.methods = value();
+      if (ok && !valid_methods_list(args.methods)) {
+        std::fprintf(stderr,
+                     "plos_run: --methods expects a comma list of "
+                     "plos,all,group,single, got '%s'\n",
+                     args.methods.c_str());
+        ok = false;
+      }
     } else if (flag == "--users") {
-      args.users = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+      std::uint64_t users = 0;
+      u64_value(users);
+      args.users = static_cast<std::size_t>(users);
     } else if (flag == "--providers") {
-      args.providers =
-          static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+      std::uint64_t providers = 0;
+      u64_value(providers);
+      args.providers = static_cast<std::size_t>(providers);
     } else if (flag == "--rate") {
-      args.rate = std::strtod(value(), nullptr);
+      double_value(args.rate);
+      if (ok && (args.rate < 0.0 || args.rate > 1.0)) {
+        std::fprintf(stderr, "plos_run: --rate must be in [0, 1], got %g\n",
+                     args.rate);
+        ok = false;
+      }
     } else if (flag == "--rotation") {
-      args.rotation = std::strtod(value(), nullptr);
+      double_value(args.rotation);
     } else if (flag == "--lambda") {
-      args.lambda = std::strtod(value(), nullptr);
+      double_value(args.lambda);
     } else if (flag == "--cl") {
-      args.cl = std::strtod(value(), nullptr);
+      double_value(args.cl);
     } else if (flag == "--cu") {
-      args.cu = std::strtod(value(), nullptr);
+      double_value(args.cu);
     } else if (flag == "--seed") {
-      args.seed = std::strtoull(value(), nullptr, 10);
+      u64_value(args.seed);
     } else if (flag == "--distributed") {
       args.distributed = true;
     } else if (flag == "--logistic") {
       args.logistic = true;
     } else if (flag == "--save-model") {
       args.save_model_path = value();
+    } else if (flag == "--log-level") {
+      args.log_level = value();
+      if (ok && !obs::parse_level(args.log_level).has_value()) {
+        std::fprintf(stderr,
+                     "plos_run: --log-level expects one of "
+                     "trace|debug|info|warn|error|off, got '%s'\n",
+                     args.log_level.c_str());
+        ok = false;
+      }
+    } else if (flag == "--trace-out") {
+      args.trace_out = value();
+    } else if (flag == "--metrics-out") {
+      args.metrics_out = value();
     } else {
-      std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
-      return std::nullopt;
+      std::fprintf(stderr, "plos_run: unknown flag %s\n", flag.c_str());
+      ok = false;
     }
   }
+  if (!ok) {
+    std::fprintf(stderr, "run 'plos_run --help' for usage\n");
+    return std::nullopt;
+  }
   return args;
+}
+
+// Pre-creates the canonical solver/network instruments so every snapshot
+// carries stable keys (zero-valued when a code path never ran — e.g. no
+// ADMM residuals in a centralized run).
+void register_standard_instruments() {
+  obs::metrics().gauge("plos.objective");
+  obs::metrics().gauge("plos.admm.objective");
+  obs::metrics().gauge("plos.admm.primal_residual");
+  obs::metrics().gauge("plos.admm.dual_residual");
+  obs::metrics().gauge("plos.cutting_plane.violation");
+  obs::metrics().counter("plos.cutting_plane.constraints_added");
+  obs::metrics().counter("qp.capped_simplex.solves");
+  obs::metrics().counter("qp.capped_simplex.seconds");
+  obs::metrics().histogram("qp.capped_simplex.iterations",
+                           obs::default_iteration_buckets());
+  obs::metrics().counter("simnet.bytes_to_device");
+  obs::metrics().counter("simnet.bytes_to_server");
+  obs::metrics().counter("simnet.messages_to_device");
+  obs::metrics().counter("simnet.messages_to_server");
+  obs::metrics().counter("simnet.device_energy_joules");
+  obs::metrics().counter("simnet.rounds");
 }
 
 data::MultiUserDataset build_dataset(const Args& args) {
@@ -164,6 +283,18 @@ int main(int argc, char** argv) {
   const auto parsed = parse(argc, argv);
   if (!parsed) return 2;
   const Args& args = *parsed;
+
+  if (!args.log_level.empty()) {
+    obs::Logger::instance().set_sink(std::make_shared<obs::StderrSink>());
+    obs::Logger::instance().set_level(*obs::parse_level(args.log_level));
+  }
+  if (!args.metrics_out.empty()) {
+    obs::metrics().set_enabled(true);
+    register_standard_instruments();
+  }
+  if (!args.trace_out.empty()) {
+    obs::TraceCollector::instance().set_enabled(true);
+  }
 
   const auto dataset = build_dataset(args);
   std::printf("dataset %s: %zu users (%zu providers), %zu samples, dim %zu\n",
@@ -232,6 +363,29 @@ int main(int argc, char** argv) {
   if (wants(args, "single")) {
     print_report("Single",
                  core::evaluate(dataset, core::run_single_baseline(dataset)));
+  }
+
+  if (!args.trace_out.empty()) {
+    if (obs::TraceCollector::instance().write_chrome_json(args.trace_out)) {
+      std::printf("trace written to %s\n", args.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   args.trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!args.metrics_out.empty()) {
+    const std::string json = obs::metrics().to_json();
+    std::FILE* file = std::fopen(args.metrics_out.c_str(), "w");
+    if (file == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), file) != json.size()) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   args.metrics_out.c_str());
+      if (file != nullptr) std::fclose(file);
+      return 1;
+    }
+    std::fclose(file);
+    std::printf("metrics written to %s\n", args.metrics_out.c_str());
   }
   return 0;
 }
