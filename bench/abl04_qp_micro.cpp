@@ -1,9 +1,12 @@
 // Ablation 4 — QP solver micro-benchmarks: capped-simplex projection and
 // FISTA solve time vs problem size, plus the warm-start payoff that the
-// cutting-plane loops rely on.
+// cutting-plane loops rely on, and thread-count scaling of the end-to-end
+// centralized trainer (serial-equivalent parallelism — only time moves).
 #include <benchmark/benchmark.h>
 
 #include "bench_support.hpp"
+#include "data/labeling.hpp"
+#include "data/synthetic.hpp"
 #include "qp/capped_simplex_qp.hpp"
 #include "qp/projection.hpp"
 #include "rng/engine.hpp"
@@ -64,6 +67,32 @@ BENCHMARK(BM_QpSolveWarmStarted)
     ->Arg(16)
     ->Arg(64)
     ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Thread scaling of one full centralized CCCP run on a 20-user population.
+// The per-user separation oracle and Hessian row assembly dominate, so
+// wall-clock should drop roughly linearly until the core count is reached
+// (on a multi-core host; with a single core the times simply match).
+void BM_CentralizedCccpThreads(benchmark::State& state) {
+  data::SyntheticSpec spec;
+  spec.num_users = 20;
+  spec.points_per_class = 30;
+  spec.max_rotation = 1.2;
+  rng::Engine engine(404);
+  auto dataset = data::generate_synthetic(spec, engine);
+  data::reveal_labels(dataset, {0, 4, 8, 12, 16}, 0.3, engine);
+  auto options = bench::bench_plos_options();
+  options.cccp.max_iterations = 2;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::train_centralized_plos(dataset, options));
+  }
+}
+BENCHMARK(BM_CentralizedCccpThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

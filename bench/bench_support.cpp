@@ -17,6 +17,16 @@ const char* bench_metrics_path() {
 
 }  // namespace
 
+int bench_num_threads() {
+  static const int threads = [] {
+    const char* text = std::getenv("PLOS_BENCH_THREADS");
+    if (text == nullptr) return 1;
+    const int parsed = std::atoi(text);
+    return parsed >= 0 ? parsed : 1;
+  }();
+  return threads;
+}
+
 bool bench_metrics_enabled() { return bench_metrics_path() != nullptr; }
 
 PhaseMetrics::PhaseMetrics(std::string phase) : phase_(std::move(phase)) {
@@ -46,9 +56,16 @@ MethodReports run_all_methods(const data::MultiUserDataset& dataset,
         core::evaluate(dataset, core::predict_all(dataset, plos.model));
   }
   const PhaseMetrics phase("baselines");
-  reports.all = core::evaluate(dataset, core::run_all_baseline(dataset));
-  reports.group = core::evaluate(dataset, core::run_group_baseline(dataset));
-  reports.single = core::evaluate(dataset, core::run_single_baseline(dataset));
+  core::BaselineOptions baseline_options;
+  baseline_options.num_threads = options.num_threads;
+  core::GroupBaselineOptions group_options;
+  group_options.base = baseline_options;
+  reports.all =
+      core::evaluate(dataset, core::run_all_baseline(dataset, baseline_options));
+  reports.group =
+      core::evaluate(dataset, core::run_group_baseline(dataset, group_options));
+  reports.single = core::evaluate(
+      dataset, core::run_single_baseline(dataset, baseline_options));
   return reports;
 }
 
@@ -59,6 +76,7 @@ core::CentralizedPlosOptions bench_plos_options() {
   options.params.cu = 1.0;
   options.cutting_plane.epsilon = 1e-2;
   options.cccp.max_iterations = 4;
+  options.num_threads = bench_num_threads();
   return options;
 }
 
@@ -79,6 +97,7 @@ core::DistributedPlosOptions bench_distributed_options() {
   options.rho = 1.0;
   options.eps_abs = 1e-3;
   options.max_admm_iterations = 150;
+  options.num_threads = bench_num_threads();
   return options;
 }
 

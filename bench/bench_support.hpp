@@ -48,6 +48,11 @@ core::CentralizedPlosOptions bench_body_plos_options();
 /// Matching options for the distributed trainer.
 core::DistributedPlosOptions bench_distributed_options();
 
+/// Worker-thread count for bench training runs, from the PLOS_BENCH_THREADS
+/// environment variable (default 1 = serial; 0 = hardware concurrency).
+/// Results are bitwise identical for every value, so it only moves timings.
+int bench_num_threads();
+
 /// Reveals labels for the first `num_providers` users at `rate`.
 void reveal_first_providers(data::MultiUserDataset& dataset,
                             std::size_t num_providers, double rate,

@@ -1,11 +1,13 @@
 #include "core/baselines.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "cluster/kmeans.hpp"
 #include "cluster/lsh.hpp"
 #include "cluster/spectral.hpp"
 #include "common/assert.hpp"
+#include "parallel/thread_pool.hpp"
 #include "svm/linear_svm.hpp"
 
 namespace plos::core {
@@ -71,10 +73,11 @@ std::vector<UserPrediction> run_all_baseline(
   for (std::size_t t = 0; t < everyone.size(); ++t) everyone[t] = t;
   const auto model = train_pooled_svm(dataset, everyone, options.svm_c);
 
+  parallel::ThreadPool pool(options.num_threads);
   std::vector<UserPrediction> predictions(dataset.num_users());
-  for (std::size_t t = 0; t < dataset.num_users(); ++t) {
+  pool.parallel_for(dataset.num_users(), [&](std::size_t t) {
     predictions[t] = predict_with_svm(dataset.users[t], model);
-  }
+  });
   return predictions;
 }
 
@@ -82,17 +85,24 @@ std::vector<UserPrediction> run_single_baseline(
     const data::MultiUserDataset& dataset, const BaselineOptions& options) {
   dataset.check_invariants();
   rng::Engine engine(options.seed);
-  std::vector<UserPrediction> predictions(dataset.num_users());
+  // Fork the per-user k-means streams serially, in the exact order the
+  // serial loop consumed the parent stream (label-free users, ascending t);
+  // the fits themselves then parallelize with one private engine each.
+  std::vector<std::optional<rng::Engine>> cluster_engines(dataset.num_users());
   for (std::size_t t = 0; t < dataset.num_users(); ++t) {
+    if (!dataset.users[t].provides_labels()) cluster_engines[t] = engine.fork(t);
+  }
+  parallel::ThreadPool pool(options.num_threads);
+  std::vector<UserPrediction> predictions(dataset.num_users());
+  pool.parallel_for(dataset.num_users(), [&](std::size_t t) {
     const auto& user = dataset.users[t];
     if (user.provides_labels()) {
       const auto model = train_pooled_svm(dataset, {t}, options.svm_c);
       predictions[t] = predict_with_svm(user, model);
     } else {
-      rng::Engine user_engine = engine.fork(t);
-      cluster_members(dataset, {t}, user_engine, predictions);
+      cluster_members(dataset, {t}, *cluster_engines[t], predictions);
     }
-  }
+  });
   return predictions;
 }
 
@@ -105,21 +115,23 @@ std::vector<std::size_t> group_users(const data::MultiUserDataset& dataset,
 
   const cluster::RandomHyperplaneHasher hasher(dataset.dim(), options.lsh_bits,
                                                engine);
-  std::vector<linalg::Vector> histograms;
-  histograms.reserve(num_users);
-  for (const auto& user : dataset.users) {
-    histograms.push_back(hasher.histogram(user.samples));
-  }
+  // The hasher is immutable once built; per-user histograms and the upper
+  // similarity triangle write disjoint slots, so both loops parallelize.
+  parallel::ThreadPool pool(options.base.num_threads);
+  std::vector<linalg::Vector> histograms(num_users);
+  pool.parallel_for(num_users, [&](std::size_t t) {
+    histograms[t] = hasher.histogram(dataset.users[t].samples);
+  });
 
   linalg::Matrix similarity(num_users, num_users);
-  for (std::size_t i = 0; i < num_users; ++i) {
+  pool.parallel_for(num_users, [&](std::size_t i) {
     for (std::size_t j = i; j < num_users; ++j) {
       const double s =
           cluster::generalized_jaccard(histograms[i], histograms[j]);
       similarity(i, j) = s;
       similarity(j, i) = s;
     }
-  }
+  });
 
   const std::size_t k = std::min(options.num_groups, num_users);
   return cluster::spectral_clustering(similarity, k, engine);
@@ -132,29 +144,40 @@ std::vector<UserPrediction> run_group_baseline(
   const std::size_t k = std::min(options.num_groups, dataset.num_users());
 
   rng::Engine engine(options.base.seed);
-  std::vector<UserPrediction> predictions(dataset.num_users());
+  // Membership lists and the k-means engine forks are computed serially in
+  // ascending group order (matching the serial stream consumption); the
+  // per-group SVM fits / clusterings then run in parallel — groups touch
+  // disjoint members, so the prediction writes never alias.
+  std::vector<std::vector<std::size_t>> group_members(k);
+  std::vector<std::optional<rng::Engine>> group_engines(k);
+  std::vector<char> group_has_labels(k, 0);
+  for (std::size_t t = 0; t < dataset.num_users(); ++t) {
+    group_members[assignment[t]].push_back(t);
+  }
   for (std::size_t g = 0; g < k; ++g) {
-    std::vector<std::size_t> members;
-    for (std::size_t t = 0; t < dataset.num_users(); ++t) {
-      if (assignment[t] == g) members.push_back(t);
-    }
-    if (members.empty()) continue;
-
-    const bool any_labels =
-        std::any_of(members.begin(), members.end(), [&](std::size_t t) {
+    if (group_members[g].empty()) continue;
+    group_has_labels[g] = std::any_of(
+        group_members[g].begin(), group_members[g].end(), [&](std::size_t t) {
           return dataset.users[t].provides_labels();
         });
-    if (any_labels) {
+    if (!group_has_labels[g]) group_engines[g] = engine.fork(g);
+  }
+
+  parallel::ThreadPool pool(options.base.num_threads);
+  std::vector<UserPrediction> predictions(dataset.num_users());
+  pool.parallel_for(k, [&](std::size_t g) {
+    const std::vector<std::size_t>& members = group_members[g];
+    if (members.empty()) return;
+    if (group_has_labels[g]) {
       const auto model =
           train_pooled_svm(dataset, members, options.base.svm_c);
       for (std::size_t t : members) {
         predictions[t] = predict_with_svm(dataset.users[t], model);
       }
     } else {
-      rng::Engine group_engine = engine.fork(g);
-      cluster_members(dataset, members, group_engine, predictions);
+      cluster_members(dataset, members, *group_engines[g], predictions);
     }
-  }
+  });
   return predictions;
 }
 

@@ -22,6 +22,10 @@ namespace plos::core {
 struct BaselineOptions {
   double svm_c = 1.0;
   std::uint64_t seed = 13;  ///< k-means / LSH / spectral randomness
+  /// Worker threads for per-user/per-group SVM fits and predictions.
+  /// 0 = all hardware threads, 1 = legacy serial; predictions are bitwise
+  /// identical for every value (RNG streams are forked serially).
+  int num_threads = 1;
 };
 
 struct GroupBaselineOptions {

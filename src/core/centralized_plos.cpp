@@ -8,6 +8,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
 #include "rng/engine.hpp"
 #include "svm/linear_svm.hpp"
 
@@ -27,20 +28,22 @@ class DualState {
 
   std::size_t size() const { return planes_.size(); }
 
-  void add_constraint(std::size_t user, CuttingPlane plane) {
+  void add_constraint(std::size_t user, CuttingPlane plane,
+                      parallel::ThreadPool& pool) {
     const std::size_t a = planes_.size();
-    // Extend the Hessian by one row/column.
+    // Extend the Hessian by one row/column. Each worker owns a disjoint set
+    // of rows i (copying row i and computing the rank-1 border entries
+    // h(i,a)/h(a,i), a d-dimensional dot product each), so the assembly is
+    // race-free and bitwise independent of the thread count.
     linalg::Matrix h(a + 1, a + 1);
-    for (std::size_t i = 0; i < a; ++i) {
+    pool.parallel_for(a, [&](std::size_t i) {
       for (std::size_t j = 0; j < a; ++j) h(i, j) = hessian_(i, j);
-    }
-    for (std::size_t i = 0; i < a; ++i) {
       const double d = linalg::dot(planes_[i].plane.s, plane.s);
       const double entry =
           (lambda_over_t_ + (planes_[i].user == user ? 1.0 : 0.0)) * d;
       h(i, a) = entry;
       h(a, i) = entry;
-    }
+    });
     h(a, a) = (lambda_over_t_ + 1.0) * linalg::squared_norm(plane.s);
     hessian_ = std::move(h);
 
@@ -176,7 +179,10 @@ CentralizedPlosResult train_centralized_plos(
 
   PLOS_SPAN("plos.centralized_train");
   PLOS_LOG_INFO("centralized train start", obs::F("users", num_users),
-                obs::F("dim", dim), obs::F("lambda", options.params.lambda));
+                obs::F("dim", dim), obs::F("lambda", options.params.lambda),
+                obs::F("threads", parallel::resolve_num_threads(
+                                      options.num_threads)));
+  parallel::ThreadPool pool(options.num_threads);
   const Stopwatch watch;
   CentralizedPlosResult result;
   result.model = PersonalizedModel::zeros(num_users, dim);
@@ -196,10 +202,12 @@ CentralizedPlosResult train_centralized_plos(
     const int round_qp_solves_before = result.diagnostics.qp_solves;
     result.diagnostics.cccp_iterations = cccp + 1;
 
-    // Fix the CCCP linearization signs at the current iterate.
+    // Fix the CCCP linearization signs at the current iterate. Each user's
+    // signs depend only on their own data, weights, and a per-user seed, so
+    // the loop parallelizes with no cross-user state.
     std::vector<std::vector<int>> signs(num_users);
     std::vector<linalg::Vector> weights(num_users);
-    for (std::size_t t = 0; t < num_users; ++t) {
+    pool.parallel_for(num_users, [&](std::size_t t) {
       weights[t] = result.model.user_weights(t);
       if (cccp == 0 && options.cluster_sign_initialization &&
           contexts[t].labeled.empty()) {
@@ -210,7 +218,7 @@ CentralizedPlosResult train_centralized_plos(
       } else {
         signs[t] = cccp_signs(contexts[t], weights[t]);
       }
-    }
+    });
 
     // Fresh working sets per convex subproblem (Algorithm 1, step 3). The
     // initialization model above only fixes the CCCP signs; the convex
@@ -220,33 +228,49 @@ CentralizedPlosResult train_centralized_plos(
     // the init — an SVM init that happens to satisfy all margins must not
     // short-circuit training.
     DualState dual(num_users, options.params.lambda);
-    std::vector<CuttingPlane> scratch;
     for (auto& w : weights) w.assign(dim, 0.0);
     result.model = PersonalizedModel::zeros(num_users, dim);
 
+    // Per-iteration separation results, one slot per user so the parallel
+    // oracle writes race-free and the ordered reduction below adds accepted
+    // constraints in ascending user order — the exact serial sequence.
+    std::vector<CuttingPlane> separated(num_users);
+    std::vector<char> violated(num_users, 0);
+
     for (int it = 0; it < options.cutting_plane.max_iterations; ++it) {
       PLOS_SPAN("plos.cutting_plane_iteration", "iteration", it);
-      bool added = false;
-      for (std::size_t t = 0; t < num_users; ++t) {
-        if (contexts[t].num_samples() == 0) continue;
-        const CuttingPlane plane =
+      // Separation oracle (Eq. 12): one most-violated constraint per user,
+      // embarrassingly parallel — a user's plane, s_kt statistics, and
+      // slack depend only on their own working set and weights, never on
+      // constraints other users add within the same iteration.
+      pool.parallel_for(num_users, [&](std::size_t t) {
+        violated[t] = 0;
+        if (contexts[t].num_samples() == 0) return;
+        CuttingPlane plane =
             most_violated_constraint(contexts[t], signs[t], weights[t],
                                      options.params.cl, options.params.cu);
+        std::vector<CuttingPlane> scratch;
         const double xi = optimal_slack(*dual.user_planes(t, scratch),
                                         weights[t]);
         if (constraint_violation(plane, weights[t], xi) >
             options.cutting_plane.epsilon) {
-          dual.add_constraint(t, plane);
-          added = true;
+          separated[t] = std::move(plane);
+          violated[t] = 1;
         }
+      });
+      bool added = false;
+      for (std::size_t t = 0; t < num_users; ++t) {
+        if (!violated[t]) continue;
+        dual.add_constraint(t, std::move(separated[t]), pool);
+        added = true;
       }
       if (!added) break;
 
       dual.solve(result.model, options.qp);
       ++result.diagnostics.qp_solves;
-      for (std::size_t t = 0; t < num_users; ++t) {
+      pool.parallel_for(num_users, [&](std::size_t t) {
         weights[t] = result.model.user_weights(t);
-      }
+      });
     }
     result.diagnostics.final_constraint_count = dual.size();
 

@@ -40,6 +40,10 @@ struct CentralizedPlosOptions {
   /// from inheriting w0's systematic per-user errors.
   bool cluster_sign_initialization = true;
   std::uint64_t seed = 99;  ///< cluster-init / no-label fallback randomness
+  /// Worker threads for per-user separation, CCCP sign fitting, and dual
+  /// Hessian row assembly. 0 = all hardware threads, 1 = legacy serial.
+  /// Results are bitwise identical for every value (see DESIGN.md §8).
+  int num_threads = 1;
 };
 
 struct PlosDiagnostics {

@@ -10,6 +10,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
 #include "rng/engine.hpp"
 #include "svm/linear_svm.hpp"
 
@@ -230,7 +231,16 @@ DistributedPlosResult train_distributed_impl(
   PLOS_SPAN("plos.distributed_train");
   PLOS_LOG_INFO("distributed train start", obs::F("users", num_users),
                 obs::F("dim", dim), obs::F("rho", options.rho),
-                obs::F("participation", participation));
+                obs::F("participation", participation),
+                obs::F("threads", parallel::resolve_num_threads(
+                                      options.num_threads)));
+  // Devices are simulated concurrently: each worker owns a disjoint set of
+  // device indices per round (static chunking), so all per-device state —
+  // working sets, w/v/xi slots, SimNetwork per-device ledgers — is written
+  // by exactly one thread per round and results match the serial schedule
+  // bitwise. Only cross-device aggregation (w0 update, objective) stays on
+  // the calling thread, in fixed device order.
+  parallel::ThreadPool pool(options.num_threads);
   const Stopwatch total_watch;
   DistributedPlosResult result;
   result.model = PersonalizedModel::zeros(num_users, dim);
@@ -244,21 +254,27 @@ DistributedPlosResult train_distributed_impl(
   // --- bootstrap round: average of local SVMs as the initial w0 ----------
   linalg::Vector w0 = linalg::zeros(dim);
   if (options.svm_bootstrap) {
-    std::size_t contributors = 0;
-    for (std::size_t t = 0; t < num_users; ++t) {
+    // Local SVM fits run in parallel on the devices; the upload accounting
+    // and the server-side average stay in ascending device order so the
+    // floating-point sum matches the serial path bitwise.
+    std::vector<linalg::Vector> locals(num_users);
+    pool.parallel_for(num_users, [&](std::size_t t) {
       Stopwatch device_watch;
-      const linalg::Vector local = devices[t].bootstrap_weights();
+      locals[t] = devices[t].bootstrap_weights();
       if (network != nullptr) {
         network->account_device_compute(t, device_watch.elapsed_seconds());
       }
-      if (local.empty()) continue;
+    });
+    std::size_t contributors = 0;
+    for (std::size_t t = 0; t < num_users; ++t) {
+      if (locals[t].empty()) continue;
       if (network != nullptr) {
         net::Serializer s;
         s.write_u32(/*message type*/ 0);
-        s.write_vector(local);
+        s.write_vector(locals[t]);
         network->send_to_server(t, s.size_bytes());
       }
-      linalg::axpy(1.0, local, w0);
+      linalg::axpy(1.0, locals[t], w0);
       ++contributors;
     }
     if (contributors > 0) {
@@ -295,13 +311,13 @@ DistributedPlosResult train_distributed_impl(
     const int round_admm_before = result.diagnostics.admm_iterations_total;
     const int round_qp_before = total_device_qp_solves();
     result.diagnostics.cccp_iterations = cccp + 1;
-    for (std::size_t t = 0; t < num_users; ++t) {
+    pool.parallel_for(num_users, [&](std::size_t t) {
       Stopwatch device_watch;
       devices[t].begin_cccp_round(w[t], cccp == 0, options.seed + t);
       if (network != nullptr) {
         network->account_device_compute(t, device_watch.elapsed_seconds());
       }
-    }
+    });
 
     double objective = 0.0;
     for (int admm = 0; admm < options.max_admm_iterations; ++admm) {
@@ -311,14 +327,23 @@ DistributedPlosResult train_distributed_impl(
       std::vector<linalg::Vector> u_old = u;
       std::vector<char> participated(num_users, 0);
 
-      // Scatter (w0, u_t), local solves, gather (w_t, v_t, ξ_t). In the
-      // asynchronous variant, unavailable devices keep their last uploads
-      // in force and are skipped entirely this iteration.
-      for (std::size_t t = 0; t < num_users; ++t) {
-        const bool responds =
-            participation >= 1.0 || schedule.bernoulli(participation);
-        if (!responds) continue;
-        participated[t] = true;
+      // The availability schedule draws stay on the calling thread in
+      // ascending device order, exactly as the serial loop consumed the
+      // stream (participation = 1 bypasses the RNG entirely).
+      if (participation >= 1.0) {
+        std::fill(participated.begin(), participated.end(), 1);
+      } else {
+        for (std::size_t t = 0; t < num_users; ++t) {
+          participated[t] = schedule.bernoulli(participation) ? 1 : 0;
+        }
+      }
+
+      // Scatter (w0, u_t), local solves, gather (w_t, v_t, ξ_t) — the T
+      // independent per-device prox-QPs (Eq. 22), solved concurrently. In
+      // the asynchronous variant, unavailable devices keep their last
+      // uploads in force and are skipped entirely this iteration.
+      pool.parallel_for(num_users, [&](std::size_t t) {
+        if (!participated[t]) return;
         if (network != nullptr) {
           network->send_to_device(t, broadcast_bytes(w0, u[t]));
         }
@@ -332,7 +357,7 @@ DistributedPlosResult train_distributed_impl(
         w[t] = std::move(sol.w);
         v[t] = std::move(sol.v);
         xi[t] = sol.xi;
-      }
+      });
 
       // Server closed-form updates (Eq. 23).
       Stopwatch server_watch;

@@ -52,6 +52,11 @@ struct DistributedPlosOptions {
   /// runs on-device, so privacy is unaffected.
   bool cluster_sign_initialization = true;
   std::uint64_t seed = 99;
+  /// Worker threads for concurrent per-device ADMM solves (and bootstrap
+  /// SVM fits). 0 = all hardware threads, 1 = legacy serial. Models, byte
+  /// ledgers, and traces are bitwise identical for every value; only real
+  /// wall time changes (see DESIGN.md §8).
+  int num_threads = 1;
 };
 
 struct DistributedPlosDiagnostics {

@@ -54,6 +54,7 @@ double SimNetwork::transfer_seconds(std::size_t bytes) const {
 
 void SimNetwork::send_to_device(std::size_t device, std::size_t bytes) {
   PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
   const double kb = static_cast<double>(bytes) / 1024.0;
   server_.bytes_sent += bytes;
   devices_[device].bytes_received += bytes;
@@ -68,6 +69,7 @@ void SimNetwork::send_to_device(std::size_t device, std::size_t bytes) {
 
 void SimNetwork::send_to_server(std::size_t device, std::size_t bytes) {
   PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
   const double kb = static_cast<double>(bytes) / 1024.0;
   server_.bytes_received += bytes;
   devices_[device].bytes_sent += bytes;
@@ -84,6 +86,7 @@ void SimNetwork::account_device_compute(std::size_t device,
                                         double measured_seconds) {
   PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
   PLOS_CHECK(measured_seconds >= 0.0, "SimNetwork: negative compute time");
+  const std::lock_guard<std::mutex> lock(mutex_);
   const double device_seconds =
       measured_seconds * device_profile_.cpu_slowdown;
   devices_[device].compute_seconds += device_seconds;
@@ -96,11 +99,13 @@ void SimNetwork::account_device_compute(std::size_t device,
 
 void SimNetwork::account_server_compute(double measured_seconds) {
   PLOS_CHECK(measured_seconds >= 0.0, "SimNetwork: negative compute time");
+  const std::lock_guard<std::mutex> lock(mutex_);
   server_.compute_seconds += measured_seconds;
   round_server_seconds_ += measured_seconds;
 }
 
 void SimNetwork::end_round() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const double slowest_device =
       *std::max_element(round_device_seconds_.begin(),
                         round_device_seconds_.end());
@@ -117,6 +122,7 @@ const DeviceMetrics& SimNetwork::device_metrics(std::size_t device) const {
 }
 
 double SimNetwork::mean_bytes_per_device() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   double total = 0.0;
   for (const auto& d : devices_) {
     total += static_cast<double>(d.bytes_sent + d.bytes_received);
@@ -125,6 +131,7 @@ double SimNetwork::mean_bytes_per_device() const {
 }
 
 double SimNetwork::total_device_energy() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   double total = 0.0;
   for (const auto& d : devices_) total += d.energy_joules;
   return total;

@@ -14,10 +14,18 @@
 //   * an energy model (compute power draw + per-byte radio cost);
 //   * synchronous-round wall-clock semantics: devices compute and
 //     communicate in parallel, so a round costs
-//     server_compute + max_t(downlink_t + device_compute_t + uplink_t).
+//     server_compute + max_t(downlink_t + device_compute_t + uplink_t)
+//     (max over devices, not a sum — matching real concurrent execution);
+//   * thread safety: the distributed trainer drives devices from a thread
+//     pool, so every accounting entry point and reader serializes on an
+//     internal mutex. Byte and message ledgers are integer-exact, which
+//     makes the totals independent of the interleaving of concurrent
+//     accounting calls; per-device fields are only ever touched by the one
+//     worker simulating that device within a round.
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -97,6 +105,8 @@ class SimNetwork {
  private:
   double transfer_seconds(std::size_t bytes) const;
 
+  /// Guards all ledgers against concurrent accounting from device workers.
+  mutable std::mutex mutex_;
   DeviceProfile device_profile_;
   LinkProfile link_profile_;
   std::vector<DeviceMetrics> devices_;

@@ -1,11 +1,18 @@
 #include "obs/trace.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
 namespace plos::obs {
 
 namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Small dense thread ids (Chrome renders one lane per tid).
 std::uint32_t current_tid() {
@@ -60,8 +67,16 @@ TraceCollector& TraceCollector::instance() {
 }
 
 void TraceCollector::set_enabled(bool enabled) {
-  if (enabled && !enabled_.load(std::memory_order_relaxed)) epoch_.reset();
+  if (enabled && !enabled_.load(std::memory_order_relaxed)) {
+    epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  }
   enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+double TraceCollector::now_us() const {
+  return static_cast<double>(steady_now_ns() -
+                             epoch_ns_.load(std::memory_order_relaxed)) *
+         1e-3;
 }
 
 void TraceCollector::clear() {

@@ -7,9 +7,15 @@
 //   }
 //
 // Spans nest lexically: each records its name, thread, depth, start time,
-// and wall duration (measured with the library Stopwatch) into the global
-// TraceCollector when the scope exits. The collector serializes complete
-// ("ph":"X") events loadable by chrome://tracing and Perfetto.
+// and wall duration into the global TraceCollector when the scope exits.
+// The collector serializes complete ("ph":"X") events loadable by
+// chrome://tracing and Perfetto.
+//
+// Thread safety: spans may open and close on any thread. The nesting depth
+// is thread-local, every event carries the recording thread's dense id (so
+// Perfetto renders one track per pool worker), the event vector is mutex-
+// guarded, and the epoch is an atomic timestamp so set_enabled() cannot
+// race against in-flight now_us() reads.
 //
 // Collection is off by default: a PLOS_SPAN in a cold collector costs one
 // relaxed atomic load and a branch. Enabling mid-process is safe; spans
@@ -21,8 +27,6 @@
 #include <mutex>
 #include <string>
 #include <vector>
-
-#include "common/stopwatch.hpp"
 
 namespace plos::obs {
 
@@ -50,8 +54,9 @@ class TraceCollector {
   void set_enabled(bool enabled);
   void clear();
 
-  /// Microseconds since the epoch set by the last enable.
-  double now_us() const { return epoch_.elapsed_seconds() * 1e6; }
+  /// Microseconds since the epoch set by the last enable. Safe to call
+  /// concurrently with set_enabled().
+  double now_us() const;
 
   void record(Event event);
   std::vector<Event> events() const;
@@ -66,7 +71,9 @@ class TraceCollector {
   TraceCollector() = default;
 
   std::atomic<bool> enabled_{false};
-  Stopwatch epoch_;
+  /// steady_clock nanoseconds captured at the last enable; atomic so spans
+  /// reading the clock never race a concurrent re-enable.
+  std::atomic<std::int64_t> epoch_ns_{0};
   mutable std::mutex mutex_;
   std::vector<Event> events_;
 };

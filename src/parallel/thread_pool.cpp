@@ -1,0 +1,126 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace plos::parallel {
+
+namespace {
+
+// Set for the lifetime of a worker thread; parallel_for/submit consult it
+// to detect re-entry from the owning pool's own workers.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+std::size_t resolve_num_threads(int requested) {
+  PLOS_CHECK(requested >= 0, "resolve_num_threads: negative thread count");
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(resolve_num_threads(num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (std::size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Serial pool, tiny range, or re-entry from one of our own workers (the
+  // worker executing the outer task cannot also drain the queue): run
+  // inline. The chunk→index map below degenerates to the same ascending
+  // order, so this changes nothing observable but the thread count.
+  if (workers_.empty() || n == 1 || current_pool == this) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  const std::size_t chunks = std::min(num_threads_, n);
+  std::vector<std::exception_ptr> errors(chunks);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t pending = chunks - 1;
+
+  const auto run_chunk = [&](std::size_t k) {
+    const std::size_t begin = k * n / chunks;
+    const std::size_t end = (k + 1) * n / chunks;
+    try {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    } catch (...) {
+      errors[k] = std::current_exception();
+    }
+  };
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t k = 1; k < chunks; ++k) {
+      queue_.emplace_back([&, k] {
+        run_chunk(k);
+        // Notify under the lock: the caller cannot finish its wait (and
+        // destroy done_cv) until this thread released done_mutex, which
+        // makes the notify safe against caller-stack teardown.
+        const std::lock_guard<std::mutex> done_lock(done_mutex);
+        --pending;
+        done_cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  run_chunk(0);  // the calling thread is worker 0
+  {
+    std::unique_lock<std::mutex> done_lock(done_mutex);
+    done_cv.wait(done_lock, [&] { return pending == 0; });
+  }
+  for (std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  if (workers_.empty() || current_pool == this) {
+    (*packaged)();
+    return future;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace_back([packaged] { (*packaged)(); });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+}  // namespace plos::parallel

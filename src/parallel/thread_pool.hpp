@@ -1,0 +1,82 @@
+// Fixed-size thread pool powering the trainers' per-user parallelism.
+//
+// Design constraints, in priority order:
+//
+//   1. Determinism. `parallel_for(n, body)` splits [0, n) into at most
+//      num_threads() contiguous chunks with a fixed index→chunk map that
+//      depends only on (n, num_threads()); within a chunk indices run in
+//      ascending order. Callers that write per-index outputs (the dominant
+//      pattern: one cutting plane per user, one local ADMM solve per
+//      device) therefore produce bitwise-identical results for any thread
+//      count, including 1.
+//   2. Simplicity over peak throughput. No work stealing, one shared FIFO
+//      task queue guarded by a mutex. The units of work here (an SVM fit, a
+//      per-device prox-QP, a d-dimensional dot-product batch) are large
+//      enough that queue contention is irrelevant.
+//   3. Exceptions propagate. The first failing chunk (lowest chunk index)
+//      has its exception rethrown on the calling thread after all chunks
+//      finish; `submit` transports exceptions through the returned future.
+//   4. No nested deadlock. Calling `parallel_for` or waiting on a `submit`
+//      from inside one of the pool's own workers would starve the queue, so
+//      both detect that case and execute inline on the calling worker.
+//
+// A pool with num_threads() == 1 spawns no workers at all: every call runs
+// inline on the caller, which is the legacy serial path byte for byte.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace plos::parallel {
+
+/// Resolves the user-facing `num_threads` knob: 0 means "all hardware
+/// threads" (at least 1), any positive value is taken literally (values
+/// above the hardware count are allowed and simply timeshare).
+std::size_t resolve_num_threads(int requested);
+
+class ThreadPool {
+ public:
+  /// `num_threads` follows resolve_num_threads(); the pool spawns
+  /// num_threads() - 1 workers because the thread calling parallel_for
+  /// always executes chunk 0 itself.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// Runs body(i) for every i in [0, n) exactly once and returns when all
+  /// calls completed. Chunk k (k < min(num_threads, n)) covers the
+  /// half-open range [k·n/chunks, (k+1)·n/chunks), ascending within the
+  /// chunk. Rethrows the lowest-chunk exception, if any. Reentrant: may be
+  /// called concurrently from several non-worker threads, and calls from a
+  /// worker of this pool degrade to an inline serial loop.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Enqueues one task; the future carries completion and any exception.
+  /// Called from a worker of this pool, the task runs inline immediately
+  /// (waiting on the future from inside a worker must not deadlock).
+  std::future<void> submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::size_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace plos::parallel

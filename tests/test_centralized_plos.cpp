@@ -198,5 +198,33 @@ TEST(PlosObjective, UserCountMismatchThrows) {
                PreconditionError);
 }
 
+TEST(CentralizedPlos, MultiThreadedTrainingMatchesSerialBitwise) {
+  // Per-user separation, sign fitting, and Hessian row assembly run on a
+  // pool when num_threads > 1; the result must equal the serial run down
+  // to the last bit (the full contract lives in test_parallel_equivalence,
+  // this is the in-binary smoke check TSan exercises).
+  auto dataset = make_population(5, 0.8, 3, 0.3, 21, 20);
+  auto serial_options = fast_options();
+  auto threaded_options = fast_options();
+  threaded_options.num_threads = 4;
+  const auto serial = train_centralized_plos(dataset, serial_options);
+  const auto threaded = train_centralized_plos(dataset, threaded_options);
+  ASSERT_EQ(serial.model.global_weights.size(),
+            threaded.model.global_weights.size());
+  for (std::size_t j = 0; j < serial.model.global_weights.size(); ++j) {
+    EXPECT_EQ(serial.model.global_weights[j], threaded.model.global_weights[j]);
+  }
+  for (std::size_t t = 0; t < serial.model.num_users(); ++t) {
+    for (std::size_t j = 0; j < serial.model.user_deviations[t].size(); ++j) {
+      EXPECT_EQ(serial.model.user_deviations[t][j],
+                threaded.model.user_deviations[t][j]);
+    }
+  }
+  EXPECT_EQ(serial.diagnostics.objective_trace,
+            threaded.diagnostics.objective_trace);
+  EXPECT_EQ(serial.diagnostics.final_constraint_count,
+            threaded.diagnostics.final_constraint_count);
+}
+
 }  // namespace
 }  // namespace plos::core

@@ -159,5 +159,34 @@ TEST(DistributedPlos, DeterministicGivenOptions) {
                                    b.model.global_weights, 0.0));
 }
 
+TEST(DistributedPlos, MultiThreadedTrainingMatchesSerialBitwise) {
+  // Devices solve their per-round prox-QPs concurrently when num_threads >
+  // 1; model and byte ledger must match the serial schedule bitwise (full
+  // contract in test_parallel_equivalence — this in-binary smoke check is
+  // what the TSan CI job exercises).
+  auto dataset = make_population(4, 0.5, 2, 0.4, 22, 15);
+  auto threaded_options = fast_options();
+  threaded_options.num_threads = 4;
+  net::SimNetwork serial_net(4, net::DeviceProfile{}, net::LinkProfile{});
+  net::SimNetwork threaded_net(4, net::DeviceProfile{}, net::LinkProfile{});
+  const auto serial =
+      train_distributed_plos(dataset, fast_options(), &serial_net);
+  const auto threaded =
+      train_distributed_plos(dataset, threaded_options, &threaded_net);
+  EXPECT_TRUE(linalg::approx_equal(serial.model.global_weights,
+                                   threaded.model.global_weights, 0.0));
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_TRUE(linalg::approx_equal(serial.model.user_deviations[t],
+                                     threaded.model.user_deviations[t], 0.0));
+    EXPECT_EQ(serial_net.device_metrics(t).bytes_sent,
+              threaded_net.device_metrics(t).bytes_sent);
+    EXPECT_EQ(serial_net.device_metrics(t).bytes_received,
+              threaded_net.device_metrics(t).bytes_received);
+  }
+  EXPECT_EQ(serial.diagnostics.objective_trace,
+            threaded.diagnostics.objective_trace);
+  EXPECT_EQ(serial_net.rounds_completed(), threaded_net.rounds_completed());
+}
+
 }  // namespace
 }  // namespace plos::core

@@ -48,6 +48,7 @@ struct Args {
   double cl = 10.0;
   double cu = 1.0;
   std::uint64_t seed = 42;
+  int threads = 1;  // 0 = hardware concurrency
   bool distributed = false;
   bool logistic = false;
   std::string save_model_path;
@@ -67,6 +68,9 @@ void print_usage() {
       "  --rotation RAD             synth: max rotation angle\n"
       "  --lambda L --cl CL --cu CU PLOS hyper-parameters\n"
       "  --seed S                   RNG seed\n"
+      "  --threads N                worker threads for training (default 1;\n"
+      "                             0 = hardware concurrency); results are\n"
+      "                             bitwise identical for every N\n"
       "  --distributed              train PLOS with ADMM on a simulated fleet\n"
       "  --logistic                 use the logistic-loss PLOS variant\n"
       "  --save-model PATH          checkpoint the trained PLOS model\n"
@@ -182,6 +186,10 @@ std::optional<Args> parse(int argc, char** argv) {
       double_value(args.cu);
     } else if (flag == "--seed") {
       u64_value(args.seed);
+    } else if (flag == "--threads") {
+      std::uint64_t threads = 0;
+      u64_value(threads);
+      args.threads = static_cast<int>(threads);
     } else if (flag == "--distributed") {
       args.distributed = true;
     } else if (flag == "--logistic") {
@@ -320,6 +328,7 @@ int main(int argc, char** argv) {
     } else if (args.distributed) {
       core::DistributedPlosOptions options;
       options.params = params;
+      options.num_threads = args.threads;
       net::SimNetwork network(dataset.num_users(), net::DeviceProfile{},
                               net::LinkProfile{});
       const auto result =
@@ -334,6 +343,7 @@ int main(int argc, char** argv) {
     } else {
       core::CentralizedPlosOptions options;
       options.params = params;
+      options.num_threads = args.threads;
       const auto result = core::train_centralized_plos(dataset, options);
       model = result.model;
       std::printf("centralized PLOS: %d CCCP rounds, %zu planes, %.2fs\n",
@@ -353,16 +363,22 @@ int main(int argc, char** argv) {
       }
     }
   }
+  core::BaselineOptions baseline_options;
+  baseline_options.num_threads = args.threads;
   if (wants(args, "all")) {
-    print_report("All", core::evaluate(dataset, core::run_all_baseline(dataset)));
+    print_report("All", core::evaluate(dataset, core::run_all_baseline(
+                                                    dataset, baseline_options)));
   }
   if (wants(args, "group")) {
-    print_report("Group",
-                 core::evaluate(dataset, core::run_group_baseline(dataset)));
+    core::GroupBaselineOptions group_options;
+    group_options.base = baseline_options;
+    print_report("Group", core::evaluate(dataset, core::run_group_baseline(
+                                                      dataset, group_options)));
   }
   if (wants(args, "single")) {
     print_report("Single",
-                 core::evaluate(dataset, core::run_single_baseline(dataset)));
+                 core::evaluate(dataset, core::run_single_baseline(
+                                             dataset, baseline_options)));
   }
 
   if (!args.trace_out.empty()) {
