@@ -27,20 +27,24 @@ void count_serialize_seconds(const Stopwatch& watch) {
 }
 
 // Wire formats. Sizes are what the simulator charges, so they are real
-// serializations, not estimates.
-std::size_t broadcast_bytes(std::span<const double> w0,
-                            std::span<const double> u) {
+// serializations, not estimates. Fault-free paths transmit the bare
+// payload (sizes — and goldens pinning them — unchanged from the pre-fault
+// code); the fault path wraps payloads in CRC32 frames via
+// net::frame_message before handing them to SimNetwork::transmit_*.
+std::vector<std::uint8_t> broadcast_payload(std::span<const double> w0,
+                                            std::span<const double> u) {
   const Stopwatch watch;
   net::Serializer s;
   s.write_u32(/*message type*/ 1);
   s.write_vector(w0);
   s.write_vector(u);
   count_serialize_seconds(watch);
-  return s.size_bytes();
+  return s.take();
 }
 
-std::size_t update_bytes(std::span<const double> w, std::span<const double> v,
-                         double xi) {
+std::vector<std::uint8_t> update_payload(std::span<const double> w,
+                                         std::span<const double> v,
+                                         double xi) {
   const Stopwatch watch;
   net::Serializer s;
   s.write_u32(/*message type*/ 2);
@@ -48,8 +52,19 @@ std::size_t update_bytes(std::span<const double> w, std::span<const double> v,
   s.write_vector(v);
   s.write_f64(xi);
   count_serialize_seconds(watch);
-  return s.size_bytes();
+  return s.take();
 }
+
+// Why a device sat out a round (or didn't); tallied into the
+// graceful-degradation diagnostics after each ADMM iteration.
+enum DeviceRoundStatus : char {
+  kParticipated = 0,
+  kUnavailable = 1,     // async schedule said unavailable
+  kOffline = 2,         // fault schedule churn window
+  kDownlinkFailed = 3,  // broadcast lost after all retries
+  kDeadlineMissed = 4,  // straggler; server stopped waiting
+  kUplinkFailed = 5,    // update lost/corrupt after all retries
+};
 
 // One simulated device: owns its raw data, CCCP signs, and the cutting-plane
 // working set of the current CCCP round.
@@ -245,6 +260,17 @@ DistributedPlosResult train_distributed_impl(
   DistributedPlosResult result;
   result.model = PersonalizedModel::zeros(num_users, dim);
 
+  // Fault injection rides on the network: an attached, enabled FaultModel
+  // switches message exchange to CRC32-framed transmit_* with retries and
+  // derives per-round participation from the counter-based fault schedule.
+  // All fault draws are pure functions of (seed, round, device, ...), so
+  // workers can evaluate them concurrently without breaking the bitwise
+  // determinism contract.
+  const net::FaultModel* fault = nullptr;
+  if (network != nullptr && network->fault_model().enabled()) {
+    fault = &network->fault_model();
+  }
+
   std::vector<Device> devices;
   devices.reserve(num_users);
   for (const auto& user : dataset.users) {
@@ -266,13 +292,27 @@ DistributedPlosResult train_distributed_impl(
       }
     });
     std::size_t contributors = 0;
+    const std::uint64_t bootstrap_round =
+        network != nullptr ? network->current_round() : 0;
     for (std::size_t t = 0; t < num_users; ++t) {
       if (locals[t].empty()) continue;
+      if (fault != nullptr && fault->offline(bootstrap_round, t)) {
+        ++result.diagnostics.devices_offline_total;
+        continue;
+      }
       if (network != nullptr) {
         net::Serializer s;
         s.write_u32(/*message type*/ 0);
         s.write_vector(locals[t]);
-        network->send_to_server(t, s.size_bytes());
+        if (fault != nullptr) {
+          const auto frame = net::frame_message(s.buffer());
+          if (!network->transmit_to_server(t, frame).delivered) {
+            ++result.diagnostics.uplink_failures_total;
+            continue;  // bootstrap upload lost: average over the others
+          }
+        } else {
+          network->send_to_server(t, s.size_bytes());
+        }
       }
       linalg::axpy(1.0, locals[t], w0);
       ++contributors;
@@ -325,39 +365,106 @@ DistributedPlosResult train_distributed_impl(
       ++result.diagnostics.admm_iterations_total;
       const linalg::Vector w0_old = w0;
       std::vector<linalg::Vector> u_old = u;
+      const std::uint64_t round =
+          network != nullptr ? network->current_round() : 0;
+      std::vector<char> available(num_users, 1);
       std::vector<char> participated(num_users, 0);
+      std::vector<char> status(num_users, kParticipated);
 
       // The availability schedule draws stay on the calling thread in
       // ascending device order, exactly as the serial loop consumed the
       // stream (participation = 1 bypasses the RNG entirely).
-      if (participation >= 1.0) {
-        std::fill(participated.begin(), participated.end(), 1);
-      } else {
+      if (participation < 1.0) {
         for (std::size_t t = 0; t < num_users; ++t) {
-          participated[t] = schedule.bernoulli(participation) ? 1 : 0;
+          available[t] = schedule.bernoulli(participation) ? 1 : 0;
         }
       }
 
       // Scatter (w0, u_t), local solves, gather (w_t, v_t, ξ_t) — the T
-      // independent per-device prox-QPs (Eq. 22), solved concurrently. In
-      // the asynchronous variant, unavailable devices keep their last
-      // uploads in force and are skipped entirely this iteration.
+      // independent per-device prox-QPs (Eq. 22), solved concurrently.
+      // Unavailable devices (async schedule), churned-out devices, and
+      // devices whose round trip failed keep their last uploads in force;
+      // the server update below runs over whoever actually delivered.
+      // A device's (w_t, v_t, ξ_t) slot is updated only once its upload
+      // reaches the server — a lost upload leaves the server's cached view
+      // in place even though the device's local working set advanced.
       pool.parallel_for(num_users, [&](std::size_t t) {
-        if (!participated[t]) return;
+        if (!available[t]) {
+          status[t] = kUnavailable;
+          return;
+        }
+        if (fault != nullptr && fault->offline(round, t)) {
+          status[t] = kOffline;
+          return;
+        }
         if (network != nullptr) {
-          network->send_to_device(t, broadcast_bytes(w0, u[t]));
+          if (fault != nullptr) {
+            const auto frame =
+                net::frame_message(broadcast_payload(w0, u[t]));
+            if (!network->transmit_to_device(t, frame).delivered) {
+              status[t] = kDownlinkFailed;
+              return;  // device never received (w0, u_t) this round
+            }
+          } else {
+            network->send_to_device(t, broadcast_payload(w0, u[t]).size());
+          }
         }
         PLOS_SPAN("plos.device_solve", "device", static_cast<double>(t));
         Stopwatch device_watch;
         auto sol = devices[t].solve(w0, u[t]);
         if (network != nullptr) {
           network->account_device_compute(t, device_watch.elapsed_seconds());
-          network->send_to_server(t, update_bytes(sol.w, sol.v, sol.xi));
+        }
+        if (fault != nullptr && fault->misses_deadline(round, t)) {
+          // Straggler past the server's deadline: the compute happened (and
+          // was charged) but the upload is pointless — the server moved on.
+          status[t] = kDeadlineMissed;
+          return;
+        }
+        if (network != nullptr) {
+          if (fault != nullptr) {
+            const auto frame =
+                net::frame_message(update_payload(sol.w, sol.v, sol.xi));
+            if (!network->transmit_to_server(t, frame).delivered) {
+              status[t] = kUplinkFailed;
+              return;
+            }
+          } else {
+            network->send_to_server(t,
+                                    update_payload(sol.w, sol.v, sol.xi).size());
+          }
         }
         w[t] = std::move(sol.w);
         v[t] = std::move(sol.v);
         xi[t] = sol.xi;
+        participated[t] = 1;
       });
+
+      // Degradation tallies and participation trace (fixed device order on
+      // the calling thread).
+      std::size_t participants = 0;
+      for (std::size_t t = 0; t < num_users; ++t) {
+        participants += participated[t] != 0 ? 1 : 0;
+        switch (status[t]) {
+          case kOffline:
+            ++result.diagnostics.devices_offline_total;
+            break;
+          case kDownlinkFailed:
+            ++result.diagnostics.downlink_failures_total;
+            break;
+          case kDeadlineMissed:
+            ++result.diagnostics.deadline_misses_total;
+            break;
+          case kUplinkFailed:
+            ++result.diagnostics.uplink_failures_total;
+            break;
+          default:
+            break;
+        }
+      }
+      const double participation_rate =
+          static_cast<double>(participants) / static_cast<double>(num_users);
+      result.diagnostics.participation_trace.push_back(participation_rate);
 
       // Server closed-form updates (Eq. 23).
       Stopwatch server_watch;
@@ -409,13 +516,17 @@ DistributedPlosResult train_distributed_impl(
           obs::metrics().gauge("plos.admm.dual_residual");
       static obs::Gauge& objective_gauge =
           obs::metrics().gauge("plos.admm.objective");
+      static obs::Gauge& participation_gauge =
+          obs::metrics().gauge("plos.admm.participation_rate");
       primal_gauge.set(primal_residual);
       dual_gauge.set(dual_residual);
       objective_gauge.set(objective);
+      participation_gauge.set(participation_rate);
       PLOS_LOG_TRACE("admm iteration", obs::F("cccp", cccp),
                      obs::F("admm", admm), obs::F("objective", objective),
                      obs::F("primal_residual", primal_residual),
-                     obs::F("dual_residual", dual_residual));
+                     obs::F("dual_residual", dual_residual),
+                     obs::F("participation", participation_rate));
 
       // Paper thresholds (Eq. 24) plus Boyd's relative terms.
       const double primal_threshold =
@@ -456,6 +567,29 @@ DistributedPlosResult train_distributed_impl(
     result.model.user_deviations[t] = linalg::sub(w[t], w0);
   }
   result.diagnostics.train_seconds = total_watch.elapsed_seconds();
+  if (network != nullptr) {
+    result.diagnostics.fault_counters = network->fault_counters();
+  }
+  if (fault != nullptr) {
+    const auto& d = result.diagnostics;
+    double mean_participation = 0.0;
+    for (double p : d.participation_trace) mean_participation += p;
+    if (!d.participation_trace.empty()) {
+      mean_participation /= static_cast<double>(d.participation_trace.size());
+    }
+    PLOS_LOG_INFO(
+        "fault degradation summary",
+        obs::F("mean_participation", mean_participation),
+        obs::F("offline", d.devices_offline_total),
+        obs::F("deadline_misses", d.deadline_misses_total),
+        obs::F("downlink_failures", d.downlink_failures_total),
+        obs::F("uplink_failures", d.uplink_failures_total),
+        obs::F("dropped", d.fault_counters.downlink_dropped +
+                              d.fault_counters.uplink_dropped),
+        obs::F("corrupted", d.fault_counters.downlink_corrupted +
+                                d.fault_counters.uplink_corrupted),
+        obs::F("retries", d.fault_counters.retries));
+  }
   PLOS_LOG_INFO(
       "distributed train done",
       obs::F("cccp_rounds", result.diagnostics.cccp_iterations),

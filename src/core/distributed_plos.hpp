@@ -18,6 +18,16 @@
 // When a net::SimNetwork is supplied, every exchanged message is serialized
 // to wire format and charged byte-exactly, and measured solver time is
 // charged to simulated device/server CPUs (Figures 11-13).
+//
+// Fault tolerance (DESIGN.md §9): when the supplied network carries an
+// enabled net::FaultModel, rounds degrade to partial participation instead
+// of failing — offline devices are skipped for the round, messages travel
+// as CRC32-checked frames with bounded retry/backoff, straggling devices
+// past the round deadline are left behind, and the server's Eq. 23 update
+// runs over the participating subset while missing/stale devices keep
+// their last cached (w_t, v_t) and dual u_t. All participation decisions
+// derive from the counter-based fault schedule — never from measured wall
+// time — so faulty runs remain bitwise-deterministic at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -73,6 +83,15 @@ struct DistributedPlosDiagnostics {
   std::vector<double> round_seconds;
   std::vector<int> round_admm_iterations;
   std::vector<int> round_qp_solves;
+  /// Fraction of devices whose update reached the server, per ADMM
+  /// iteration (1.0 throughout for fault-free synchronous runs).
+  std::vector<double> participation_trace;
+  // Graceful-degradation tallies; all zero without fault injection.
+  std::size_t devices_offline_total = 0;   ///< churn absences over all rounds
+  std::size_t deadline_misses_total = 0;   ///< straggler uploads skipped
+  std::size_t downlink_failures_total = 0; ///< broadcasts lost after retries
+  std::size_t uplink_failures_total = 0;   ///< updates lost after retries
+  net::FaultCounters fault_counters;       ///< message drop/corrupt/retry totals
 };
 
 struct DistributedPlosResult {

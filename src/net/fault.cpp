@@ -1,0 +1,123 @@
+#include "net/fault.hpp"
+
+#include "common/assert.hpp"
+
+namespace plos::net {
+
+namespace {
+
+// Draw families: distinct constants keep e.g. the offline draw of
+// (round, device) independent from its straggler draw.
+constexpr std::uint64_t kOfflineDraw = 0x01;
+constexpr std::uint64_t kStragglerDraw = 0x02;
+constexpr std::uint64_t kDropDraw = 0x03;
+constexpr std::uint64_t kCorruptDraw = 0x04;
+constexpr std::uint64_t kCorruptBitDraw = 0x05;
+
+// splitmix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Chain the key words through the mixer; each word is absorbed after a full
+// avalanche of the previous ones, so flipping any single input bit
+// decorrelates the output.
+std::uint64_t hash_key(std::uint64_t seed, std::uint64_t kind,
+                       std::uint64_t round, std::uint64_t device,
+                       std::uint64_t direction, std::uint64_t attempt) {
+  std::uint64_t h = mix64(seed);
+  h = mix64(h ^ kind);
+  h = mix64(h ^ round);
+  h = mix64(h ^ device);
+  h = mix64(h ^ direction);
+  h = mix64(h ^ attempt);
+  return h;
+}
+
+}  // namespace
+
+FaultModel::FaultModel(const FaultSpec& spec)
+    : spec_(spec), enabled_(spec.any_faults()) {
+  const auto valid_probability = [](double p) { return p >= 0.0 && p <= 1.0; };
+  PLOS_CHECK(valid_probability(spec.drop_probability),
+             "FaultModel: drop_probability outside [0, 1]");
+  PLOS_CHECK(valid_probability(spec.corrupt_probability),
+             "FaultModel: corrupt_probability outside [0, 1]");
+  PLOS_CHECK(valid_probability(spec.offline_probability),
+             "FaultModel: offline_probability outside [0, 1]");
+  PLOS_CHECK(valid_probability(spec.straggler_probability),
+             "FaultModel: straggler_probability outside [0, 1]");
+  PLOS_CHECK(spec.straggler_slowdown >= 1.0,
+             "FaultModel: straggler_slowdown must be >= 1");
+  PLOS_CHECK(spec.round_deadline_s >= 0.0,
+             "FaultModel: round_deadline_s must be >= 0");
+  PLOS_CHECK(spec.max_retries >= 0, "FaultModel: max_retries must be >= 0");
+  PLOS_CHECK(spec.retry_backoff_s >= 0.0,
+             "FaultModel: retry_backoff_s must be >= 0");
+}
+
+double FaultModel::uniform(std::uint64_t kind, std::uint64_t round,
+                           std::size_t device, std::uint64_t direction,
+                           std::uint64_t attempt) const {
+  const std::uint64_t h = hash_key(spec_.seed, kind, round,
+                                   static_cast<std::uint64_t>(device),
+                                   direction, attempt);
+  // Top 53 bits -> [0, 1) with full double resolution.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultModel::offline(std::uint64_t round, std::size_t device) const {
+  if (!enabled_ || spec_.offline_probability <= 0.0) return false;
+  return uniform(kOfflineDraw, round, device, 0, 0) <
+         spec_.offline_probability;
+}
+
+bool FaultModel::straggler(std::uint64_t round, std::size_t device) const {
+  if (!enabled_ || spec_.straggler_probability <= 0.0) return false;
+  return uniform(kStragglerDraw, round, device, 0, 0) <
+         spec_.straggler_probability;
+}
+
+bool FaultModel::misses_deadline(std::uint64_t round,
+                                 std::size_t device) const {
+  return spec_.round_deadline_s > 0.0 && straggler(round, device);
+}
+
+double FaultModel::time_multiplier(std::uint64_t round,
+                                   std::size_t device) const {
+  return straggler(round, device) ? spec_.straggler_slowdown : 1.0;
+}
+
+bool FaultModel::drop(std::uint64_t round, std::size_t device,
+                      Direction direction, int attempt) const {
+  if (!enabled_ || spec_.drop_probability <= 0.0) return false;
+  return uniform(kDropDraw, round, device,
+                 static_cast<std::uint64_t>(direction),
+                 static_cast<std::uint64_t>(attempt)) <
+         spec_.drop_probability;
+}
+
+bool FaultModel::corrupt(std::uint64_t round, std::size_t device,
+                         Direction direction, int attempt) const {
+  if (!enabled_ || spec_.corrupt_probability <= 0.0) return false;
+  return uniform(kCorruptDraw, round, device,
+                 static_cast<std::uint64_t>(direction),
+                 static_cast<std::uint64_t>(attempt)) <
+         spec_.corrupt_probability;
+}
+
+std::size_t FaultModel::corrupt_bit(std::uint64_t round, std::size_t device,
+                                    Direction direction, int attempt,
+                                    std::size_t num_bits) const {
+  PLOS_CHECK(num_bits > 0, "FaultModel: corrupt_bit on empty frame");
+  const std::uint64_t h = hash_key(spec_.seed, kCorruptBitDraw, round,
+                                   static_cast<std::uint64_t>(device),
+                                   static_cast<std::uint64_t>(direction),
+                                   static_cast<std::uint64_t>(attempt));
+  return static_cast<std::size_t>(h % num_bits);
+}
+
+}  // namespace plos::net

@@ -1,0 +1,131 @@
+// Deterministic fault injection for the simulated network.
+//
+// Phones on flaky radios drop rounds, straggle, and corrupt payloads; the
+// distributed trainer must survive all of it (paper §V-VI keeps raw data
+// on-device precisely because the uplink is the scarce, unreliable
+// resource). This header provides the *schedule*: which device is offline
+// in which round, which message attempt is dropped or corrupted, which
+// device straggles and by how much.
+//
+// Every decision is a pure function of a counter-based key
+//
+//     (seed, round, device, direction, attempt, draw-kind)
+//
+// hashed through a splitmix64-style finalizer into a uniform in [0, 1).
+// There is no shared RNG stream, so any thread can evaluate any draw in any
+// order and always gets the same answer — the PR 2 determinism contract
+// (bitwise-identical models and byte ledgers at every thread count)
+// survives fault injection unchanged. The flip side, documented in
+// DESIGN.md §9: participation decisions must never consult *measured* wall
+// time (which is nondeterministic); deadlines are resolved against the
+// fault schedule, and measured time feeds only the reported simulated
+// clock.
+//
+// A default-constructed FaultModel is inert: every predicate returns
+// "no fault", every multiplier is exactly 1.0, so fault-free paths are
+// bit-for-bit the pre-fault code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace plos::net {
+
+/// Message direction over the star topology.
+enum class Direction : std::uint32_t {
+  kDownlink = 0,  ///< server -> device
+  kUplink = 1,    ///< device -> server
+};
+
+/// Fault probabilities and policy knobs. All probabilities are per-draw:
+/// drop/corrupt per message *attempt*, offline/straggler per (round,
+/// device).
+struct FaultSpec {
+  double drop_probability = 0.0;      ///< message attempt lost in transit
+  double corrupt_probability = 0.0;   ///< delivered attempt fails its CRC
+  double offline_probability = 0.0;   ///< device absent for a whole round
+  double straggler_probability = 0.0; ///< device straggles this round
+  /// Compute + link time multiplier applied to a straggling device's round.
+  double straggler_slowdown = 4.0;
+  /// Simulated-seconds budget the server waits for devices each round;
+  /// 0 disables the deadline (stragglers are waited for). When set,
+  /// straggling devices miss the round: the server proceeds without their
+  /// upload and the round's device term is capped at the deadline.
+  double round_deadline_s = 0.0;
+  /// Extra transmission attempts after the first, per message. Each retry
+  /// is charged to the ledgers and adds retry_backoff_s of device wait.
+  int max_retries = 2;
+  double retry_backoff_s = 0.05;
+  std::uint64_t seed = 0;
+
+  /// True when any fault can actually fire (deadline/slowdown alone do
+  /// nothing without a straggler probability).
+  bool any_faults() const {
+    return drop_probability > 0.0 || corrupt_probability > 0.0 ||
+           offline_probability > 0.0 || straggler_probability > 0.0;
+  }
+};
+
+/// Pure, stateless view over a FaultSpec: all methods are const, thread-safe
+/// and reproducible (see file comment for the keying).
+class FaultModel {
+ public:
+  /// Inert model: no faults, multiplier exactly 1.0.
+  FaultModel() = default;
+
+  explicit FaultModel(const FaultSpec& spec);
+
+  bool enabled() const { return enabled_; }
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Device is fully absent this round: receives nothing, sends nothing.
+  bool offline(std::uint64_t round, std::size_t device) const;
+
+  /// Device straggles this round (compute/link scaled by
+  /// straggler_slowdown).
+  bool straggler(std::uint64_t round, std::size_t device) const;
+
+  /// Straggler with an active round deadline: the server will not wait, the
+  /// device's upload is skipped. False whenever round_deadline_s == 0.
+  bool misses_deadline(std::uint64_t round, std::size_t device) const;
+
+  /// 1.0, or straggler_slowdown when the device straggles this round.
+  /// Exactly 1.0 when disabled, so multiplying by it is a bitwise identity.
+  double time_multiplier(std::uint64_t round, std::size_t device) const;
+
+  /// Message attempt `attempt` (0-based) is lost in transit.
+  bool drop(std::uint64_t round, std::size_t device, Direction direction,
+            int attempt) const;
+
+  /// Delivered attempt carries a bit error (to be caught by the CRC).
+  bool corrupt(std::uint64_t round, std::size_t device, Direction direction,
+               int attempt) const;
+
+  /// Which bit of an `num_bits`-bit frame the corruption flips; only
+  /// meaningful when corrupt(...) fired. num_bits must be > 0.
+  std::size_t corrupt_bit(std::uint64_t round, std::size_t device,
+                          Direction direction, int attempt,
+                          std::size_t num_bits) const;
+
+ private:
+  /// Uniform in [0, 1) from the counter-based key; `kind` separates the
+  /// independent draw families (offline, straggler, drop, ...).
+  double uniform(std::uint64_t kind, std::uint64_t round, std::size_t device,
+                 std::uint64_t direction, std::uint64_t attempt) const;
+
+  FaultSpec spec_;
+  bool enabled_ = false;
+};
+
+/// Accumulated fault/retry counters (one struct per SimNetwork; aggregate,
+/// order-independent integer totals so they meet the determinism contract).
+struct FaultCounters {
+  std::size_t downlink_dropped = 0;   ///< lost server->device attempts
+  std::size_t uplink_dropped = 0;     ///< lost device->server attempts
+  std::size_t downlink_corrupted = 0; ///< CRC-rejected server->device
+  std::size_t uplink_corrupted = 0;   ///< CRC-rejected device->server
+  std::size_t retries = 0;            ///< attempts beyond the first
+  std::size_t failed_messages = 0;    ///< undelivered after all retries
+};
+
+}  // namespace plos::net

@@ -54,4 +54,65 @@ std::vector<double> Deserializer::read_vector() {
   return out;
 }
 
+namespace {
+
+const std::uint32_t* crc32_table() {
+  static const std::uint32_t* table = [] {
+    auto* t = new std::uint32_t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::uint32_t load_u32(std::span<const std::uint8_t> data,
+                       std::size_t offset) {
+  std::uint32_t v;
+  std::memcpy(&v, data.data() + offset, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  const std::uint32_t* table = crc32_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> frame_message(
+    std::span<const std::uint8_t> payload) {
+  PLOS_CHECK(payload.size() <= 0xFFFFFFFFull,
+             "frame_message: payload exceeds u32 length field");
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  append_raw(frame, kFrameMagic);
+  append_raw(frame, kFrameVersion);
+  append_raw(frame, static_cast<std::uint32_t>(payload.size()));
+  append_raw(frame, crc32(payload));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+std::optional<std::span<const std::uint8_t>> unframe_message(
+    std::span<const std::uint8_t> frame) {
+  if (frame.size() < kFrameHeaderBytes) return std::nullopt;
+  if (load_u32(frame, 0) != kFrameMagic) return std::nullopt;
+  if (load_u32(frame, 4) != kFrameVersion) return std::nullopt;
+  const std::uint32_t length = load_u32(frame, 8);
+  if (frame.size() != kFrameHeaderBytes + length) return std::nullopt;
+  const auto payload = frame.subspan(kFrameHeaderBytes, length);
+  if (crc32(payload) != load_u32(frame, 12)) return std::nullopt;
+  return payload;
+}
+
 }  // namespace plos::net

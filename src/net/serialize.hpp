@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -46,5 +47,40 @@ class Deserializer {
   std::span<const std::uint8_t> data_;
   std::size_t offset_ = 0;
 };
+
+// ---- CRC32-checked wire frames -------------------------------------------
+//
+// The fault-injection path flips real bits in transit (see net/fault.hpp),
+// so corrupted uploads must be *detected*, not assumed away. Messages sent
+// over a faulty link are wrapped in a fixed 16-byte frame header
+//
+//   u32 magic 'PLF\x01' | u32 version | u32 payload length | u32 CRC32
+//
+// and the receiver validates magic, version, length, and checksum before
+// decoding; any mismatch is treated as a dropped message (the sender
+// retries). CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) detects all
+// single-bit and burst-<=32-bit errors, which covers the simulator's
+// single-bit-flip corruption model exactly.
+//
+// Versioning: fault-free runs transmit *unframed* payloads (frame version 1
+// is only negotiated when a FaultModel is attached), so the byte ledgers —
+// and the checked-in goldens that pin them — are unchanged for fault-free
+// configurations.
+
+inline constexpr std::uint32_t kFrameMagic = 0x01464C50u;  // "PLF\x01" LE
+inline constexpr std::uint32_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/// CRC32 (IEEE) of `data`.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Wraps `payload` in a frame header (magic, version, length, CRC32).
+std::vector<std::uint8_t> frame_message(std::span<const std::uint8_t> payload);
+
+/// Validates a frame and returns a view of its payload, or nullopt when the
+/// magic/version/length/CRC check fails (corrupt or truncated frame). The
+/// view aliases `frame`, which must outlive it.
+std::optional<std::span<const std::uint8_t>> unframe_message(
+    std::span<const std::uint8_t> frame);
 
 }  // namespace plos::net

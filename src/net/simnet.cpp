@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/serialize.hpp"
 #include "obs/metrics.hpp"
 
 namespace plos::net {
@@ -18,6 +19,10 @@ struct SimnetInstruments {
   obs::Counter& messages_to_server;
   obs::Counter& device_energy_joules;
   obs::Counter& rounds;
+  obs::Counter& messages_dropped;
+  obs::Counter& messages_corrupted;
+  obs::Counter& retries;
+  obs::Counter& failed_messages;
 };
 
 SimnetInstruments& simnet_instruments() {
@@ -28,6 +33,10 @@ SimnetInstruments& simnet_instruments() {
       obs::metrics().counter("simnet.messages_to_server"),
       obs::metrics().counter("simnet.device_energy_joules"),
       obs::metrics().counter("simnet.rounds"),
+      obs::metrics().counter("simnet.messages_dropped"),
+      obs::metrics().counter("simnet.messages_corrupted"),
+      obs::metrics().counter("simnet.retries"),
+      obs::metrics().counter("simnet.failed_messages"),
   };
   return *instruments;
 }
@@ -38,6 +47,7 @@ SimNetwork::SimNetwork(std::size_t num_devices, DeviceProfile device_profile,
                        LinkProfile link_profile)
     : device_profile_(device_profile),
       link_profile_(link_profile),
+      device_links_(num_devices, link_profile),
       devices_(num_devices),
       round_device_seconds_(num_devices, 0.0) {
   PLOS_CHECK(num_devices > 0, "SimNetwork: need at least one device");
@@ -47,39 +57,153 @@ SimNetwork::SimNetwork(std::size_t num_devices, DeviceProfile device_profile,
              "SimNetwork: bandwidth must be positive");
 }
 
-double SimNetwork::transfer_seconds(std::size_t bytes) const {
+void SimNetwork::set_device_link(std::size_t device, LinkProfile profile) {
+  PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
+  PLOS_CHECK(profile.bandwidth_kbps > 0.0,
+             "SimNetwork: bandwidth must be positive");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  device_links_[device] = profile;
+}
+
+const LinkProfile& SimNetwork::device_link(std::size_t device) const {
+  PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
+  return device_links_[device];
+}
+
+double SimNetwork::transfer_seconds(std::size_t device,
+                                    std::size_t bytes) const {
+  const LinkProfile& link = device_links_[device];
   const double kb = static_cast<double>(bytes) / 1024.0;
-  return link_profile_.latency_s + kb * 8.0 / link_profile_.bandwidth_kbps;
+  return link.latency_s + kb * 8.0 / link.bandwidth_kbps;
+}
+
+void SimNetwork::charge_message(std::size_t device, Direction direction,
+                                std::size_t bytes, double multiplier) {
+  const double kb = static_cast<double>(bytes) / 1024.0;
+  if (direction == Direction::kDownlink) {
+    server_.bytes_sent += bytes;
+    devices_[device].bytes_received += bytes;
+    devices_[device].messages_received += 1;
+    devices_[device].energy_joules += kb * device_profile_.rx_energy_j_per_kb;
+    simnet_instruments().bytes_to_device.add(static_cast<double>(bytes));
+    simnet_instruments().messages_to_device.increment();
+    simnet_instruments().device_energy_joules.add(
+        kb * device_profile_.rx_energy_j_per_kb);
+  } else {
+    server_.bytes_received += bytes;
+    devices_[device].bytes_sent += bytes;
+    devices_[device].messages_sent += 1;
+    devices_[device].energy_joules += kb * device_profile_.tx_energy_j_per_kb;
+    simnet_instruments().bytes_to_server.add(static_cast<double>(bytes));
+    simnet_instruments().messages_to_server.increment();
+    simnet_instruments().device_energy_joules.add(
+        kb * device_profile_.tx_energy_j_per_kb);
+  }
+  round_device_seconds_[device] += transfer_seconds(device, bytes) * multiplier;
 }
 
 void SimNetwork::send_to_device(std::size_t device, std::size_t bytes) {
   PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
   const std::lock_guard<std::mutex> lock(mutex_);
-  const double kb = static_cast<double>(bytes) / 1024.0;
-  server_.bytes_sent += bytes;
-  devices_[device].bytes_received += bytes;
-  devices_[device].messages_received += 1;
-  devices_[device].energy_joules += kb * device_profile_.rx_energy_j_per_kb;
-  round_device_seconds_[device] += transfer_seconds(bytes);
-  simnet_instruments().bytes_to_device.add(static_cast<double>(bytes));
-  simnet_instruments().messages_to_device.increment();
-  simnet_instruments().device_energy_joules.add(
-      kb * device_profile_.rx_energy_j_per_kb);
+  charge_message(device, Direction::kDownlink, bytes, 1.0);
 }
 
 void SimNetwork::send_to_server(std::size_t device, std::size_t bytes) {
   PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
   const std::lock_guard<std::mutex> lock(mutex_);
+  charge_message(device, Direction::kUplink, bytes, 1.0);
+}
+
+SimNetwork::TransmitOutcome SimNetwork::transmit(
+    std::size_t device, Direction direction,
+    std::span<const std::uint8_t> frame) {
+  PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t round = rounds_;
+  const double multiplier = fault_.time_multiplier(round, device);
+  const std::size_t bytes = frame.size();
   const double kb = static_cast<double>(bytes) / 1024.0;
-  server_.bytes_received += bytes;
-  devices_[device].bytes_sent += bytes;
-  devices_[device].messages_sent += 1;
-  devices_[device].energy_joules += kb * device_profile_.tx_energy_j_per_kb;
-  round_device_seconds_[device] += transfer_seconds(bytes);
-  simnet_instruments().bytes_to_server.add(static_cast<double>(bytes));
-  simnet_instruments().messages_to_server.increment();
-  simnet_instruments().device_energy_joules.add(
-      kb * device_profile_.tx_energy_j_per_kb);
+  const int max_attempts =
+      fault_.enabled() ? fault_.spec().max_retries + 1 : 1;
+
+  TransmitOutcome outcome;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    outcome.attempts = attempt + 1;
+    if (attempt > 0) {
+      ++fault_counters_.retries;
+      round_device_seconds_[device] +=
+          fault_.spec().retry_backoff_s * multiplier;
+      simnet_instruments().retries.increment();
+    }
+
+    if (fault_.drop(round, device, direction, attempt)) {
+      // Lost in transit: the sender's radio paid for the attempt; the
+      // receiver decodes nothing but waits out the transfer window.
+      if (direction == Direction::kDownlink) {
+        server_.bytes_sent += bytes;
+        ++fault_counters_.downlink_dropped;
+      } else {
+        devices_[device].bytes_sent += bytes;
+        devices_[device].messages_sent += 1;
+        devices_[device].energy_joules +=
+            kb * device_profile_.tx_energy_j_per_kb;
+        simnet_instruments().device_energy_joules.add(
+            kb * device_profile_.tx_energy_j_per_kb);
+        ++fault_counters_.uplink_dropped;
+      }
+      round_device_seconds_[device] +=
+          transfer_seconds(device, bytes) * multiplier;
+      simnet_instruments().messages_dropped.increment();
+      continue;
+    }
+
+    charge_message(device, direction, bytes, multiplier);
+
+    if (fault_.corrupt(round, device, direction, attempt)) {
+      // Flip the schedule-chosen bit in a copy and run the real CRC check:
+      // the corruption path exercises the actual frame validation, not a
+      // modeled stand-in.
+      std::vector<std::uint8_t> damaged(frame.begin(), frame.end());
+      const std::size_t bit = fault_.corrupt_bit(round, device, direction,
+                                                 attempt, damaged.size() * 8);
+      damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      if (!unframe_message(damaged).has_value()) {
+        if (direction == Direction::kDownlink) {
+          ++fault_counters_.downlink_corrupted;
+        } else {
+          ++fault_counters_.uplink_corrupted;
+        }
+        simnet_instruments().messages_corrupted.increment();
+        continue;  // receiver rejects the frame; sender retries
+      }
+      // CRC32 catches every single-bit flip on a well-formed frame, so
+      // reaching here means the caller sent unframed bytes; treat as
+      // delivered (nothing to validate against).
+    }
+
+    outcome.delivered = true;
+    return outcome;
+  }
+
+  outcome.delivered = false;
+  ++fault_counters_.failed_messages;
+  simnet_instruments().failed_messages.increment();
+  return outcome;
+}
+
+SimNetwork::TransmitOutcome SimNetwork::transmit_to_device(
+    std::size_t device, std::span<const std::uint8_t> frame) {
+  return transmit(device, Direction::kDownlink, frame);
+}
+
+SimNetwork::TransmitOutcome SimNetwork::transmit_to_server(
+    std::size_t device, std::span<const std::uint8_t> frame) {
+  return transmit(device, Direction::kUplink, frame);
+}
+
+FaultCounters SimNetwork::fault_counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return fault_counters_;
 }
 
 void SimNetwork::account_device_compute(std::size_t device,
@@ -87,8 +211,11 @@ void SimNetwork::account_device_compute(std::size_t device,
   PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
   PLOS_CHECK(measured_seconds >= 0.0, "SimNetwork: negative compute time");
   const std::lock_guard<std::mutex> lock(mutex_);
-  const double device_seconds =
-      measured_seconds * device_profile_.cpu_slowdown;
+  // Straggler multiplier is exactly 1.0 without faults, so the fault-free
+  // ledger is bitwise unchanged.
+  const double device_seconds = measured_seconds *
+                                device_profile_.cpu_slowdown *
+                                fault_.time_multiplier(rounds_, device);
   devices_[device].compute_seconds += device_seconds;
   devices_[device].energy_joules +=
       device_seconds * device_profile_.compute_power_watts;
@@ -106,9 +233,14 @@ void SimNetwork::account_server_compute(double measured_seconds) {
 
 void SimNetwork::end_round() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  const double slowest_device =
+  double slowest_device =
       *std::max_element(round_device_seconds_.begin(),
                         round_device_seconds_.end());
+  // With a round deadline the server proceeds at the deadline at the
+  // latest; straggler time past it never reaches the wall clock.
+  if (fault_.enabled() && fault_.spec().round_deadline_s > 0.0) {
+    slowest_device = std::min(slowest_device, fault_.spec().round_deadline_s);
+  }
   simulated_seconds_ += round_server_seconds_ + slowest_device;
   std::fill(round_device_seconds_.begin(), round_device_seconds_.end(), 0.0);
   round_server_seconds_ = 0.0;

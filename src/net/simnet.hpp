@@ -21,14 +21,25 @@
 //     internal mutex. Byte and message ledgers are integer-exact, which
 //     makes the totals independent of the interleaving of concurrent
 //     accounting calls; per-device fields are only ever touched by the one
-//     worker simulating that device within a round.
+//     worker simulating that device within a round;
+//   * fault injection (optional, see net/fault.hpp): an attached FaultModel
+//     makes transmit_to_device/transmit_to_server run a bounded
+//     retry/backoff loop over CRC32-checked frames — every attempt is
+//     charged to the ledgers, drops and CRC rejections are counted, and
+//     straggling devices have their compute/link time scaled. All fault
+//     decisions are counter-based (keyed on the round counter), so ledgers
+//     and outcomes stay bitwise-deterministic at any thread count. Without
+//     a fault model the accounting is bit-for-bit the pre-fault behavior.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "net/fault.hpp"
 
 namespace plos::net {
 
@@ -70,6 +81,51 @@ class SimNetwork {
 
   std::size_t num_devices() const { return devices_.size(); }
 
+  // -- heterogeneous links -------------------------------------------------
+
+  /// Overrides the link profile of one device (default: the constructor's
+  /// profile for every device). Needed by the straggler model and any
+  /// heterogeneous-fleet experiment; set before training starts.
+  void set_device_link(std::size_t device, LinkProfile profile);
+
+  const LinkProfile& device_link(std::size_t device) const;
+
+  // -- fault injection -----------------------------------------------------
+
+  /// Attaches a fault model; transmit_* consult it and the distributed
+  /// trainer reads it back for offline/deadline scheduling. Attach before
+  /// training starts.
+  void set_fault_model(FaultModel model) { fault_ = model; }
+
+  const FaultModel& fault_model() const { return fault_; }
+
+  /// Index of the currently open round (== rounds_completed()); the key the
+  /// fault schedule is evaluated against.
+  std::uint64_t current_round() const { return rounds_; }
+
+  /// Snapshot of the fault/retry counters.
+  FaultCounters fault_counters() const;
+
+  struct TransmitOutcome {
+    bool delivered = true;
+    int attempts = 1;
+  };
+
+  /// Fault-aware server -> device transmission of a CRC32 frame: retries up
+  /// to the fault spec's max_retries on drop or CRC rejection, charging
+  /// every attempt (sender bytes always; receiver bytes/energy only for
+  /// attempts that arrive) plus retry backoff to the device's round time.
+  /// Corruption flips a schedule-chosen bit in a copy of the frame and runs
+  /// the real unframe/CRC check. With no fault model attached this is a
+  /// plain send_to_device of frame.size() bytes.
+  TransmitOutcome transmit_to_device(std::size_t device,
+                                     std::span<const std::uint8_t> frame);
+
+  /// Fault-aware device -> server transmission; mirror of
+  /// transmit_to_device.
+  TransmitOutcome transmit_to_server(std::size_t device,
+                                     std::span<const std::uint8_t> frame);
+
   // -- accounting entry points (called by the distributed trainer) --------
 
   /// Server -> device message of `bytes` bytes in the current round.
@@ -87,6 +143,8 @@ class SimNetwork {
 
   /// Close the current synchronous round: simulated wall-clock advances by
   /// the server compute plus the slowest device's compute+communication.
+  /// When a fault model with a round deadline is attached, the device term
+  /// is capped at the deadline (the server stops waiting for stragglers).
   void end_round();
 
   // -- results -------------------------------------------------------------
@@ -103,12 +161,24 @@ class SimNetwork {
   double total_device_energy() const;
 
  private:
-  double transfer_seconds(std::size_t bytes) const;
+  double transfer_seconds(std::size_t device, std::size_t bytes) const;
+
+  /// Shared body of transmit_to_device / transmit_to_server.
+  TransmitOutcome transmit(std::size_t device, Direction direction,
+                           std::span<const std::uint8_t> frame);
+
+  /// Charges one on-air message to the ledgers (both ends). Caller holds
+  /// mutex_; `multiplier` is the straggler time scale for this round.
+  void charge_message(std::size_t device, Direction direction,
+                      std::size_t bytes, double multiplier);
 
   /// Guards all ledgers against concurrent accounting from device workers.
   mutable std::mutex mutex_;
   DeviceProfile device_profile_;
   LinkProfile link_profile_;
+  std::vector<LinkProfile> device_links_;  ///< per-device overrides
+  FaultModel fault_;
+  FaultCounters fault_counters_;
   std::vector<DeviceMetrics> devices_;
   ServerMetrics server_;
 

@@ -58,6 +58,64 @@ TEST(Serialize, CorruptVectorLengthThrows) {
   EXPECT_THROW(d.read_vector(), PreconditionError);
 }
 
+TEST(Frame, RoundTrip) {
+  Serializer s;
+  s.write_u32(2);
+  s.write_vector(std::vector<double>{1.0, -2.5, 1e300});
+  const auto frame = frame_message(s.buffer());
+  EXPECT_EQ(frame.size(), kFrameHeaderBytes + s.size_bytes());
+  const auto payload = unframe_message(frame);
+  ASSERT_TRUE(payload.has_value());
+  ASSERT_EQ(payload->size(), s.size_bytes());
+  Deserializer d(*payload);
+  EXPECT_EQ(d.read_u32(), 2u);
+  EXPECT_EQ(d.read_vector(), (std::vector<double>{1.0, -2.5, 1e300}));
+}
+
+TEST(Frame, EmptyPayloadRoundTrips) {
+  const auto frame = frame_message(std::vector<std::uint8_t>{});
+  EXPECT_EQ(frame.size(), kFrameHeaderBytes);
+  const auto payload = unframe_message(frame);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_TRUE(payload->empty());
+}
+
+TEST(Frame, DetectsEverySingleBitFlip) {
+  Serializer s;
+  s.write_u32(7);
+  s.write_f64(3.25);
+  const auto frame = frame_message(s.buffer());
+  for (std::size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    auto damaged = frame;
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(unframe_message(damaged).has_value())
+        << "bit flip at " << bit << " went undetected";
+  }
+}
+
+TEST(Frame, DetectsTruncationAndGarbage) {
+  Serializer s;
+  s.write_u32(7);
+  const auto frame = frame_message(s.buffer());
+  // Truncated payload, truncated header, trailing garbage, empty input.
+  const std::vector<std::uint8_t> short_frame(frame.begin(), frame.end() - 1);
+  EXPECT_FALSE(unframe_message(short_frame).has_value());
+  const std::vector<std::uint8_t> header_only(frame.begin(),
+                                              frame.begin() + 8);
+  EXPECT_FALSE(unframe_message(header_only).has_value());
+  auto padded = frame;
+  padded.push_back(0);
+  EXPECT_FALSE(unframe_message(padded).has_value());
+  EXPECT_FALSE(unframe_message(std::vector<std::uint8_t>{}).has_value());
+}
+
+TEST(Frame, Crc32KnownVector) {
+  // IEEE CRC32 of "123456789" is 0xCBF43926 (the canonical check value).
+  const char* text = "123456789";
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(text);
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>(bytes, 9)), 0xCBF43926u);
+}
+
 SimNetwork make_network(std::size_t devices = 3) {
   DeviceProfile device;
   device.cpu_slowdown = 10.0;

@@ -51,6 +51,12 @@ struct Args {
   int threads = 1;  // 0 = hardware concurrency
   bool distributed = false;
   bool logistic = false;
+  // Fault injection (distributed only; see net/fault.hpp for semantics).
+  double fault_drop = 0.0;
+  double fault_offline = 0.0;
+  double fault_straggler = 0.0;
+  double fault_corrupt = 0.0;
+  double round_deadline = 0.0;  // simulated seconds; 0 = wait for stragglers
   std::string save_model_path;
   std::string log_level;    // empty = logging stays off
   std::string trace_out;    // empty = no trace collection
@@ -72,6 +78,14 @@ void print_usage() {
       "                             0 = hardware concurrency); results are\n"
       "                             bitwise identical for every N\n"
       "  --distributed              train PLOS with ADMM on a simulated fleet\n"
+      "  --fault-drop P             per-message-attempt drop probability\n"
+      "  --fault-offline P          per-round device churn probability\n"
+      "  --fault-straggler P        per-round straggler probability (4x slowdown)\n"
+      "  --fault-corrupt P          per-message bit-corruption probability\n"
+      "                             (CRC32-framed, detected and retried)\n"
+      "  --round-deadline S         simulated seconds the server waits per\n"
+      "                             round; stragglers past it are left behind\n"
+      "                             (0 = wait). Fault flags need --distributed\n"
       "  --logistic                 use the logistic-loss PLOS variant\n"
       "  --save-model PATH          checkpoint the trained PLOS model\n"
       "  --log-level LEVEL          trace|debug|info|warn|error|off (stderr)\n"
@@ -192,6 +206,25 @@ std::optional<Args> parse(int argc, char** argv) {
       args.threads = static_cast<int>(threads);
     } else if (flag == "--distributed") {
       args.distributed = true;
+    } else if (flag == "--fault-drop" || flag == "--fault-offline" ||
+               flag == "--fault-straggler" || flag == "--fault-corrupt") {
+      double* slot = flag == "--fault-drop"       ? &args.fault_drop
+                     : flag == "--fault-offline"  ? &args.fault_offline
+                     : flag == "--fault-straggler" ? &args.fault_straggler
+                                                    : &args.fault_corrupt;
+      double_value(*slot);
+      if (ok && (*slot < 0.0 || *slot > 1.0)) {
+        std::fprintf(stderr, "plos_run: %s must be in [0, 1], got %g\n",
+                     flag.c_str(), *slot);
+        ok = false;
+      }
+    } else if (flag == "--round-deadline") {
+      double_value(args.round_deadline);
+      if (ok && args.round_deadline < 0.0) {
+        std::fprintf(stderr, "plos_run: --round-deadline must be >= 0, got %g\n",
+                     args.round_deadline);
+        ok = false;
+      }
     } else if (flag == "--logistic") {
       args.logistic = true;
     } else if (flag == "--save-model") {
@@ -214,6 +247,17 @@ std::optional<Args> parse(int argc, char** argv) {
       ok = false;
     }
   }
+  const bool any_fault_flag = args.fault_drop > 0.0 ||
+                              args.fault_offline > 0.0 ||
+                              args.fault_straggler > 0.0 ||
+                              args.fault_corrupt > 0.0 ||
+                              args.round_deadline > 0.0;
+  if (ok && any_fault_flag && !(args.distributed && !args.logistic)) {
+    std::fprintf(stderr,
+                 "plos_run: fault flags apply only to --distributed "
+                 "(non-logistic) training\n");
+    ok = false;
+  }
   if (!ok) {
     std::fprintf(stderr, "run 'plos_run --help' for usage\n");
     return std::nullopt;
@@ -235,12 +279,17 @@ void register_standard_instruments() {
   obs::metrics().counter("qp.capped_simplex.seconds");
   obs::metrics().histogram("qp.capped_simplex.iterations",
                            obs::default_iteration_buckets());
+  obs::metrics().gauge("plos.admm.participation_rate");
   obs::metrics().counter("simnet.bytes_to_device");
   obs::metrics().counter("simnet.bytes_to_server");
   obs::metrics().counter("simnet.messages_to_device");
   obs::metrics().counter("simnet.messages_to_server");
   obs::metrics().counter("simnet.device_energy_joules");
   obs::metrics().counter("simnet.rounds");
+  obs::metrics().counter("simnet.messages_dropped");
+  obs::metrics().counter("simnet.messages_corrupted");
+  obs::metrics().counter("simnet.retries");
+  obs::metrics().counter("simnet.failed_messages");
 }
 
 data::MultiUserDataset build_dataset(const Args& args) {
@@ -331,6 +380,16 @@ int main(int argc, char** argv) {
       options.num_threads = args.threads;
       net::SimNetwork network(dataset.num_users(), net::DeviceProfile{},
                               net::LinkProfile{});
+      net::FaultSpec fault_spec;
+      fault_spec.drop_probability = args.fault_drop;
+      fault_spec.offline_probability = args.fault_offline;
+      fault_spec.straggler_probability = args.fault_straggler;
+      fault_spec.corrupt_probability = args.fault_corrupt;
+      fault_spec.round_deadline_s = args.round_deadline;
+      fault_spec.seed = args.seed;
+      if (fault_spec.any_faults()) {
+        network.set_fault_model(net::FaultModel(fault_spec));
+      }
       const auto result =
           core::train_distributed_plos(dataset, options, &network);
       model = result.model;
@@ -340,6 +399,26 @@ int main(int argc, char** argv) {
           result.diagnostics.admm_iterations_total,
           network.total_simulated_seconds(),
           network.mean_bytes_per_device() / 1024.0);
+      if (fault_spec.any_faults()) {
+        const auto& d = result.diagnostics;
+        double mean_participation = 0.0;
+        for (double p : d.participation_trace) mean_participation += p;
+        if (!d.participation_trace.empty()) {
+          mean_participation /=
+              static_cast<double>(d.participation_trace.size());
+        }
+        std::printf(
+            "faults: participation %.3f, offline %zu, deadline misses %zu, "
+            "dropped %zu (down %zu / up %zu), corrupted %zu, retries %zu, "
+            "failed messages %zu\n",
+            mean_participation, d.devices_offline_total,
+            d.deadline_misses_total,
+            d.fault_counters.downlink_dropped + d.fault_counters.uplink_dropped,
+            d.fault_counters.downlink_dropped, d.fault_counters.uplink_dropped,
+            d.fault_counters.downlink_corrupted +
+                d.fault_counters.uplink_corrupted,
+            d.fault_counters.retries, d.fault_counters.failed_messages);
+      }
     } else {
       core::CentralizedPlosOptions options;
       options.params = params;
