@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "rng/engine.hpp"
 
@@ -13,6 +14,59 @@ namespace {
 const char* bench_metrics_path() {
   static const char* path = std::getenv("PLOS_BENCH_METRICS");
   return path;
+}
+
+const char* bench_manifest_path() {
+  static const char* path = std::getenv("PLOS_BENCH_MANIFEST");
+  return path;
+}
+
+std::string render_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+// Appends one manifest line describing a run_all_methods invocation. Only
+// deterministic fields plus the PLOS train time (under "timing", which
+// plos_inspect ignores by default) — a sweep of these lines diffs cleanly
+// across machines.
+void append_bench_manifest(const data::MultiUserDataset& dataset,
+                           const core::CentralizedPlosOptions& options,
+                           const core::PlosDiagnostics& diagnostics,
+                           const MethodReports& reports) {
+  obs::RunManifest manifest;
+  manifest.tool = "bench";
+  obs::fill_build_info(manifest);
+  manifest.seed = options.seed;
+  manifest.dataset = data::fingerprint(dataset, "bench");
+  manifest.options["lambda"] = render_double(options.params.lambda);
+  manifest.options["cl"] = render_double(options.params.cl);
+  manifest.options["cu"] = render_double(options.params.cu);
+  manifest.options["cutting_plane_epsilon"] =
+      render_double(options.cutting_plane.epsilon);
+  manifest.options["cccp_max_iterations"] =
+      std::to_string(options.cccp.max_iterations);
+  manifest.options["mode"] = "centralized";
+  manifest.results["accuracy.plos.providers"] = reports.plos.providers;
+  manifest.results["accuracy.plos.non_providers"] = reports.plos.non_providers;
+  manifest.results["accuracy.plos.overall"] = reports.plos.overall;
+  manifest.results["accuracy.all.overall"] = reports.all.overall;
+  manifest.results["accuracy.group.overall"] = reports.group.overall;
+  manifest.results["accuracy.single.overall"] = reports.single.overall;
+  manifest.results["cccp_rounds"] =
+      static_cast<double>(diagnostics.cccp_iterations);
+  manifest.results["qp_solves"] = static_cast<double>(diagnostics.qp_solves);
+  if (!diagnostics.objective_trace.empty()) {
+    manifest.results["final_objective"] = diagnostics.objective_trace.back();
+  }
+  manifest.threads = options.num_threads;
+  manifest.wall_seconds = diagnostics.train_seconds;
+  std::FILE* file = std::fopen(bench_manifest_path(), "a");
+  if (file == nullptr) return;
+  const std::string line = obs::manifest_to_json(manifest);
+  std::fprintf(file, "%s\n", line.c_str());
+  std::fclose(file);
 }
 
 }  // namespace
@@ -28,6 +82,8 @@ int bench_num_threads() {
 }
 
 bool bench_metrics_enabled() { return bench_metrics_path() != nullptr; }
+
+bool bench_manifest_enabled() { return bench_manifest_path() != nullptr; }
 
 PhaseMetrics::PhaseMetrics(std::string phase) : phase_(std::move(phase)) {
   if (!bench_metrics_enabled()) return;
@@ -49,9 +105,11 @@ PhaseMetrics::~PhaseMetrics() {
 MethodReports run_all_methods(const data::MultiUserDataset& dataset,
                               const core::CentralizedPlosOptions& options) {
   MethodReports reports;
+  core::PlosDiagnostics plos_diagnostics;
   {
     const PhaseMetrics phase("plos_train");
     const auto plos = core::train_centralized_plos(dataset, options);
+    plos_diagnostics = plos.diagnostics;
     reports.plos =
         core::evaluate(dataset, core::predict_all(dataset, plos.model));
   }
@@ -66,6 +124,9 @@ MethodReports run_all_methods(const data::MultiUserDataset& dataset,
       core::evaluate(dataset, core::run_group_baseline(dataset, group_options));
   reports.single = core::evaluate(
       dataset, core::run_single_baseline(dataset, baseline_options));
+  if (bench_manifest_enabled()) {
+    append_bench_manifest(dataset, options, plos_diagnostics, reports);
+  }
   return reports;
 }
 

@@ -79,6 +79,16 @@ void print_row(double x, std::span<const double> values);
 std::vector<std::string> accuracy_series_names();
 std::vector<double> accuracy_series_values(const MethodReports& reports);
 
+// ---- opt-in run manifests ------------------------------------------------
+
+/// True when the PLOS_BENCH_MANIFEST environment variable names an output
+/// file; run_all_methods then appends one run-manifest JSON line per
+/// invocation (build info, solver options, dataset fingerprint, all four
+/// methods' accuracies, PLOS convergence counters), so a whole figure
+/// sweep becomes a machine-readable JSONL series inspectable with
+/// `plos_inspect report` / `diff` per line.
+bool bench_manifest_enabled();
+
 // ---- opt-in per-phase metrics dump ---------------------------------------
 
 /// True when the PLOS_BENCH_METRICS environment variable names an output

@@ -200,6 +200,7 @@ CentralizedPlosResult train_centralized_plos(
     PLOS_SPAN("plos.cccp_round", "round", cccp);
     const Stopwatch round_watch;
     const int round_qp_solves_before = result.diagnostics.qp_solves;
+    int round_qp_iterations = 0;
     result.diagnostics.cccp_iterations = cccp + 1;
 
     // Fix the CCCP linearization signs at the current iterate. Each user's
@@ -266,7 +267,7 @@ CentralizedPlosResult train_centralized_plos(
       }
       if (!added) break;
 
-      dual.solve(result.model, options.qp);
+      round_qp_iterations += dual.solve(result.model, options.qp).iterations;
       ++result.diagnostics.qp_solves;
       pool.parallel_for(num_users, [&](std::size_t t) {
         weights[t] = result.model.user_weights(t);
@@ -279,6 +280,30 @@ CentralizedPlosResult train_centralized_plos(
     result.diagnostics.round_seconds.push_back(round_watch.elapsed_seconds());
     result.diagnostics.round_qp_solves.push_back(
         result.diagnostics.qp_solves - round_qp_solves_before);
+    // Telemetry: one journal record per started round — including a round
+    // the descent safeguard rejects below, since the rejected objective is
+    // exactly what convergence analysis and the watchdog need to see. All
+    // record fields are deterministic solver state, so the journal is
+    // byte-identical at any thread count.
+    if (options.journal != nullptr || options.watchdog != nullptr) {
+      obs::RoundRecord record;
+      record.trainer = "centralized";
+      record.cccp_round = cccp;
+      record.objective = objective;
+      record.objective_finite = std::isfinite(objective);
+      record.constraints = dual.size();
+      record.qp_solves = result.diagnostics.round_qp_solves.back();
+      record.qp_iterations = round_qp_iterations;
+      if (options.journal != nullptr) options.journal->append(record);
+      if (options.watchdog != nullptr &&
+          options.watchdog->observe(record) == obs::WatchdogAction::kAbort) {
+        result.diagnostics.watchdog_aborted = true;
+        // Keep the best iterate: a round whose objective regressed (the
+        // usual divergence-abort shape) must not become the result.
+        if (objective > previous_objective) result.model = previous_model;
+        break;
+      }
+    }
     // CCCP descent safeguard: the subproblems are solved only to the
     // cutting-plane tolerance, so a round can fail to improve the true
     // objective — in that case keep the previous iterate and stop.

@@ -18,6 +18,8 @@
 #include "core/model.hpp"
 #include "core/options.hpp"
 #include "data/dataset.hpp"
+#include "obs/journal.hpp"
+#include "obs/watchdog.hpp"
 
 namespace plos::core {
 
@@ -44,6 +46,15 @@ struct CentralizedPlosOptions {
   /// Hessian row assembly. 0 = all hardware threads, 1 = legacy serial.
   /// Results are bitwise identical for every value (see DESIGN.md §8).
   int num_threads = 1;
+  /// Telemetry sinks, both optional and borrowed (caller owns, must
+  /// outlive the call). The journal receives one RoundRecord per started
+  /// CCCP round, appended on the aggregation thread in round order, so
+  /// its serialized form is byte-identical at any thread count. The
+  /// watchdog observes every record; under OnViolation::kAbort a
+  /// violation stops training at the next round boundary (the best
+  /// iterate so far is kept and diagnostics.watchdog_aborted is set).
+  obs::Journal* journal = nullptr;
+  obs::Watchdog* watchdog = nullptr;
 };
 
 struct PlosDiagnostics {
@@ -58,6 +69,9 @@ struct PlosDiagnostics {
   /// the per-round view is what convergence/performance analysis needs.
   std::vector<double> round_seconds;
   std::vector<int> round_qp_solves;
+  /// True when the convergence watchdog aborted the run (see
+  /// CentralizedPlosOptions::watchdog).
+  bool watchdog_aborted = false;
 };
 
 struct CentralizedPlosResult {

@@ -154,6 +154,12 @@ class Device {
   /// Cumulative dual QP solves this device has performed.
   int qp_solves() const { return qp_solves_; }
 
+  /// Cumulative QP inner iterations across those solves.
+  int qp_iterations() const { return qp_iterations_; }
+
+  /// Cutting planes currently in the device's working set.
+  std::size_t working_set_size() const { return working_set_.size(); }
+
  private:
   void add_plane(CuttingPlane plane) {
     const std::size_t a = working_set_.size();
@@ -194,6 +200,7 @@ class Device {
     qp_options.warm_start.resize(n, 0.0);
     const qp::QpResult result = qp::solve_capped_simplex_qp(problem, qp_options);
     ++qp_solves_;
+    qp_iterations_ += result.iterations;
     previous_gamma_ = result.solution;
 
     linalg::Vector g = linalg::zeros(d.size());
@@ -217,6 +224,7 @@ class Device {
   linalg::Matrix dots_;  ///< cached pairwise ⟨s_i, s_j⟩
   linalg::Vector previous_gamma_;
   int qp_solves_ = 0;
+  int qp_iterations_ = 0;
 };
 
 }  // namespace
@@ -344,6 +352,25 @@ DistributedPlosResult train_distributed_impl(
     for (const Device& device : devices) total += device.qp_solves();
     return total;
   };
+  const auto total_device_qp_iterations = [&devices]() {
+    int total = 0;
+    for (const Device& device : devices) total += device.qp_iterations();
+    return total;
+  };
+  const auto total_working_set_size = [&devices]() {
+    std::size_t total = 0;
+    for (const Device& device : devices) total += device.working_set_size();
+    return total;
+  };
+
+  // Telemetry baselines for per-iteration deltas. Snapshots are taken on
+  // the aggregation thread at iteration boundaries (after the pool join),
+  // so every journal field is deterministic at any thread count.
+  const bool telemetry =
+      options.journal != nullptr || options.watchdog != nullptr;
+  net::SimNetwork::TrafficSnapshot previous_traffic;
+  if (network != nullptr) previous_traffic = network->traffic_snapshot();
+  bool watchdog_aborted = false;
 
   for (int cccp = 0; cccp < options.cccp.max_iterations; ++cccp) {
     PLOS_SPAN("plos.cccp_round", "round", cccp);
@@ -363,6 +390,10 @@ DistributedPlosResult train_distributed_impl(
     for (int admm = 0; admm < options.max_admm_iterations; ++admm) {
       PLOS_SPAN("plos.admm_round", "iteration", admm);
       ++result.diagnostics.admm_iterations_total;
+      const int iteration_qp_solves_before =
+          telemetry ? total_device_qp_solves() : 0;
+      const int iteration_qp_iterations_before =
+          telemetry ? total_device_qp_iterations() : 0;
       const linalg::Vector w0_old = w0;
       std::vector<linalg::Vector> u_old = u;
       const std::uint64_t round =
@@ -528,6 +559,41 @@ DistributedPlosResult train_distributed_impl(
                      obs::F("dual_residual", dual_residual),
                      obs::F("participation", participation_rate));
 
+      if (telemetry) {
+        obs::RoundRecord record;
+        record.trainer = "distributed";
+        record.cccp_round = cccp;
+        record.admm_iteration = admm;
+        record.objective = objective;
+        record.objective_finite = std::isfinite(objective);
+        record.primal_residual = primal_residual;
+        record.dual_residual = dual_residual;
+        record.constraints = total_working_set_size();
+        record.qp_solves =
+            total_device_qp_solves() - iteration_qp_solves_before;
+        record.qp_iterations =
+            total_device_qp_iterations() - iteration_qp_iterations_before;
+        record.participation_rate = participation_rate;
+        if (network != nullptr) {
+          const auto traffic = network->traffic_snapshot();
+          record.bytes_to_devices =
+              traffic.bytes_to_devices - previous_traffic.bytes_to_devices;
+          record.bytes_to_server =
+              traffic.bytes_to_server - previous_traffic.bytes_to_server;
+          record.messages_dropped =
+              traffic.messages_dropped - previous_traffic.messages_dropped;
+          record.retries = traffic.retries - previous_traffic.retries;
+          previous_traffic = traffic;
+        }
+        if (options.journal != nullptr) options.journal->append(record);
+        if (options.watchdog != nullptr &&
+            options.watchdog->observe(record) ==
+                obs::WatchdogAction::kAbort) {
+          watchdog_aborted = true;
+          break;
+        }
+      }
+
       // Paper thresholds (Eq. 24) plus Boyd's relative terms.
       const double primal_threshold =
           sqrt_t * options.eps_abs +
@@ -552,6 +618,10 @@ DistributedPlosResult train_distributed_impl(
         obs::F("qp_solves", result.diagnostics.round_qp_solves.back()),
         obs::F("seconds", result.diagnostics.round_seconds.back()));
 
+    if (watchdog_aborted) {
+      result.diagnostics.watchdog_aborted = true;
+      break;
+    }
     if (std::abs(previous_cccp_objective - objective) <=
         options.cccp.objective_tolerance * (1.0 + std::abs(objective))) {
       break;

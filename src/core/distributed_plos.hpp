@@ -67,6 +67,15 @@ struct DistributedPlosOptions {
   /// ledgers, and traces are bitwise identical for every value; only real
   /// wall time changes (see DESIGN.md §8).
   int num_threads = 1;
+  /// Telemetry sinks, both optional and borrowed. The journal receives
+  /// one RoundRecord per ADMM iteration (objective, residuals,
+  /// participation, byte/fault deltas from the simulated network),
+  /// appended on the aggregation thread in iteration order — byte-
+  /// identical at any thread count. The watchdog observes every record;
+  /// under OnViolation::kAbort a violation stops training at the next
+  /// iteration boundary (diagnostics.watchdog_aborted is set).
+  obs::Journal* journal = nullptr;
+  obs::Watchdog* watchdog = nullptr;
 };
 
 struct DistributedPlosDiagnostics {
@@ -92,6 +101,9 @@ struct DistributedPlosDiagnostics {
   std::size_t downlink_failures_total = 0; ///< broadcasts lost after retries
   std::size_t uplink_failures_total = 0;   ///< updates lost after retries
   net::FaultCounters fault_counters;       ///< message drop/corrupt/retry totals
+  /// True when the convergence watchdog aborted the run (see
+  /// DistributedPlosOptions::watchdog).
+  bool watchdog_aborted = false;
 };
 
 struct DistributedPlosResult {

@@ -72,4 +72,35 @@ void MultiUserDataset::check_invariants() const {
   }
 }
 
+obs::DatasetFingerprint fingerprint(const MultiUserDataset& dataset,
+                                    const std::string& name) {
+  obs::DatasetFingerprint fp;
+  fp.name = name;
+  fp.users = dataset.num_users();
+  fp.providers = dataset.labeled_users().size();
+  fp.samples = dataset.total_samples();
+  fp.dim = dataset.dim();
+
+  obs::Fnv1a hash;
+  hash.add_u64(fp.users);
+  hash.add_u64(fp.dim);
+  std::size_t revealed = 0;
+  for (const UserData& user : dataset.users) {
+    hash.add_u64(user.num_samples());
+    for (std::size_t i = 0; i < user.num_samples(); ++i) {
+      for (double x : user.samples[i]) hash.add_double(x);
+      hash.add_u64(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(user.true_labels[i])));
+      hash.add_u64(user.revealed[i] ? 1 : 0);
+      if (user.revealed[i]) ++revealed;
+    }
+  }
+  fp.labeled_fraction =
+      fp.samples == 0
+          ? 0.0
+          : static_cast<double>(revealed) / static_cast<double>(fp.samples);
+  fp.content_hash = hash.digest();
+  return fp;
+}
+
 }  // namespace plos::data

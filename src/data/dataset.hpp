@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "linalg/vector.hpp"
+#include "obs/manifest.hpp"
 
 namespace plos::data {
 
@@ -48,5 +50,12 @@ struct MultiUserDataset {
   /// uniform dimension); throws PreconditionError on violation.
   void check_invariants() const;
 };
+
+/// Identity fingerprint for run manifests: shape counts plus an FNV-1a
+/// hash over every sample's raw double bits, true label, and revealed
+/// flag, in user/sample order. Two datasets with equal fingerprints are
+/// bitwise the same training input.
+obs::DatasetFingerprint fingerprint(const MultiUserDataset& dataset,
+                                    const std::string& name);
 
 }  // namespace plos::data

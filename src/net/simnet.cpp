@@ -206,6 +206,17 @@ FaultCounters SimNetwork::fault_counters() const {
   return fault_counters_;
 }
 
+SimNetwork::TrafficSnapshot SimNetwork::traffic_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TrafficSnapshot snapshot;
+  snapshot.bytes_to_devices = server_.bytes_sent;
+  snapshot.bytes_to_server = server_.bytes_received;
+  snapshot.messages_dropped =
+      fault_counters_.downlink_dropped + fault_counters_.uplink_dropped;
+  snapshot.retries = fault_counters_.retries;
+  return snapshot;
+}
+
 void SimNetwork::account_device_compute(std::size_t device,
                                         double measured_seconds) {
   PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");

@@ -106,6 +106,18 @@ class SimNetwork {
   /// Snapshot of the fault/retry counters.
   FaultCounters fault_counters() const;
 
+  /// Mutually consistent traffic totals taken under one lock; the round
+  /// journal computes per-iteration deltas from consecutive snapshots.
+  /// All fields are integer-exact ledgers, so snapshots taken at round
+  /// boundaries are bitwise thread-count-independent.
+  struct TrafficSnapshot {
+    std::uint64_t bytes_to_devices = 0;  ///< server-side bytes sent
+    std::uint64_t bytes_to_server = 0;   ///< server-side bytes received
+    std::uint64_t messages_dropped = 0;  ///< downlink + uplink drops
+    std::uint64_t retries = 0;           ///< attempts beyond the first
+  };
+  TrafficSnapshot traffic_snapshot() const;
+
   struct TransmitOutcome {
     bool delivered = true;
     int attempts = 1;

@@ -1,0 +1,168 @@
+#include "obs/journal.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace plos::obs {
+
+namespace {
+
+// Optional doubles serialize as `null` when unset (NaN sentinel); real
+// non-finite results also render null, distinguished by the finite flag.
+void append_optional(std::string& out, const char* key, double value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += json::number(value);
+}
+
+void append_u64(std::string& out, const char* key, std::uint64_t value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+double optional_number(const json::Value& record, std::string_view key) {
+  const json::Value* field = record.find(key);
+  if (field == nullptr || !field->is_number()) return RoundRecord::kUnset;
+  return field->as_number();
+}
+
+std::uint64_t u64_field(const json::Value& record, std::string_view key) {
+  const json::Value* field = record.find(key);
+  if (field == nullptr || !field->is_number()) return 0;
+  return static_cast<std::uint64_t>(field->as_number());
+}
+
+}  // namespace
+
+std::string record_to_json(const RoundRecord& record) {
+  std::string out = "{";
+  out += "\"trainer\":";
+  out += json::escape(record.trainer);
+  out += ",\"cccp_round\":";
+  out += std::to_string(record.cccp_round);
+  out += ",\"admm_iteration\":";
+  out += std::to_string(record.admm_iteration);
+  out += ',';
+  append_optional(out, "objective", record.objective);
+  out += ",\"objective_finite\":";
+  out += record.objective_finite ? "true" : "false";
+  out += ',';
+  append_optional(out, "primal_residual", record.primal_residual);
+  out += ',';
+  append_optional(out, "dual_residual", record.dual_residual);
+  out += ',';
+  append_u64(out, "constraints", record.constraints);
+  out += ",\"qp_solves\":";
+  out += std::to_string(record.qp_solves);
+  out += ",\"qp_iterations\":";
+  out += std::to_string(record.qp_iterations);
+  out += ',';
+  append_optional(out, "participation_rate", record.participation_rate);
+  out += ',';
+  append_u64(out, "bytes_to_devices", record.bytes_to_devices);
+  out += ',';
+  append_u64(out, "bytes_to_server", record.bytes_to_server);
+  out += ',';
+  append_u64(out, "messages_dropped", record.messages_dropped);
+  out += ',';
+  append_u64(out, "retries", record.retries);
+  out += '}';
+  return out;
+}
+
+void Journal::append(const RoundRecord& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(record);
+}
+
+std::size_t Journal::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::vector<RoundRecord> Journal::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::string Journal::to_jsonl() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const RoundRecord& record : records_) {
+    out += record_to_json(record);
+    out += '\n';
+  }
+  return out;
+}
+
+bool Journal::write_jsonl(const std::string& path) const {
+  const std::string text = to_jsonl();
+  if (path == "-") {
+    return std::fwrite(text.data(), 1, text.size(), stdout) == text.size();
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+bool parse_journal_jsonl(std::string_view text, std::vector<RoundRecord>& out,
+                         std::string* error) {
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (line.empty()) continue;
+
+    std::string parse_error;
+    const auto value = json::parse(line, &parse_error);
+    if (!value || !value->is_object()) {
+      if (error != nullptr) {
+        *error = "journal line " + std::to_string(line_number) + ": " +
+                 (parse_error.empty() ? "not a JSON object" : parse_error);
+      }
+      return false;
+    }
+
+    RoundRecord record;
+    if (const json::Value* trainer = value->find("trainer");
+        trainer != nullptr && trainer->is_string()) {
+      record.trainer = trainer->as_string();
+    }
+    record.cccp_round = static_cast<int>(u64_field(*value, "cccp_round"));
+    if (const json::Value* admm = value->find("admm_iteration");
+        admm != nullptr && admm->is_number()) {
+      record.admm_iteration = static_cast<int>(admm->as_number());
+    }
+    record.objective = optional_number(*value, "objective");
+    if (const json::Value* finite = value->find("objective_finite");
+        finite != nullptr && finite->is_bool()) {
+      record.objective_finite = finite->as_bool();
+    }
+    record.primal_residual = optional_number(*value, "primal_residual");
+    record.dual_residual = optional_number(*value, "dual_residual");
+    record.constraints =
+        static_cast<std::size_t>(u64_field(*value, "constraints"));
+    record.qp_solves = static_cast<int>(u64_field(*value, "qp_solves"));
+    record.qp_iterations =
+        static_cast<int>(u64_field(*value, "qp_iterations"));
+    record.participation_rate = optional_number(*value, "participation_rate");
+    record.bytes_to_devices = u64_field(*value, "bytes_to_devices");
+    record.bytes_to_server = u64_field(*value, "bytes_to_server");
+    record.messages_dropped = u64_field(*value, "messages_dropped");
+    record.retries = u64_field(*value, "retries");
+    out.push_back(std::move(record));
+  }
+  return true;
+}
+
+}  // namespace plos::obs

@@ -1,0 +1,89 @@
+// Round journal: append-only per-round time series of a training run.
+//
+// Both trainers emit one RoundRecord per optimization step — the
+// centralized trainer per CCCP round, the distributed trainer per ADMM
+// iteration — carrying the convergence state (objective, ADMM residuals),
+// work counters (cutting planes in force, QP solves/iterations), and the
+// communication picture (participation rate, bytes and fault counters from
+// the simulated network). Records are appended on the aggregation thread
+// in loop order, and every field derives from the deterministic solver
+// state or the integer-exact network ledgers — never from measured wall
+// time — so for a fixed seed the serialized journal is byte-identical at
+// any thread count (the DESIGN.md §8 contract extended to telemetry).
+//
+// Serialization is JSON Lines: one self-describing object per record, so
+// a journal can be tailed, truncated, or streamed and stays parseable.
+// Unset fields (e.g. ADMM residuals in a centralized run) serialize as
+// null; numerically non-finite values also serialize as null but keep a
+// "finite":false marker so NaN blowups survive the round-trip visibly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plos::obs {
+
+struct RoundRecord {
+  static constexpr double kUnset = std::numeric_limits<double>::quiet_NaN();
+
+  std::string trainer;      ///< "centralized" | "distributed"
+  int cccp_round = 0;       ///< outer CCCP round index, 0-based
+  int admm_iteration = -1;  ///< within-round ADMM index; -1 for centralized
+
+  double objective = kUnset;
+  double primal_residual = kUnset;  ///< distributed only
+  double dual_residual = kUnset;    ///< distributed only
+
+  std::size_t constraints = 0;  ///< cutting planes in force after the step
+  int qp_solves = 0;            ///< dual QP solves performed by the step
+  int qp_iterations = 0;        ///< summed QP inner iterations of the step
+
+  double participation_rate = kUnset;  ///< distributed only
+  std::uint64_t bytes_to_devices = 0;  ///< downlink bytes this step
+  std::uint64_t bytes_to_server = 0;   ///< uplink bytes this step
+  std::uint64_t messages_dropped = 0;  ///< fault-injected losses this step
+  std::uint64_t retries = 0;           ///< retransmissions this step
+
+  /// True when the optional double fields were actually produced but came
+  /// out non-finite (they serialize as null either way; this flag keeps
+  /// the distinction).  Maintained by record_to_json/parse.
+  bool objective_finite = true;
+};
+
+/// Serializes one record as a compact single-line JSON object (no trailing
+/// newline).
+std::string record_to_json(const RoundRecord& record);
+
+/// Thread-safe append-only record collector with JSONL export.
+class Journal {
+ public:
+  void append(const RoundRecord& record);
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  /// Copy of all records in append order.
+  std::vector<RoundRecord> records() const;
+
+  /// All records as JSON Lines (each line newline-terminated).
+  std::string to_jsonl() const;
+
+  /// Writes to_jsonl() to `path` ("-" = stdout). False on I/O failure.
+  bool write_jsonl(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<RoundRecord> records_;
+};
+
+/// Parses a JSONL journal back into records. Blank lines are skipped.
+/// Returns false (and sets `error` when non-null) on the first malformed
+/// line; `out` then holds the records parsed so far.
+bool parse_journal_jsonl(std::string_view text, std::vector<RoundRecord>& out,
+                         std::string* error = nullptr);
+
+}  // namespace plos::obs

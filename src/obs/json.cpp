@@ -1,0 +1,407 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace plos::obs::json {
+
+bool Value::as_bool() const {
+  PLOS_CHECK(is_bool(), "json::Value::as_bool: not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  PLOS_CHECK(is_number(), "json::Value::as_number: not a number");
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  PLOS_CHECK(is_string(), "json::Value::as_string: not a string");
+  return string_;
+}
+
+const Array& Value::as_array() const {
+  PLOS_CHECK(is_array(), "json::Value::as_array: not an array");
+  return *array_;
+}
+
+const Object& Value::as_object() const {
+  PLOS_CHECK(is_object(), "json::Value::as_object: not an object");
+  return *object_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_->find(key);
+  return it == object_->end() ? nullptr : &it->second;
+}
+
+std::string escape(std::string_view text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string Value::to_json() const {
+  switch (type_) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return bool_ ? "true" : "false";
+    case Type::kNumber:
+      return number(number_);
+    case Type::kString:
+      return escape(string_);
+    case Type::kArray: {
+      std::string out = "[";
+      bool first = true;
+      for (const Value& v : *array_) {
+        if (!first) out += ',';
+        first = false;
+        out += v.to_json();
+      }
+      out += ']';
+      return out;
+    }
+    case Type::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [key, v] : *object_) {
+        if (!first) out += ',';
+        first = false;
+        out += escape(key);
+        out += ':';
+        out += v.to_json();
+      }
+      out += '}';
+      return out;
+    }
+  }
+  return "null";  // unreachable
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<Value> run() {
+    skip_whitespace();
+    auto value = parse_value();
+    if (!value) return std::nullopt;
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void fail(const char* message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = std::string(message) + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::optional<Value> parse_value() {
+    if (at_end()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return Value(std::move(*s));
+      }
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+        return std::nullopt;
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+        return std::nullopt;
+      case 'n':
+        if (consume_literal("null")) return Value();
+        fail("invalid literal");
+        return std::nullopt;
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && (peek() == '-' || peek() == '+')) ++pos_;
+    while (!at_end() &&
+           ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+            peek() == 'e' || peek() == 'E' || peek() == '-' || peek() == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a value");
+      return std::nullopt;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("malformed number");
+      return std::nullopt;
+    }
+    return Value(value);
+  }
+
+  std::optional<std::string> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (!at_end()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+              return std::nullopt;
+            }
+          }
+          // The emitters only escape control characters; decode the BMP
+          // code point as UTF-8 so round-trips are lossless.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Value> parse_array() {
+    ++pos_;  // '['
+    Array items;
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return Value(std::move(items));
+    }
+    while (true) {
+      skip_whitespace();
+      auto item = parse_value();
+      if (!item) return std::nullopt;
+      items.push_back(std::move(*item));
+      skip_whitespace();
+      if (at_end()) {
+        fail("unterminated array");
+        return std::nullopt;
+      }
+      const char c = text_[pos_++];
+      if (c == ']') return Value(std::move(items));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<Value> parse_object() {
+    ++pos_;  // '{'
+    Object members;
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return Value(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      if (at_end() || peek() != '"') {
+        fail("expected object key");
+        return std::nullopt;
+      }
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_whitespace();
+      if (at_end() || text_[pos_++] != ':') {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      skip_whitespace();
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      members.insert_or_assign(std::move(*key), std::move(*value));
+      skip_whitespace();
+      if (at_end()) {
+        fail("unterminated object");
+        return std::nullopt;
+      }
+      const char c = text_[pos_++];
+      if (c == '}') return Value(std::move(members));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+void flatten_into(const Value& value, const std::string& path,
+                  std::vector<std::pair<std::string, Value>>& out) {
+  switch (value.type()) {
+    case Value::Type::kObject:
+      for (const auto& [key, member] : value.as_object()) {
+        flatten_into(member, path.empty() ? key : path + "." + key, out);
+      }
+      break;
+    case Value::Type::kArray: {
+      const Array& items = value.as_array();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        flatten_into(items[i], path + "[" + std::to_string(i) + "]", out);
+      }
+      break;
+    }
+    default:
+      out.emplace_back(path, value);
+      break;
+  }
+}
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  if (error != nullptr) error->clear();
+  return Parser(text, error).run();
+}
+
+std::vector<std::pair<std::string, Value>> flatten(const Value& root) {
+  std::vector<std::pair<std::string, Value>> out;
+  flatten_into(root, "", out);
+  return out;
+}
+
+}  // namespace plos::obs::json

@@ -1,0 +1,92 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// The telemetry pipeline writes JSON (metrics snapshots, run manifests,
+// round journals) with hand-rolled emitters; `plos_inspect` needs to read
+// those artifacts back to report on, diff, and gate runs. This is the
+// matching reader: a small, dependency-free parser that accepts exactly
+// the JSON subset the emitters produce (plus standard escapes), returning
+// an ordered document tree so flattened field paths enumerate
+// deterministically.
+//
+// Not a general-purpose JSON library: numbers are always doubles, object
+// keys are unique (later duplicates overwrite), and input is expected to
+// be ASCII/UTF-8 passed through verbatim.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plos::obs::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Ordered map so iteration (and therefore path flattening) is stable.
+using Object = std::map<std::string, Value, std::less<>>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  explicit Value(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Value(double n) : type_(Type::kNumber), number_(n) {}
+  explicit Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  explicit Value(Array a)
+      : type_(Type::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : type_(Type::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; calling the wrong one is a programming error checked
+  // by PLOS_CHECK inside the .cpp.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  /// Renders the value back to compact JSON (numbers via %.17g, non-finite
+  /// numbers as null — matching the repo's emitters).
+  std::string to_json() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parses one JSON document. On failure returns nullopt and, when `error`
+/// is non-null, stores a one-line diagnostic with the byte offset.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+/// Flattens a document into (path, leaf) pairs: object members join with
+/// '.', array elements append "[i]". Leaves are null/bool/number/string
+/// values; empty arrays/objects flatten to nothing.
+std::vector<std::pair<std::string, Value>> flatten(const Value& root);
+
+/// JSON string escaping shared by the telemetry emitters.
+std::string escape(std::string_view text);
+
+/// Canonical number rendering shared by the telemetry emitters ("%.17g";
+/// non-finite renders as "null" since JSON has no inf/nan).
+std::string number(double value);
+
+}  // namespace plos::obs::json

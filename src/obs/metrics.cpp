@@ -64,12 +64,21 @@ void Gauge::set(double value) {
   value_.store(value, std::memory_order_relaxed);
   has_value_.store(true, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (samples_.size() < kMaxSamples) samples_.push_back(value);
+  if (samples_.size() < kMaxSamples) {
+    samples_.push_back(value);
+  } else {
+    ++dropped_;
+  }
 }
 
 std::vector<double> Gauge::samples() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return samples_;
+}
+
+std::size_t Gauge::dropped_samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
 }
 
 Histogram::Histogram(const std::atomic<bool>* enabled,
@@ -175,6 +184,7 @@ void Registry::reset_values() {
     gauge->has_value_.store(false, std::memory_order_relaxed);
     const std::lock_guard<std::mutex> gauge_lock(gauge->mutex_);
     gauge->samples_.clear();
+    gauge->dropped_ = 0;
   }
   for (auto& [name, histogram] : histograms_) {
     const std::lock_guard<std::mutex> histogram_lock(histogram->mutex_);
@@ -207,6 +217,8 @@ std::string Registry::to_json() const {
     out += json_number(gauge->value());
     out += ",\"samples\":";
     out += json_array(gauge->samples());
+    out += ",\"dropped_samples\":";
+    out += json_number(static_cast<double>(gauge->dropped_samples()));
     out += '}';
   }
   out += "},\"histograms\":{";
@@ -230,6 +242,72 @@ std::string Registry::to_json() const {
     out += '}';
   }
   out += "}}";
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's
+// dotted names map onto that by replacing every other character with '_'.
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9' && !out.empty()) || c == '_' ||
+                    c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+// Prometheus floats: standard decimal rendering plus +Inf/-Inf/NaN.
+std::string prometheus_number(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string Registry::to_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + prometheus_number(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + prometheus_number(gauge->value()) + "\n";
+    const std::size_t dropped = gauge->dropped_samples();
+    if (dropped > 0) {
+      out += "# TYPE " + metric + "_dropped_samples gauge\n";
+      out += metric + "_dropped_samples " +
+             prometheus_number(static_cast<double>(dropped)) + "\n";
+    }
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " histogram\n";
+    const auto& bounds = histogram->bounds();
+    const auto counts = histogram->bucket_counts();
+    std::size_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out += metric + "_bucket{le=\"" + prometheus_number(bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    cumulative += counts.back();
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += metric + "_sum " + prometheus_number(histogram->sum()) + "\n";
+    out += metric + "_count " + std::to_string(histogram->count()) + "\n";
+  }
   return out;
 }
 

@@ -60,6 +60,12 @@ class Gauge {
   double value() const { return value_.load(std::memory_order_relaxed); }
   bool has_value() const { return has_value_.load(std::memory_order_relaxed); }
   std::vector<double> samples() const;
+  /// Samples recorded after the trace filled up (the last value is still
+  /// tracked, only the trajectory entry was dropped). Nonzero means the
+  /// sample trace is a truncated prefix, not the full trajectory —
+  /// surfaced in the JSON/Prometheus snapshots so long runs can't misread
+  /// a capped trace as complete.
+  std::size_t dropped_samples() const;
 
  private:
   friend class Registry;
@@ -69,6 +75,7 @@ class Gauge {
   std::atomic<bool> has_value_{false};
   mutable std::mutex mutex_;
   std::vector<double> samples_;
+  std::size_t dropped_ = 0;
   const std::atomic<bool>* enabled_;
 };
 
@@ -127,7 +134,17 @@ class Registry {
   ///  "gauges":{name:{"value":v,"samples":[…]},…},
   ///  "histograms":{name:{"bounds":[…],"counts":[…],"count":n,"sum":s,
   ///                      "min":m,"max":M},…}}
+  /// Gauges additionally carry "dropped_samples" when their sample trace
+  /// overflowed kMaxSamples.
   std::string to_json() const;
+
+  /// Snapshot in the Prometheus text exposition format (version 0.0.4):
+  /// counters and gauges as scalar samples, histograms as cumulative
+  /// `_bucket{le="…"}` series plus `_sum`/`_count`. Instrument names are
+  /// sanitized to [a-zA-Z0-9_:] (every other character becomes '_');
+  /// gauges with an overflowed sample trace expose an extra
+  /// `<name>_dropped_samples` gauge.
+  std::string to_prometheus() const;
 
  private:
   std::atomic<bool> enabled_;

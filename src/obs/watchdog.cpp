@@ -1,0 +1,191 @@
+#include "obs/watchdog.hpp"
+
+#include <cmath>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace plos::obs {
+
+namespace {
+
+Counter& kind_counter(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kNonFinite:
+      return metrics().counter("plos.watchdog.nonfinite");
+    case ViolationKind::kStall:
+      return metrics().counter("plos.watchdog.stall");
+    case ViolationKind::kDivergence:
+      return metrics().counter("plos.watchdog.divergence");
+    case ViolationKind::kParticipation:
+      return metrics().counter("plos.watchdog.participation");
+  }
+  return metrics().counter("plos.watchdog.unknown");  // unreachable
+}
+
+}  // namespace
+
+const char* violation_kind_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kNonFinite:
+      return "nonfinite";
+    case ViolationKind::kStall:
+      return "stall";
+    case ViolationKind::kDivergence:
+      return "divergence";
+    case ViolationKind::kParticipation:
+      return "participation";
+  }
+  return "unknown";
+}
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(config) {}
+
+WatchdogAction Watchdog::report(ViolationKind kind, std::string message) {
+  const std::size_t index = records_seen_ - 1;
+  kind_counter(kind).increment();
+  metrics().counter("plos.watchdog.violations").increment();
+  const bool abort_run =
+      config_.on_violation == WatchdogConfig::OnViolation::kAbort;
+  if (abort_run) {
+    abort_ = true;
+    PLOS_LOG_ERROR("watchdog violation, aborting run",
+                   obs::F("kind", violation_kind_name(kind)),
+                   obs::F("record", index), obs::F("detail", message));
+  } else {
+    PLOS_LOG_WARN("watchdog violation",
+                  obs::F("kind", violation_kind_name(kind)),
+                  obs::F("record", index), obs::F("detail", message));
+  }
+  violations_.push_back({kind, index, std::move(message)});
+  return abort_run ? WatchdogAction::kAbort : WatchdogAction::kWarn;
+}
+
+WatchdogAction Watchdog::observe(const RoundRecord& record) {
+  ++records_seen_;
+  WatchdogAction action = WatchdogAction::kNone;
+  const auto escalate = [&action](WatchdogAction fired) {
+    if (static_cast<int>(fired) > static_cast<int>(action)) action = fired;
+  };
+
+  // -- non-finite values ---------------------------------------------------
+  // objective == NaN means either "field unset" (objective_finite stays
+  // true) or a genuine blowup (trainer sets objective_finite = false); the
+  // residuals have no such marker, so any produced non-finite residual is
+  // treated as a blowup.
+  const bool objective_blowup =
+      !record.objective_finite || std::isinf(record.objective);
+  const bool residual_blowup =
+      (!std::isnan(record.primal_residual) &&
+       !std::isfinite(record.primal_residual)) ||
+      (!std::isnan(record.dual_residual) &&
+       !std::isfinite(record.dual_residual));
+  if (objective_blowup || residual_blowup) {
+    escalate(report(ViolationKind::kNonFinite,
+                    objective_blowup ? "objective is not finite"
+                                     : "ADMM residual is not finite"));
+  }
+
+  const bool has_objective =
+      record.objective_finite && std::isfinite(record.objective);
+
+  // -- divergence ----------------------------------------------------------
+  if (has_objective && config_.divergence_factor > 0.0 &&
+      has_best_objective_ &&
+      record.objective >
+          config_.divergence_factor * (1.0 + std::abs(best_objective_))) {
+    escalate(report(
+        ViolationKind::kDivergence,
+        "objective " + json::number(record.objective) + " exceeds " +
+            json::number(config_.divergence_factor) + "x (1 + |best " +
+            json::number(best_objective_) + "|)"));
+  }
+  if (std::isfinite(record.primal_residual) &&
+      config_.residual_divergence_factor > 0.0) {
+    if (has_best_residual_ &&
+        record.primal_residual >
+            config_.residual_divergence_factor *
+                (best_primal_residual_ + 1e-300)) {
+      escalate(report(ViolationKind::kDivergence,
+                      "primal residual " +
+                          json::number(record.primal_residual) + " grew " +
+                          json::number(config_.residual_divergence_factor) +
+                          "x beyond best " +
+                          json::number(best_primal_residual_)));
+    }
+    if (!has_best_residual_ ||
+        record.primal_residual < best_primal_residual_) {
+      has_best_residual_ = true;
+      best_primal_residual_ = record.primal_residual;
+    }
+  }
+
+  // -- stall ---------------------------------------------------------------
+  if (has_objective) {
+    const bool improved =
+        !has_best_objective_ ||
+        record.objective <
+            best_objective_ -
+                config_.stall_tolerance * (1.0 + std::abs(best_objective_));
+    if (improved) {
+      has_best_objective_ = true;
+      best_objective_ = record.objective;
+      records_since_improvement_ = 0;
+    } else {
+      ++records_since_improvement_;
+      if (config_.stall_rounds > 0 &&
+          records_since_improvement_ >= config_.stall_rounds) {
+        escalate(report(ViolationKind::kStall,
+                        "no objective improvement over " +
+                            std::to_string(records_since_improvement_) +
+                            " records (best " +
+                            json::number(best_objective_) + ")"));
+        records_since_improvement_ = 0;  // re-arm instead of firing per round
+      }
+    }
+  }
+
+  // -- participation collapse ----------------------------------------------
+  if (config_.participation_floor > 0.0 &&
+      !std::isnan(record.participation_rate)) {
+    if (record.participation_rate < config_.participation_floor) {
+      ++low_participation_streak_;
+      if (low_participation_streak_ >= config_.participation_rounds) {
+        escalate(report(
+            ViolationKind::kParticipation,
+            "participation " + json::number(record.participation_rate) +
+                " below floor " + json::number(config_.participation_floor) +
+                " for " + std::to_string(low_participation_streak_) +
+                " consecutive records"));
+        low_participation_streak_ = 0;  // re-arm
+      }
+    } else {
+      low_participation_streak_ = 0;
+    }
+  }
+
+  if (action != WatchdogAction::kNone) {
+    metrics()
+        .gauge("plos.watchdog.violations_total")
+        .set(static_cast<double>(violations_.size()));
+  }
+  return action;
+}
+
+const char* Watchdog::verdict() const {
+  if (abort_) return "abort";
+  return violations_.empty() ? "ok" : "warn";
+}
+
+Watchdog replay_watchdog(const std::vector<RoundRecord>& records,
+                         const WatchdogConfig& config) {
+  Watchdog watchdog(config);
+  for (const RoundRecord& record : records) {
+    watchdog.observe(record);
+    if (watchdog.should_abort()) break;
+  }
+  return watchdog;
+}
+
+}  // namespace plos::obs

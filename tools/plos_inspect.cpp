@@ -1,0 +1,267 @@
+// plos_inspect — read, compare, and gate run telemetry.
+//
+//   plos_inspect report run.json [journal.jsonl]
+//       human convergence report from a manifest and/or round journal
+//       (either file may also be a bare journal; formats are detected)
+//
+//   plos_inspect diff a.json b.json [--tol EPS] [--field-tol PATH=EPS]
+//                [--timing]
+//       field-by-field manifest comparison; exits 1 on any difference.
+//       Timing fields are ignored unless --timing is given.
+//
+//   plos_inspect check run.json --against golden.json [--tol EPS]
+//                [--field-tol PATH=EPS]
+//       regression gate for CI: like diff, but with cross-build defaults
+//       (tolerance 1e-6; timing, build info, and the raw dataset content
+//       hash ignored). Exits 1 on violation, 2 on usage/IO errors.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/inspect.hpp"
+#include "obs/journal.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using namespace plos;
+
+void print_usage() {
+  std::printf(
+      "plos_inspect — inspect and compare PLOS run telemetry\n\n"
+      "  plos_inspect report FILE [FILE]\n"
+      "      print a convergence report from a run manifest (run.json)\n"
+      "      and/or a round journal (journal.jsonl); '-' reads stdin\n"
+      "  plos_inspect diff A B [--tol EPS] [--field-tol PATH=EPS] [--timing]\n"
+      "      compare two manifests field by field (exit 1 on differences;\n"
+      "      timing.* ignored unless --timing)\n"
+      "  plos_inspect check RUN --against GOLDEN [--tol EPS]\n"
+      "               [--field-tol PATH=EPS]\n"
+      "      gate RUN against a golden manifest (default tolerance 1e-6;\n"
+      "      timing.*, build.*, dataset.content_hash ignored; exit 1 on\n"
+      "      violation)\n");
+}
+
+int usage_error(const char* message) {
+  std::fprintf(stderr, "plos_inspect: %s\nrun 'plos_inspect --help' for usage\n",
+               message);
+  return 2;
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+// A telemetry file is either one JSON object (manifest) or JSON Lines
+// (journal). Detected by content, so `report` takes files in any order.
+struct LoadedFile {
+  std::optional<obs::json::Value> manifest;
+  std::vector<obs::RoundRecord> journal;
+};
+
+bool load_telemetry_file(const std::string& path, LoadedFile& out,
+                         std::string& error) {
+  std::string text;
+  if (!obs::read_file(path, text)) {
+    error = "cannot read " + path;
+    return false;
+  }
+  // Try whole-document JSON first: a manifest is exactly one object.
+  std::string parse_error;
+  if (auto value = obs::json::parse(text, &parse_error);
+      value && value->is_object()) {
+    // A single journal record also parses as an object; classify by the
+    // journal's mandatory trainer/cccp_round fields.
+    if (value->find("trainer") == nullptr) {
+      out.manifest = std::move(*value);
+      return true;
+    }
+  }
+  std::string journal_error;
+  if (obs::parse_journal_jsonl(text, out.journal, &journal_error)) {
+    return true;
+  }
+  error = path + ": not a manifest (" + parse_error + ") nor a journal (" +
+          journal_error + ")";
+  return false;
+}
+
+int run_report(const std::vector<std::string>& files) {
+  if (files.empty() || files.size() > 2) {
+    return usage_error("report expects one or two files");
+  }
+  std::optional<obs::json::Value> manifest;
+  std::vector<obs::RoundRecord> journal;
+  for (const std::string& path : files) {
+    LoadedFile loaded;
+    std::string error;
+    if (!load_telemetry_file(path, loaded, error)) {
+      std::fprintf(stderr, "plos_inspect: %s\n", error.c_str());
+      return 2;
+    }
+    if (loaded.manifest) manifest = std::move(loaded.manifest);
+    if (!loaded.journal.empty()) journal = std::move(loaded.journal);
+  }
+  const std::string report = obs::convergence_report(
+      manifest ? &*manifest : nullptr, journal.empty() ? nullptr : &journal);
+  std::fputs(report.c_str(), stdout);
+  return 0;
+}
+
+struct CompareArgs {
+  std::vector<std::string> files;
+  std::string against;
+  std::optional<double> tolerance;
+  std::map<std::string, double> field_tolerances;
+  bool include_timing = false;
+};
+
+std::optional<CompareArgs> parse_compare_args(int argc, char** argv, int first) {
+  CompareArgs args;
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "plos_inspect: missing value for %s\n",
+                     flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--tol") {
+      const char* text = value();
+      double tol = 0.0;
+      if (text == nullptr || !parse_double(text, tol) || tol < 0.0) {
+        std::fprintf(stderr, "plos_inspect: --tol expects a number >= 0\n");
+        return std::nullopt;
+      }
+      args.tolerance = tol;
+    } else if (flag == "--field-tol") {
+      const char* text = value();
+      if (text == nullptr) return std::nullopt;
+      const char* eq = std::strchr(text, '=');
+      double tol = 0.0;
+      if (eq == nullptr || eq == text || !parse_double(eq + 1, tol) ||
+          tol < 0.0) {
+        std::fprintf(stderr,
+                     "plos_inspect: --field-tol expects PATH=EPS, got '%s'\n",
+                     text);
+        return std::nullopt;
+      }
+      args.field_tolerances[std::string(text, eq)] = tol;
+    } else if (flag == "--timing") {
+      args.include_timing = true;
+    } else if (flag == "--against") {
+      const char* text = value();
+      if (text == nullptr) return std::nullopt;
+      args.against = text;
+    } else if (!flag.empty() && flag[0] == '-' && flag != "-") {
+      std::fprintf(stderr, "plos_inspect: unknown flag %s\n", flag.c_str());
+      return std::nullopt;
+    } else {
+      args.files.push_back(flag);
+    }
+  }
+  return args;
+}
+
+bool load_manifest(const std::string& path, obs::json::Value& out) {
+  std::string text;
+  if (!obs::read_file(path, text)) {
+    std::fprintf(stderr, "plos_inspect: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string error;
+  auto value = obs::json::parse(text, &error);
+  if (!value || !value->is_object()) {
+    std::fprintf(stderr, "plos_inspect: %s: %s\n", path.c_str(),
+                 error.empty() ? "not a JSON object" : error.c_str());
+    return false;
+  }
+  out = std::move(*value);
+  return true;
+}
+
+void print_differences(const obs::DiffResult& result, const std::string& left,
+                       const std::string& right) {
+  std::printf("%zu field(s) differ between %s and %s:\n",
+              result.differences.size(), left.c_str(), right.c_str());
+  for (const obs::DiffEntry& entry : result.differences) {
+    std::printf("  %-40s %s  |  %s\n", entry.path.c_str(), entry.left.c_str(),
+                entry.right.c_str());
+  }
+}
+
+int run_diff(const CompareArgs& args) {
+  if (args.files.size() != 2) return usage_error("diff expects two files");
+  obs::json::Value left, right;
+  if (!load_manifest(args.files[0], left) ||
+      !load_manifest(args.files[1], right)) {
+    return 2;
+  }
+  obs::DiffOptions options = obs::default_diff_options();
+  if (args.include_timing) options.ignored_prefixes.clear();
+  if (args.tolerance) options.tolerance = *args.tolerance;
+  options.field_tolerances = args.field_tolerances;
+  const obs::DiffResult result = obs::diff_values(left, right, options);
+  if (result.identical()) {
+    std::printf("manifests match (%zu field(s) compared)\n",
+                result.fields_compared);
+    return 0;
+  }
+  print_differences(result, args.files[0], args.files[1]);
+  return 1;
+}
+
+int run_check(const CompareArgs& args) {
+  if (args.files.size() != 1 || args.against.empty()) {
+    return usage_error("check expects RUN --against GOLDEN");
+  }
+  obs::json::Value run, golden;
+  if (!load_manifest(args.files[0], run) ||
+      !load_manifest(args.against, golden)) {
+    return 2;
+  }
+  obs::DiffOptions options = obs::default_check_options();
+  if (args.tolerance) options.tolerance = *args.tolerance;
+  for (const auto& [path, tol] : args.field_tolerances) {
+    options.field_tolerances[path] = tol;
+  }
+  const obs::DiffResult result = obs::diff_values(run, golden, options);
+  if (result.identical()) {
+    std::printf("check passed: %s matches %s (%zu field(s), tol %g)\n",
+                args.files[0].c_str(), args.against.c_str(),
+                result.fields_compared, options.tolerance);
+    return 0;
+  }
+  std::printf("check FAILED: ");
+  print_differences(result, args.files[0], args.against);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    print_usage();
+    return 0;
+  }
+  const auto args = parse_compare_args(argc, argv, 2);
+  if (!args) {
+    std::fprintf(stderr, "run 'plos_inspect --help' for usage\n");
+    return 2;
+  }
+  if (command == "report") return run_report(args->files);
+  if (command == "diff") return run_diff(*args);
+  if (command == "check") return run_check(*args);
+  return usage_error(("unknown command '" + command + "'").c_str());
+}

@@ -9,12 +9,15 @@
 //   plos_run --dataset body --distributed --save-model /tmp/model.bin
 //
 // Run `plos_run --help` for the full flag list.
+#include <chrono>
 #include <cstdio>
+#include <map>
 #include <cstdlib>
 #include <cstring>
 #include <numbers>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/baselines.hpp"
@@ -23,12 +26,16 @@
 #include "core/evaluation.hpp"
 #include "core/logistic_plos.hpp"
 #include "core/model_io.hpp"
+#include "data/dataset.hpp"
 #include "data/labeling.hpp"
 #include "data/synthetic.hpp"
 #include "net/simnet.hpp"
+#include "obs/journal.hpp"
 #include "obs/log.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "rng/engine.hpp"
 #include "sensing/body_sensor.hpp"
 #include "sensing/har.hpp"
@@ -60,7 +67,12 @@ struct Args {
   std::string save_model_path;
   std::string log_level;    // empty = logging stays off
   std::string trace_out;    // empty = no trace collection
-  std::string metrics_out;  // empty = no metrics snapshot
+  std::string metrics_out;  // empty = no metrics snapshot; "-" = stdout
+  std::string metrics_format = "json";  // json | prom
+  std::string manifest_out;  // empty = no run manifest; "-" = stdout
+  std::string journal_out;   // empty = no round journal; "-" = stdout
+  std::string watchdog = "off";  // off | warn | abort
+  int watchdog_stall_rounds = 0;  // 0 = stall detection disabled
 };
 
 void print_usage() {
@@ -91,7 +103,21 @@ void print_usage() {
       "  --log-level LEVEL          trace|debug|info|warn|error|off (stderr)\n"
       "  --trace-out FILE           write Chrome trace-event JSON of solver\n"
       "                             spans (open in chrome://tracing/Perfetto)\n"
-      "  --metrics-out FILE         write a metrics-registry JSON snapshot\n"
+      "  --metrics-out FILE         write a metrics-registry snapshot\n"
+      "                             ('-' = stdout)\n"
+      "  --metrics-format FMT       json (default) or prom (Prometheus text\n"
+      "                             exposition) for --metrics-out\n"
+      "  --manifest-out FILE        write a run manifest (run.json) capturing\n"
+      "                             build, seed, options, dataset fingerprint,\n"
+      "                             and final metrics ('-' = stdout)\n"
+      "  --journal-out FILE         write the per-round JSONL journal of the\n"
+      "                             PLOS training loop ('-' = stdout)\n"
+      "  --watchdog MODE            off (default), warn, or abort: convergence\n"
+      "                             watchdog over the round journal (NaN,\n"
+      "                             divergence, participation collapse; abort\n"
+      "                             stops training at the next round boundary)\n"
+      "  --watchdog-stall-rounds N  also flag N rounds without objective\n"
+      "                             improvement (0 = stall check off)\n"
       "  --help                     this message\n");
 }
 
@@ -242,6 +268,33 @@ std::optional<Args> parse(int argc, char** argv) {
       args.trace_out = value();
     } else if (flag == "--metrics-out") {
       args.metrics_out = value();
+    } else if (flag == "--metrics-format") {
+      args.metrics_format = value();
+      if (ok && args.metrics_format != "json" && args.metrics_format != "prom") {
+        std::fprintf(stderr,
+                     "plos_run: --metrics-format expects json or prom, "
+                     "got '%s'\n",
+                     args.metrics_format.c_str());
+        ok = false;
+      }
+    } else if (flag == "--manifest-out") {
+      args.manifest_out = value();
+    } else if (flag == "--journal-out") {
+      args.journal_out = value();
+    } else if (flag == "--watchdog") {
+      args.watchdog = value();
+      if (ok && args.watchdog != "off" && args.watchdog != "warn" &&
+          args.watchdog != "abort") {
+        std::fprintf(stderr,
+                     "plos_run: --watchdog expects off, warn, or abort, "
+                     "got '%s'\n",
+                     args.watchdog.c_str());
+        ok = false;
+      }
+    } else if (flag == "--watchdog-stall-rounds") {
+      std::uint64_t rounds = 0;
+      u64_value(rounds);
+      args.watchdog_stall_rounds = static_cast<int>(rounds);
     } else {
       std::fprintf(stderr, "plos_run: unknown flag %s\n", flag.c_str());
       ok = false;
@@ -290,6 +343,30 @@ void register_standard_instruments() {
   obs::metrics().counter("simnet.messages_corrupted");
   obs::metrics().counter("simnet.retries");
   obs::metrics().counter("simnet.failed_messages");
+  obs::metrics().counter("plos.watchdog.nonfinite");
+  obs::metrics().counter("plos.watchdog.stall");
+  obs::metrics().counter("plos.watchdog.divergence");
+  obs::metrics().counter("plos.watchdog.participation");
+  obs::metrics().counter("plos.watchdog.violations");
+  obs::metrics().gauge("plos.watchdog.violations_total");
+}
+
+// Writes `text` to `path`, with "-" meaning stdout (so artifacts can be
+// piped straight into plos_inspect).
+bool write_text(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    return std::fwrite(text.data(), 1, text.size(), stdout) == text.size();
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+std::string render_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
 }
 
 data::MultiUserDataset build_dataset(const Args& args) {
@@ -353,6 +430,35 @@ int main(int argc, char** argv) {
     obs::TraceCollector::instance().set_enabled(true);
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Telemetry sinks: the journal collects one record per training round,
+  // the watchdog classifies each record online. Both are wired into the
+  // trainer options below only when requested.
+  obs::Journal journal;
+  obs::WatchdogConfig watchdog_config;
+  watchdog_config.on_violation = args.watchdog == "abort"
+                                     ? obs::WatchdogConfig::OnViolation::kAbort
+                                     : obs::WatchdogConfig::OnViolation::kWarn;
+  watchdog_config.stall_rounds = args.watchdog_stall_rounds;
+  // Fault-injected runs keep training through partial participation; flag
+  // rounds where most of the fleet stops reaching the server.
+  watchdog_config.participation_floor = 0.5;
+  watchdog_config.participation_rounds = 3;
+  obs::Watchdog watchdog(watchdog_config);
+  const bool watchdog_on = args.watchdog != "off";
+  const bool journal_wanted =
+      !args.journal_out.empty() || !args.manifest_out.empty();
+  obs::Journal* journal_ptr = journal_wanted ? &journal : nullptr;
+  obs::Watchdog* watchdog_ptr = watchdog_on ? &watchdog : nullptr;
+
+  // Deterministic end-of-run facts destined for the manifest.
+  std::map<std::string, double> results;
+  std::map<std::string, double> timing_map;
+  int rounds_completed = 0;
+  double plos_overall_accuracy = 0.0;
+  bool trained_plos = false;
+
   const auto dataset = build_dataset(args);
   std::printf("dataset %s: %zu users (%zu providers), %zu samples, dim %zu\n",
               args.dataset.c_str(), dataset.num_users(),
@@ -374,10 +480,15 @@ int main(int argc, char** argv) {
       std::printf("logistic PLOS: %d CCCP rounds, %.2fs\n",
                   result.diagnostics.cccp_iterations,
                   result.diagnostics.train_seconds);
+      rounds_completed = result.diagnostics.cccp_iterations;
+      results["cccp_rounds"] =
+          static_cast<double>(result.diagnostics.cccp_iterations);
     } else if (args.distributed) {
       core::DistributedPlosOptions options;
       options.params = params;
       options.num_threads = args.threads;
+      options.journal = journal_ptr;
+      options.watchdog = watchdog_ptr;
       net::SimNetwork network(dataset.num_users(), net::DeviceProfile{},
                               net::LinkProfile{});
       net::FaultSpec fault_spec;
@@ -399,6 +510,40 @@ int main(int argc, char** argv) {
           result.diagnostics.admm_iterations_total,
           network.total_simulated_seconds(),
           network.mean_bytes_per_device() / 1024.0);
+      if (result.diagnostics.watchdog_aborted) {
+        std::printf("watchdog aborted training after %d ADMM iterations\n",
+                    result.diagnostics.admm_iterations_total);
+      }
+      rounds_completed = result.diagnostics.admm_iterations_total;
+      results["cccp_rounds"] =
+          static_cast<double>(result.diagnostics.cccp_iterations);
+      results["admm_iterations"] =
+          static_cast<double>(result.diagnostics.admm_iterations_total);
+      results["qp_solves"] = static_cast<double>(result.diagnostics.qp_solves);
+      if (!result.diagnostics.objective_trace.empty()) {
+        results["final_objective"] = result.diagnostics.objective_trace.back();
+      }
+      if (!result.diagnostics.primal_residual_trace.empty()) {
+        results["final_primal_residual"] =
+            result.diagnostics.primal_residual_trace.back();
+        results["final_dual_residual"] =
+            result.diagnostics.dual_residual_trace.back();
+      }
+      const auto traffic = network.traffic_snapshot();
+      results["bytes_to_devices"] =
+          static_cast<double>(traffic.bytes_to_devices);
+      results["bytes_to_server"] = static_cast<double>(traffic.bytes_to_server);
+      results["messages_dropped"] =
+          static_cast<double>(traffic.messages_dropped);
+      results["retries"] = static_cast<double>(traffic.retries);
+      if (!result.diagnostics.participation_trace.empty()) {
+        double mean = 0.0;
+        for (double p : result.diagnostics.participation_trace) mean += p;
+        results["mean_participation"] =
+            mean /
+            static_cast<double>(result.diagnostics.participation_trace.size());
+      }
+      timing_map["simulated_seconds"] = network.total_simulated_seconds();
       if (fault_spec.any_faults()) {
         const auto& d = result.diagnostics;
         double mean_participation = 0.0;
@@ -423,15 +568,36 @@ int main(int argc, char** argv) {
       core::CentralizedPlosOptions options;
       options.params = params;
       options.num_threads = args.threads;
+      options.journal = journal_ptr;
+      options.watchdog = watchdog_ptr;
       const auto result = core::train_centralized_plos(dataset, options);
       model = result.model;
       std::printf("centralized PLOS: %d CCCP rounds, %zu planes, %.2fs\n",
                   result.diagnostics.cccp_iterations,
                   result.diagnostics.final_constraint_count,
                   result.diagnostics.train_seconds);
+      if (result.diagnostics.watchdog_aborted) {
+        std::printf("watchdog aborted training after %d CCCP rounds\n",
+                    result.diagnostics.cccp_iterations);
+      }
+      rounds_completed = result.diagnostics.cccp_iterations;
+      results["cccp_rounds"] =
+          static_cast<double>(result.diagnostics.cccp_iterations);
+      results["qp_solves"] = static_cast<double>(result.diagnostics.qp_solves);
+      results["constraints"] =
+          static_cast<double>(result.diagnostics.final_constraint_count);
+      if (!result.diagnostics.objective_trace.empty()) {
+        results["final_objective"] = result.diagnostics.objective_trace.back();
+      }
     }
-    print_report("PLOS", core::evaluate(dataset,
-                                        core::predict_all(dataset, model)));
+    const auto plos_report =
+        core::evaluate(dataset, core::predict_all(dataset, model));
+    print_report("PLOS", plos_report);
+    trained_plos = true;
+    plos_overall_accuracy = plos_report.overall;
+    results["accuracy.plos.providers"] = plos_report.providers;
+    results["accuracy.plos.non_providers"] = plos_report.non_providers;
+    results["accuracy.plos.overall"] = plos_report.overall;
     if (!args.save_model_path.empty()) {
       if (core::save_model(model, args.save_model_path)) {
         std::printf("model saved to %s\n", args.save_model_path.c_str());
@@ -445,21 +611,104 @@ int main(int argc, char** argv) {
   core::BaselineOptions baseline_options;
   baseline_options.num_threads = args.threads;
   if (wants(args, "all")) {
-    print_report("All", core::evaluate(dataset, core::run_all_baseline(
-                                                    dataset, baseline_options)));
+    const auto report = core::evaluate(
+        dataset, core::run_all_baseline(dataset, baseline_options));
+    print_report("All", report);
+    results["accuracy.all.overall"] = report.overall;
   }
   if (wants(args, "group")) {
     core::GroupBaselineOptions group_options;
     group_options.base = baseline_options;
-    print_report("Group", core::evaluate(dataset, core::run_group_baseline(
-                                                      dataset, group_options)));
+    const auto report = core::evaluate(
+        dataset, core::run_group_baseline(dataset, group_options));
+    print_report("Group", report);
+    results["accuracy.group.overall"] = report.overall;
   }
   if (wants(args, "single")) {
-    print_report("Single",
-                 core::evaluate(dataset, core::run_single_baseline(
-                                             dataset, baseline_options)));
+    const auto report = core::evaluate(
+        dataset, core::run_single_baseline(dataset, baseline_options));
+    print_report("Single", report);
+    results["accuracy.single.overall"] = report.overall;
   }
 
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  const char* watchdog_verdict = watchdog_on ? watchdog.verdict() : "off";
+  PLOS_LOG_INFO("run complete", obs::F("accuracy", plos_overall_accuracy),
+                obs::F("trained_plos", trained_plos),
+                obs::F("rounds", rounds_completed),
+                obs::F("wall_seconds", wall_seconds),
+                obs::F("watchdog", watchdog_verdict));
+
+  if (!args.manifest_out.empty()) {
+    obs::RunManifest manifest;
+    manifest.tool = "plos_run";
+    obs::fill_build_info(manifest);
+    manifest.seed = args.seed;
+    manifest.dataset = data::fingerprint(dataset, args.dataset);
+    manifest.options["dataset"] = args.dataset;
+    manifest.options["methods"] = args.methods;
+    manifest.options["mode"] = args.logistic      ? "logistic"
+                               : args.distributed ? "distributed"
+                                                  : "centralized";
+    manifest.options["lambda"] = render_double(args.lambda);
+    manifest.options["cl"] = render_double(args.cl);
+    manifest.options["cu"] = render_double(args.cu);
+    manifest.options["rate"] = render_double(args.rate);
+    if (args.dataset == "synth") {
+      manifest.options["rotation"] = render_double(args.rotation);
+    }
+    manifest.options["watchdog"] = args.watchdog;
+    if (args.watchdog_stall_rounds > 0) {
+      manifest.options["watchdog_stall_rounds"] =
+          std::to_string(args.watchdog_stall_rounds);
+    }
+    const bool any_faults = args.fault_drop > 0.0 || args.fault_offline > 0.0 ||
+                            args.fault_straggler > 0.0 ||
+                            args.fault_corrupt > 0.0 ||
+                            args.round_deadline > 0.0;
+    if (any_faults) {
+      manifest.fault["drop_probability"] = render_double(args.fault_drop);
+      manifest.fault["offline_probability"] = render_double(args.fault_offline);
+      manifest.fault["straggler_probability"] =
+          render_double(args.fault_straggler);
+      manifest.fault["corrupt_probability"] = render_double(args.fault_corrupt);
+      manifest.fault["round_deadline_s"] = render_double(args.round_deadline);
+    }
+    manifest.results = results;
+    manifest.watchdog_verdict = watchdog_verdict;
+    manifest.watchdog_violations = watchdog.violations().size();
+    if (!watchdog.violations().empty()) {
+      manifest.watchdog_first_violation =
+          obs::violation_kind_name(watchdog.violations().front().kind);
+    }
+    manifest.threads =
+        args.threads == 0
+            ? static_cast<int>(std::thread::hardware_concurrency())
+            : args.threads;
+    manifest.wall_seconds = wall_seconds;
+    manifest.timing = timing_map;
+    if (!obs::write_manifest(manifest, args.manifest_out)) {
+      std::fprintf(stderr, "failed to write manifest to %s\n",
+                   args.manifest_out.c_str());
+      return 1;
+    }
+    if (args.manifest_out != "-") {
+      std::printf("manifest written to %s\n", args.manifest_out.c_str());
+    }
+  }
+  if (!args.journal_out.empty()) {
+    if (!journal.write_jsonl(args.journal_out)) {
+      std::fprintf(stderr, "failed to write journal to %s\n",
+                   args.journal_out.c_str());
+      return 1;
+    }
+    if (args.journal_out != "-") {
+      std::printf("journal written to %s\n", args.journal_out.c_str());
+    }
+  }
   if (!args.trace_out.empty()) {
     if (obs::TraceCollector::instance().write_chrome_json(args.trace_out)) {
       std::printf("trace written to %s\n", args.trace_out.c_str());
@@ -470,17 +719,17 @@ int main(int argc, char** argv) {
     }
   }
   if (!args.metrics_out.empty()) {
-    const std::string json = obs::metrics().to_json();
-    std::FILE* file = std::fopen(args.metrics_out.c_str(), "w");
-    if (file == nullptr ||
-        std::fwrite(json.data(), 1, json.size(), file) != json.size()) {
+    const std::string payload = args.metrics_format == "prom"
+                                    ? obs::metrics().to_prometheus()
+                                    : obs::metrics().to_json();
+    if (!write_text(args.metrics_out, payload)) {
       std::fprintf(stderr, "failed to write metrics to %s\n",
                    args.metrics_out.c_str());
-      if (file != nullptr) std::fclose(file);
       return 1;
     }
-    std::fclose(file);
-    std::printf("metrics written to %s\n", args.metrics_out.c_str());
+    if (args.metrics_out != "-") {
+      std::printf("metrics written to %s\n", args.metrics_out.c_str());
+    }
   }
   return 0;
 }
