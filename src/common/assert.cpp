@@ -1,15 +1,51 @@
 #include "common/assert.hpp"
 
+#include <atomic>
 #include <sstream>
 
-namespace plos::detail {
+namespace plos {
+
+namespace {
+
+const char* kind_name(ContractKind kind) {
+  switch (kind) {
+    case ContractKind::kCheck: return "PLOS_CHECK";
+    case ContractKind::kDcheck: return "PLOS_DCHECK";
+    case ContractKind::kCheckFinite: return "PLOS_CHECK_FINITE";
+  }
+  return "PLOS_CHECK";
+}
+
+std::atomic<ContractHandler> g_handler{nullptr};
+
+}  // namespace
+
+ContractHandler set_contract_handler(ContractHandler handler) {
+  return g_handler.exchange(handler);
+}
+
+namespace detail {
+
+void contract_fail(ContractKind kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind_name(kind) << " failed: (" << expr << ") at " << file << ":"
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  const std::string what = os.str();
+
+  if (ContractHandler handler = g_handler.load()) {
+    handler(ContractViolation{kind, expr, file, line, msg});
+  }
+  // A returning handler does not resume execution: the violated invariant
+  // still holds downstream code hostage, so the throw is unconditional.
+  throw PreconditionError(what);
+}
 
 void assert_fail(const char* expr, const char* file, int line,
                  const std::string& msg) {
-  std::ostringstream os;
-  os << "PLOS precondition failed: (" << expr << ") at " << file << ":" << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw PreconditionError(os.str());
+  contract_fail(ContractKind::kCheck, expr, file, line, msg);
 }
 
-}  // namespace plos::detail
+}  // namespace detail
+}  // namespace plos

@@ -1,37 +1,134 @@
-// Precondition / invariant checking for the PLOS library.
+// Tiered contract checking for the PLOS library.
 //
-// Violations throw plos::PreconditionError so they are testable with gtest
-// (EXPECT_THROW) and carry file/line context. These checks guard API
-// contracts, not recoverable runtime conditions; recoverable conditions are
-// reported through status structs or std::optional at the call site.
+// Three tiers (DESIGN.md §11):
+//
+//   PLOS_CHECK(expr, msg)   always on, release builds included: guards API
+//                           contracts whose cost is negligible next to the
+//                           numerical work. Silent contract violations in a
+//                           learning system produce answers that are wrong
+//                           in hard-to-detect ways.
+//   PLOS_DCHECK(expr, msg)  compiled in only under -DPLOS_CONTRACTS (CMake
+//                           option PLOS_CONTRACTS): O(n)+ invariant sweeps
+//                           on hot paths — QP dual feasibility, Cholesky
+//                           symmetry, capped-simplex bounds. When contracts
+//                           are off the condition is type-checked but never
+//                           evaluated.
+//   PLOS_CHECK_FINITE(expr) always on; evaluates `expr` once, fails if the
+//                           value is NaN/Inf, and yields the value, so it
+//                           wraps an expression in place.
+//
+// The `msg` argument is a stream expression: anything `operator<<`-able,
+// chained with `<<`, e.g. PLOS_CHECK(n > 0, "got n=" << n). It is only
+// evaluated on failure.
+//
+// Violations are routed through a process-wide registered handler
+// (set_contract_handler); the default — and the guaranteed fallback if a
+// custom handler returns — throws plos::PreconditionError so contracts are
+// testable with gtest (EXPECT_THROW) and carry file/line context. These
+// checks guard contracts, not recoverable runtime conditions; recoverable
+// conditions are reported through status structs or std::optional at the
+// call site.
 #pragma once
 
+#include <cmath>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace plos {
 
-/// Thrown when a PLOS_ASSERT / PLOS_CHECK contract is violated.
+/// Thrown when a PLOS_CHECK / PLOS_DCHECK / PLOS_CHECK_FINITE contract is
+/// violated (by the default handler, and unconditionally after a custom
+/// handler returns).
 class PreconditionError : public std::logic_error {
  public:
   explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Which contract tier fired.
+enum class ContractKind { kCheck, kDcheck, kCheckFinite };
+
+/// Everything a failure handler learns about a violation.
+struct ContractViolation {
+  ContractKind kind;
+  const char* expression;  ///< stringized condition
+  const char* file;
+  int line;
+  std::string message;  ///< formatted caller message (may be empty)
+};
+
+/// Failure handler: observes the violation (log, count, abort...). If it
+/// returns, PreconditionError is thrown regardless — a contract violation
+/// never continues execution.
+using ContractHandler = void (*)(const ContractViolation&);
+
+/// Registers `handler` (nullptr restores the default throwing handler).
+/// Returns the previously registered handler. Thread-safe.
+ContractHandler set_contract_handler(ContractHandler handler);
+
 namespace detail {
+
+[[noreturn]] void contract_fail(ContractKind kind, const char* expr,
+                                const char* file, int line,
+                                const std::string& msg);
+
+/// Legacy entry point kept for older call sites; equivalent to a kCheck
+/// failure.
 [[noreturn]] void assert_fail(const char* expr, const char* file, int line,
                               const std::string& msg);
-}  // namespace detail
 
+template <typename T>
+T check_finite(T value, const char* expr, const char* file, int line) {
+  if (!std::isfinite(static_cast<double>(value))) {
+    std::ostringstream os;
+    os << "non-finite value " << static_cast<double>(value);
+    contract_fail(ContractKind::kCheckFinite, expr, file, line, os.str());
+  }
+  return value;
+}
+
+}  // namespace detail
 }  // namespace plos
 
-// Always-on contract check (also in release builds: the costs here are
-// negligible next to the numerical work, and silent contract violations in a
-// learning system produce answers that are wrong in hard-to-detect ways).
-#define PLOS_CHECK(expr, msg)                                          \
-  do {                                                                 \
-    if (!(expr)) {                                                     \
-      ::plos::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
-    }                                                                  \
+#define PLOS_CONTRACT_FAIL_(kind, expr_str, msg)                        \
+  do {                                                                  \
+    std::ostringstream plos_contract_os_;                               \
+    plos_contract_os_ << msg;                                           \
+    ::plos::detail::contract_fail((kind), (expr_str), __FILE__,         \
+                                  __LINE__, plos_contract_os_.str());   \
+  } while (false)
+
+// Always-on contract check.
+#define PLOS_CHECK(expr, msg)                                           \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      PLOS_CONTRACT_FAIL_(::plos::ContractKind::kCheck, #expr, msg);    \
+    }                                                                   \
   } while (false)
 
 #define PLOS_ASSERT(expr) PLOS_CHECK(expr, "")
+
+// Debug/checked-build contract check (CMake -DPLOS_CONTRACTS=ON). Off, the
+// condition and message stay type-checked (no unused-variable warnings at
+// call sites) but are never evaluated: the `if (false)` branch is dead.
+#if defined(PLOS_CONTRACTS)
+#define PLOS_DCHECK(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      PLOS_CONTRACT_FAIL_(::plos::ContractKind::kDcheck, #expr, msg);   \
+    }                                                                   \
+  } while (false)
+#else
+#define PLOS_DCHECK(expr, msg)                                          \
+  do {                                                                  \
+    if (false) {                                                        \
+      if (!(expr)) {                                                    \
+        PLOS_CONTRACT_FAIL_(::plos::ContractKind::kDcheck, #expr, msg); \
+      }                                                                 \
+    }                                                                   \
+  } while (false)
+#endif
+
+// Always-on finiteness gate; evaluates to the checked value.
+#define PLOS_CHECK_FINITE(expr) \
+  (::plos::detail::check_finite((expr), #expr, __FILE__, __LINE__))

@@ -45,6 +45,10 @@ class DualState {
       h(a, i) = entry;
     });
     h(a, a) = (lambda_over_t_ + 1.0) * linalg::squared_norm(plane.s);
+    // The bordered Hessian stays positive semidefinite only if the new
+    // diagonal entry (a Gram self-product) is finite and non-negative.
+    PLOS_DCHECK(std::isfinite(h(a, a)) && h(a, a) >= 0.0,
+                "DualState: bad Hessian border diagonal " << h(a, a));
     hessian_ = std::move(h);
 
     linear_.push_back(plane.offset);

@@ -93,6 +93,10 @@ LocalDeviationFit fit_local_deviation(const PlosUserContext& ctx,
     qp_options.warm_start.resize(n, 0.0);
     const qp::QpResult result = qp::solve_capped_simplex_qp(problem, qp_options);
     gamma = result.solution;
+    // Dual feasibility of the working-set QP: γ ≥ 0, Σγ ≤ 1 (the QP solver
+    // re-verifies its own bounds; this guards the hand-off).
+    PLOS_DCHECK(gamma.size() == n,
+                "fit_local_deviation: dual size " << gamma.size() << " != " << n);
 
     linalg::Vector g = linalg::zeros(dim);
     for (std::size_t i = 0; i < n; ++i) {
@@ -104,8 +108,8 @@ LocalDeviationFit fit_local_deviation(const PlosUserContext& ctx,
     linalg::axpy(1.0, v, fit.weights);
   }
 
-  fit.objective = lambda_over_t * linalg::squared_norm(v) +
-                  optimal_slack(working_set, fit.weights);
+  fit.objective = PLOS_CHECK_FINITE(lambda_over_t * linalg::squared_norm(v) +
+                                    optimal_slack(working_set, fit.weights));
   return fit;
 }
 
@@ -241,6 +245,9 @@ double optimal_slack(const std::vector<CuttingPlane>& working_set,
   for (const auto& plane : working_set) {
     xi = std::max(xi, plane.offset - linalg::dot(plane.s, user_weights));
   }
+  // Slack non-negativity: ξ = max(0, violations) by construction; NaN plane
+  // terms would poison the max silently, so re-assert in checked builds.
+  PLOS_DCHECK(xi >= 0.0, "optimal_slack: negative or NaN slack " << xi);
   return xi;
 }
 

@@ -1,5 +1,6 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.hpp"
@@ -9,6 +10,17 @@ namespace plos::linalg {
 std::optional<Matrix> cholesky(const Matrix& a) {
   PLOS_CHECK(a.rows() == a.cols(), "cholesky: matrix must be square");
   const std::size_t n = a.rows();
+  // Checked-build precondition: the factorization only reads the lower
+  // triangle, so an asymmetric input silently factors the wrong matrix.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double scale = std::max({1.0, std::abs(a(i, j)), std::abs(a(j, i))});
+      PLOS_DCHECK(std::abs(a(i, j) - a(j, i)) <= 1e-9 * scale,
+                  "cholesky: asymmetric input at (" << i << "," << j << "): "
+                                                    << a(i, j) << " vs "
+                                                    << a(j, i));
+    }
+  }
   Matrix l(n, n);
   for (std::size_t j = 0; j < n; ++j) {
     double d = a(j, j);
@@ -27,6 +39,12 @@ std::optional<Matrix> cholesky(const Matrix& a) {
 Vector cholesky_solve(const Matrix& l, std::span<const double> b) {
   const std::size_t n = l.rows();
   PLOS_CHECK(l.cols() == n && b.size() == n, "cholesky_solve: size mismatch");
+  // A factor from a successful cholesky() has a strictly positive diagonal;
+  // anything else divides by zero below.
+  for (std::size_t i = 0; i < n; ++i) {
+    PLOS_DCHECK(l(i, i) > 0.0, "cholesky_solve: non-positive pivot L("
+                                   << i << "," << i << ")=" << l(i, i));
+  }
   // Forward substitution: L y = b.
   Vector y(n);
   for (std::size_t i = 0; i < n; ++i) {

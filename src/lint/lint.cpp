@@ -1,0 +1,852 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "obs/json.hpp"
+
+namespace plos::lint {
+
+namespace {
+
+namespace json = plos::obs::json;
+
+// ---- source scrubbing ----------------------------------------------------
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True when the current line up to `quote_pos` is exactly an #include
+// directive, i.e. the quoted token that follows is an include path. Those
+// must survive scrubbing: the include-graph and include-order rules read
+// their targets.
+bool include_directive_before(std::string_view source, std::size_t quote_pos) {
+  std::size_t line_start =
+      quote_pos == 0 ? std::string_view::npos
+                     : source.rfind('\n', quote_pos - 1);
+  line_start = line_start == std::string_view::npos ? 0 : line_start + 1;
+  static const std::regex re(R"(^\s*#\s*include\s*$)", std::regex::optimize);
+  const std::string prefix(source.substr(line_start, quote_pos - line_start));
+  return std::regex_match(prefix, re);
+}
+
+}  // namespace
+
+std::string strip_comments_and_strings(std::string_view source) {
+  std::string out(source);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  char prev_code = '\0';  // last code character kept (digit-separator test)
+
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          // Raw string? The opening R (or u8R etc.) directly precedes.
+          if (prev_code == 'R') {
+            std::size_t j = i + 1;
+            raw_delim.clear();
+            while (j < source.size() && source[j] != '(') {
+              raw_delim += source[j];
+              ++j;
+            }
+            state = State::kRaw;
+            raw_delim = ")" + raw_delim + "\"";
+          } else if (include_directive_before(source, i)) {
+            // #include "path": keep the path readable for include rules.
+            const std::size_t close = source.find('"', i + 1);
+            i = close == std::string_view::npos ? source.size() : close;
+            prev_code = '"';
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'' && !is_word(prev_code)) {
+          // Apostrophe after a word character is a digit separator
+          // (1'000'000), not a char literal.
+          state = State::kChar;
+        } else {
+          if (!std::isspace(static_cast<unsigned char>(c))) prev_code = c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          prev_code = '"';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          prev_code = '\'';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (source.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+          prev_code = '"';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return lines;
+}
+
+// ---- suppressions --------------------------------------------------------
+
+struct Suppressions {
+  std::set<std::string> file_wide;                  // allow-file(rule)
+  std::map<int, std::set<std::string>> per_line;    // allow(rule) on line N
+};
+
+void parse_allow_list(std::string_view text, std::set<std::string>& out) {
+  std::string name;
+  for (char c : text) {
+    if (c == ',' || c == ')') {
+      if (!name.empty()) out.insert(name);
+      name.clear();
+      if (c == ')') return;
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      name += c;
+    }
+  }
+}
+
+Suppressions parse_suppressions(const std::vector<std::string_view>& lines) {
+  Suppressions sup;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    const std::size_t marker = line.find("plos-lint:");
+    if (marker == std::string_view::npos) continue;
+    std::string_view rest = line.substr(marker + 10);
+    while (!rest.empty() &&
+           std::isspace(static_cast<unsigned char>(rest.front()))) {
+      rest.remove_prefix(1);
+    }
+    if (rest.rfind("allow-file(", 0) == 0) {
+      parse_allow_list(rest.substr(11), sup.file_wide);
+    } else if (rest.rfind("allow(", 0) == 0) {
+      parse_allow_list(rest.substr(6), sup.per_line[static_cast<int>(i + 1)]);
+    }
+  }
+  return sup;
+}
+
+bool suppressed(const Suppressions& sup, const std::string& rule, int line) {
+  if (sup.file_wide.count(rule) != 0) return true;
+  for (int l : {line, line - 1}) {
+    auto it = sup.per_line.find(l);
+    if (it != sup.per_line.end() && it->second.count(rule) != 0) return true;
+  }
+  return false;
+}
+
+// ---- path scoping --------------------------------------------------------
+
+bool has_prefix(const std::string& path, const std::string& prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+bool rule_applies(const Rule& rule, const std::string& path) {
+  if (!rule.paths.empty() &&
+      std::none_of(rule.paths.begin(), rule.paths.end(),
+                   [&](const std::string& p) { return has_prefix(path, p); })) {
+    return false;
+  }
+  return std::none_of(
+      rule.allow_paths.begin(), rule.allow_paths.end(),
+      [&](const std::string& p) { return has_prefix(path, p); });
+}
+
+bool is_header(const std::string& path) {
+  return path.size() >= 4 && (path.rfind(".hpp") == path.size() - 4 ||
+                              path.rfind(".h") == path.size() - 2);
+}
+
+// ---- rule engines --------------------------------------------------------
+
+struct Include {
+  int line = 0;
+  bool angle = false;
+  std::string target;  // path between the delimiters
+};
+
+std::vector<Include> parse_includes(
+    const std::vector<std::string_view>& code_lines) {
+  static const std::regex include_re(
+      R"(^\s*#\s*include\s*([<"])([^>"]+)([>"]))", std::regex::optimize);
+  std::vector<Include> includes;
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    std::match_results<std::string_view::const_iterator> m;
+    if (std::regex_search(code_lines[i].begin(), code_lines[i].end(), m,
+                          include_re)) {
+      includes.push_back(Include{static_cast<int>(i + 1), m[1].str() == "<",
+                                 m[2].str()});
+    }
+  }
+  return includes;
+}
+
+std::string stem_of(const std::string& path) {
+  return std::filesystem::path(path).stem().string();
+}
+
+void apply_banned_patterns(const Rule& rule, const std::string& path,
+                           const std::vector<std::string_view>& code_lines,
+                           std::vector<Finding>& findings) {
+  std::vector<std::regex> compiled;
+  compiled.reserve(rule.patterns.size());
+  for (const std::string& p : rule.patterns) {
+    compiled.emplace_back(p, std::regex::optimize);
+  }
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    for (std::size_t r = 0; r < compiled.size(); ++r) {
+      if (std::regex_search(code_lines[i].begin(), code_lines[i].end(),
+                            compiled[r])) {
+        findings.push_back(Finding{rule.name, path, static_cast<int>(i + 1),
+                                   rule.message});
+        break;  // one finding per line per rule
+      }
+    }
+  }
+}
+
+void apply_float_eq(const Rule& rule, const std::string& path,
+                    const std::vector<std::string_view>& code_lines,
+                    std::vector<Finding>& findings) {
+  // A floating literal: 1.5 / .5 / 1. / 1e-9 / 1.5e3, optional f/F suffix.
+  static const char* kFloat =
+      R"((\d+\.\d*([eE][-+]?\d+)?|\.\d+([eE][-+]?\d+)?|\d+[eE][-+]?\d+)[fFlL]?)";
+  static const std::regex rhs_re(std::string(R"((==|!=)\s*[-+]?)") + kFloat,
+                                 std::regex::optimize);
+  static const std::regex lhs_re(std::string(kFloat) + R"(\s*(==|!=))",
+                                 std::regex::optimize);
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string line(code_lines[i]);
+    bool flagged = false;
+    for (const std::regex* re : {&rhs_re, &lhs_re}) {
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), *re);
+           !flagged && it != std::sregex_iterator(); ++it) {
+        const std::smatch& m = *it;
+        // Exact comparison against zero (x == 0.0) is the explicit
+        // "was this coordinate ever touched" idiom and stays legal.
+        const std::string literal =
+            m[1].str() == "==" || m[1].str() == "!=" ? m[2].str() : m[1].str();
+        flagged = std::strtod(literal.c_str(), nullptr) != 0.0;
+      }
+      if (flagged) break;
+    }
+    if (flagged) {
+      findings.push_back(
+          Finding{rule.name, path, static_cast<int>(i + 1), rule.message});
+    }
+  }
+}
+
+void apply_pragma_once(const Rule& rule, const std::string& path,
+                       std::string_view source,
+                       std::vector<Finding>& findings) {
+  if (!is_header(path)) return;
+  if (source.find("#pragma once") == std::string_view::npos) {
+    findings.push_back(Finding{rule.name, path, 1, rule.message});
+  }
+}
+
+void apply_include_order(const Rule& rule, const std::string& path,
+                         const std::vector<std::string_view>& code_lines,
+                         std::vector<Finding>& findings) {
+  const std::vector<Include> includes = parse_includes(code_lines);
+  if (includes.empty()) return;
+
+  // A .cpp's own header (same stem) must be the very first include.
+  const bool is_source = path.rfind(".cpp") == path.size() - 4;
+  if (is_source) {
+    const std::string stem = stem_of(path);
+    for (std::size_t i = 0; i < includes.size(); ++i) {
+      if (!includes[i].angle && stem_of(includes[i].target) == stem) {
+        if (i != 0) {
+          findings.push_back(Finding{rule.name, path, includes[i].line,
+                                     "own header must be the first include"});
+        }
+        break;
+      }
+    }
+  }
+
+  // After an optional leading quoted subject header, the angle-bracket
+  // block must precede the quoted block (no interleaving back).
+  std::size_t start = includes.empty() || includes[0].angle ? 0 : 1;
+  bool seen_quoted = false;
+  for (std::size_t i = start; i < includes.size(); ++i) {
+    if (!includes[i].angle) {
+      seen_quoted = true;
+    } else if (seen_quoted) {
+      findings.push_back(
+          Finding{rule.name, path, includes[i].line,
+                  "angle-bracket include after project includes"});
+    }
+  }
+}
+
+void apply_using_namespace(const Rule& rule, const std::string& path,
+                           const std::vector<std::string_view>& code_lines,
+                           std::vector<Finding>& findings) {
+  if (!is_header(path)) return;
+  static const std::regex re(R"(\busing\s+namespace\b)", std::regex::optimize);
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    if (std::regex_search(code_lines[i].begin(), code_lines[i].end(), re)) {
+      findings.push_back(
+          Finding{rule.name, path, static_cast<int>(i + 1), rule.message});
+    }
+  }
+}
+
+// Resolves an include string against the project file set: headers are
+// included relative to src/ (the single include root) or to the including
+// file's directory (bench_support.hpp style).
+const std::string* resolve_include(const FileSet& project,
+                                   const std::string& from,
+                                   const std::string& target,
+                                   std::string* resolved) {
+  const std::string from_dir =
+      std::filesystem::path(from).parent_path().generic_string();
+  for (const std::string& candidate :
+       {std::string("src/") + target,
+        from_dir.empty() ? target : from_dir + "/" + target, target}) {
+    auto it = project.find(candidate);
+    if (it != project.end()) {
+      *resolved = candidate;
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+// Does `target` (an include string) reach a header whose include path
+// starts with `forbidden`, following project includes depth-first?
+bool include_reaches(const FileSet& project, const std::string& from,
+                     const std::string& target, const std::string& forbidden,
+                     std::set<std::string>& visited) {
+  if (has_prefix(target, forbidden)) return true;
+  std::string resolved;
+  const std::string* contents =
+      resolve_include(project, from, target, &resolved);
+  if (contents == nullptr || !visited.insert(resolved).second) return false;
+  const std::string code = strip_comments_and_strings(*contents);
+  for (const Include& inc : parse_includes(split_lines(code))) {
+    if (inc.angle) continue;  // system headers never re-enter the project
+    if (include_reaches(project, resolved, inc.target, forbidden, visited)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void apply_forbidden_include(const Rule& rule, const std::string& path,
+                             const std::vector<std::string_view>& code_lines,
+                             const FileSet* project,
+                             std::vector<Finding>& findings) {
+  for (const Include& inc : parse_includes(code_lines)) {
+    if (inc.angle) continue;
+    bool hit = has_prefix(inc.target, rule.forbidden);
+    if (!hit && rule.transitive && project != nullptr) {
+      std::set<std::string> visited;
+      hit = include_reaches(*project, path, inc.target, rule.forbidden,
+                            visited);
+    }
+    if (hit) {
+      findings.push_back(Finding{
+          rule.name, path, inc.line,
+          rule.message + " (via \"" + inc.target + "\")"});
+    }
+  }
+}
+
+// ---- config parsing ------------------------------------------------------
+
+std::vector<std::string> string_array(const json::Value& obj,
+                                      std::string_view key) {
+  std::vector<std::string> out;
+  const json::Value* field = obj.find(key);
+  if (field == nullptr || !field->is_array()) return out;
+  for (const json::Value& v : field->as_array()) {
+    if (v.is_string()) out.push_back(v.as_string());
+  }
+  return out;
+}
+
+std::optional<RuleKind> kind_from_string(const std::string& kind) {
+  if (kind == "banned-pattern") return RuleKind::kBannedPattern;
+  if (kind == "float-eq") return RuleKind::kFloatEq;
+  if (kind == "pragma-once") return RuleKind::kPragmaOnce;
+  if (kind == "include-order") return RuleKind::kIncludeOrder;
+  if (kind == "using-namespace-header") return RuleKind::kUsingNamespaceHeader;
+  if (kind == "forbidden-include") return RuleKind::kForbiddenInclude;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Config> parse_config(std::string_view json_text,
+                                   std::string* error) {
+  std::string parse_error;
+  const auto doc = json::parse(json_text, &parse_error);
+  if (!doc || !doc->is_object()) {
+    if (error != nullptr) {
+      *error = "lint_rules.json: " +
+               (parse_error.empty() ? "not a JSON object" : parse_error);
+    }
+    return std::nullopt;
+  }
+
+  Config config;
+  config.roots = string_array(*doc, "roots");
+  config.extensions = string_array(*doc, "extensions");
+  if (config.extensions.empty()) config.extensions = {".cpp", ".hpp", ".h"};
+
+  const json::Value* rules = doc->find("rules");
+  if (rules == nullptr || !rules->is_array()) {
+    if (error != nullptr) *error = "lint_rules.json: missing \"rules\" array";
+    return std::nullopt;
+  }
+  for (const json::Value& entry : rules->as_array()) {
+    if (!entry.is_object()) continue;
+    Rule rule;
+    if (const json::Value* v = entry.find("name"); v && v->is_string()) {
+      rule.name = v->as_string();
+    }
+    std::string kind = "banned-pattern";
+    if (const json::Value* v = entry.find("kind"); v && v->is_string()) {
+      kind = v->as_string();
+    }
+    const auto parsed_kind = kind_from_string(kind);
+    if (rule.name.empty() || !parsed_kind) {
+      if (error != nullptr) {
+        *error = "lint_rules.json: rule \"" + rule.name +
+                 "\" has missing name or unknown kind \"" + kind + "\"";
+      }
+      return std::nullopt;
+    }
+    rule.kind = *parsed_kind;
+    if (const json::Value* v = entry.find("message"); v && v->is_string()) {
+      rule.message = v->as_string();
+    }
+    if (const json::Value* v = entry.find("enabled"); v && v->is_bool()) {
+      rule.enabled = v->as_bool();
+    }
+    if (const json::Value* v = entry.find("forbidden"); v && v->is_string()) {
+      rule.forbidden = v->as_string();
+    }
+    if (const json::Value* v = entry.find("transitive"); v && v->is_bool()) {
+      rule.transitive = v->as_bool();
+    }
+    rule.patterns = string_array(entry, "patterns");
+    rule.paths = string_array(entry, "paths");
+    rule.allow_paths = string_array(entry, "allow_paths");
+    config.rules.push_back(std::move(rule));
+  }
+  return config;
+}
+
+std::vector<Finding> lint_source(const Config& config, const std::string& path,
+                                 std::string_view source,
+                                 const FileSet* project) {
+  const std::string code = strip_comments_and_strings(source);
+  const std::vector<std::string_view> code_lines = split_lines(code);
+  const Suppressions sup = parse_suppressions(split_lines(source));
+
+  std::vector<Finding> findings;
+  for (const Rule& rule : config.rules) {
+    if (!rule.enabled || !rule_applies(rule, path)) continue;
+    switch (rule.kind) {
+      case RuleKind::kBannedPattern:
+        apply_banned_patterns(rule, path, code_lines, findings);
+        break;
+      case RuleKind::kFloatEq:
+        apply_float_eq(rule, path, code_lines, findings);
+        break;
+      case RuleKind::kPragmaOnce:
+        apply_pragma_once(rule, path, source, findings);
+        break;
+      case RuleKind::kIncludeOrder:
+        apply_include_order(rule, path, code_lines, findings);
+        break;
+      case RuleKind::kUsingNamespaceHeader:
+        apply_using_namespace(rule, path, code_lines, findings);
+        break;
+      case RuleKind::kForbiddenInclude:
+        apply_forbidden_include(rule, path, code_lines, project, findings);
+        break;
+    }
+  }
+
+  std::erase_if(findings, [&](const Finding& f) {
+    return suppressed(sup, f.rule, f.line);
+  });
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_files(const Config& config, const FileSet& files) {
+  std::vector<Finding> findings;
+  for (const auto& [path, contents] : files) {
+    auto file_findings = lint_source(config, path, contents, &files);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::optional<FileSet> collect_tree(const std::string& root_dir,
+                                    const Config& config, std::string* error) {
+  namespace fs = std::filesystem;
+  FileSet files;
+  for (const std::string& root : config.roots) {
+    const fs::path dir = fs::path(root_dir) / root;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+      if (error != nullptr) {
+        *error = "scan root not found: " + dir.generic_string();
+      }
+      return std::nullopt;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string rel =
+          fs::relative(entry.path(), root_dir).generic_string();
+      const bool wanted = std::any_of(
+          config.extensions.begin(), config.extensions.end(),
+          [&](const std::string& ext) {
+            return rel.size() >= ext.size() &&
+                   rel.compare(rel.size() - ext.size(), ext.size(), ext) == 0;
+          });
+      if (!wanted) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream contents;
+      contents << in.rdbuf();
+      files[rel] = contents.str();
+    }
+  }
+  return files;
+}
+
+std::string format_findings(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": error: [" + f.rule +
+           "] " + f.message + "\n";
+  }
+  return out;
+}
+
+// ---- self-test fixtures --------------------------------------------------
+
+namespace {
+
+struct Fixture {
+  const char* name;
+  const char* path;         // repo-relative, drives path-scoped rules
+  const char* expect_rule;  // "" = must lint clean
+  const char* source;
+};
+
+// Bad fixtures must each trip exactly their named rule; good fixtures must
+// produce no findings. Bad code lives in raw strings here, which the
+// scrubber blanks when plos_lint scans its own source — the analyzer does
+// not flag its own fixtures.
+const Fixture kFixtures[] = {
+    {"rng-in-solver", "src/core/bad_rng.cpp", "determinism-rng",
+     R"(#include "core/bad_rng.hpp"
+void seed_model() {
+  std::random_device rd;
+  (void)rd;
+}
+)"},
+    {"unseeded-engine", "src/core/bad_engine.cpp", "determinism-rng",
+     R"(#include "core/bad_engine.hpp"
+#include <random>
+std::mt19937 gen;
+)"},
+    {"clock-in-solver", "src/core/bad_clock.cpp", "determinism-clock",
+     R"(#include "core/bad_clock.hpp"
+#include <chrono>
+double now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+)"},
+    {"unordered-in-solver", "src/core/bad_unordered.cpp",
+     "determinism-unordered",
+     R"(#include "core/bad_unordered.hpp"
+#include <unordered_map>
+std::unordered_map<int, double> weights;
+)"},
+    {"build-stamp", "src/data/bad_stamp.cpp", "determinism-build-stamp",
+     R"(#include "data/bad_stamp.hpp"
+const char* built_at() { return __DATE__; }
+)"},
+    {"float-in-core", "src/qp/bad_float.cpp", "numeric-no-float",
+     R"(#include "qp/bad_float.hpp"
+float step_size = 0;
+)"},
+    {"float-equality", "src/core/bad_eq.cpp", "numeric-float-eq",
+     R"(#include "core/bad_eq.hpp"
+bool converged(double f) { return f == 1.5; }
+)"},
+    {"c-abs-on-double", "src/core/bad_abs.cpp", "numeric-c-abs",
+     R"(#include "core/bad_abs.hpp"
+#include <cstdlib>
+double mag(double x) { return abs(x); }
+)"},
+    {"raw-data-in-net", "src/net/bad_privacy.cpp", "privacy-raw-data",
+     R"(#include "net/bad_privacy.hpp"
+
+#include "data/dataset.hpp"
+)"},
+    {"iostream-in-lib", "src/core/bad_io.cpp", "io-iostream",
+     R"(#include "core/bad_io.hpp"
+
+#include <iostream>
+void report() { std::cout << "objective\n"; }
+)"},
+    {"missing-pragma-once", "src/core/bad_header.hpp", "hygiene-pragma-once",
+     R"(namespace plos {}
+)"},
+    {"include-order", "src/core/bad_order.cpp", "hygiene-include-order",
+     R"(#include "core/bad_order.hpp"
+
+#include "common/assert.hpp"
+
+#include <vector>
+)"},
+    {"using-namespace-header", "src/core/bad_using.hpp",
+     "hygiene-using-namespace",
+     R"(#pragma once
+using namespace std;
+)"},
+    {"clean-solver-file", "src/core/good_clean.cpp", "",
+     R"(#include "core/good_clean.hpp"
+
+#include <cmath>
+
+#include "rng/engine.hpp"
+
+double scaled(double x) { return std::abs(x) * 2.0; }
+bool untouched(double x) { return x == 0.0; }
+bool close(double a, double b) { return std::abs(a - b) <= 1e-9; }
+)"},
+    {"suppressed-violation", "src/core/good_suppressed.cpp", "",
+     R"(#include "core/good_suppressed.hpp"
+// The bootstrap seed below is derived once and logged; determinism is
+// preserved because it feeds a recorded manifest field.
+// plos-lint: allow(determinism-rng)
+std::random_device bootstrap_entropy;
+)"},
+    {"clock-in-obs-sink", "src/obs/good_timer.cpp", "",
+     R"(#include "obs/good_timer.hpp"
+#include <chrono>
+double wall_us() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+)"},
+    {"prose-not-code", "src/core/good_prose.cpp", "",
+     R"(#include "core/good_prose.hpp"
+// Comments may discuss rand() and std::random_device freely; so may
+// string literals:
+const char* kDoc = "never call rand() or srand() in solvers";
+)"},
+};
+
+}  // namespace
+
+SelfTestResult self_test(const Config& config) {
+  SelfTestResult result;
+  result.ok = true;
+  for (const Fixture& fixture : kFixtures) {
+    const auto findings = lint_source(config, fixture.path, fixture.source);
+    const std::string expect = fixture.expect_rule;
+    std::string line = std::string("self-test ") + fixture.name + ": ";
+    if (expect.empty()) {
+      if (findings.empty()) {
+        line += "clean, as expected";
+      } else {
+        result.ok = false;
+        line += "expected clean but got " + format_findings(findings);
+      }
+    } else {
+      const bool hit = std::any_of(
+          findings.begin(), findings.end(),
+          [&](const Finding& f) { return f.rule == expect; });
+      const bool only_expected = std::all_of(
+          findings.begin(), findings.end(),
+          [&](const Finding& f) { return f.rule == expect; });
+      if (hit && only_expected) {
+        line += "rejected by [" + findings[0].rule + "] at " +
+                findings[0].file + ":" + std::to_string(findings[0].line) +
+                ", as expected";
+      } else if (!hit) {
+        result.ok = false;
+        line += "expected [" + expect + "] but got " +
+                (findings.empty() ? std::string("no findings")
+                                  : format_findings(findings));
+      } else {
+        result.ok = false;
+        line += "expected only [" + expect + "] but got " +
+                format_findings(findings);
+      }
+    }
+    result.report += line + "\n";
+  }
+  result.report += result.ok ? "self-test: all fixtures passed\n"
+                             : "self-test: FAILED\n";
+  return result;
+}
+
+// ---- CLI -----------------------------------------------------------------
+
+int run_cli(const std::vector<std::string>& args, std::string& out) {
+  std::string root = ".";
+  std::string rules_path;
+  bool do_self_test = false;
+  bool list_rules = false;
+  std::vector<std::string> filters;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--root" || arg == "--rules") {
+      if (i + 1 >= args.size()) {
+        out += "plos_lint: missing value for " + arg + "\n";
+        return 2;
+      }
+      (arg == "--root" ? root : rules_path) = args[++i];
+    } else if (arg == "--self-test") {
+      do_self_test = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help") {
+      out += "usage: plos_lint [--root DIR] [--rules FILE] [--self-test] "
+             "[--list-rules] [path-prefix...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      out += "plos_lint: unknown flag " + arg + "\n";
+      return 2;
+    } else {
+      filters.push_back(arg);
+    }
+  }
+  if (rules_path.empty()) rules_path = root + "/tools/lint_rules.json";
+
+  std::ifstream in(rules_path, std::ios::binary);
+  if (!in) {
+    out += "plos_lint: cannot open rules file " + rules_path + "\n";
+    return 2;
+  }
+  std::ostringstream rules_text;
+  rules_text << in.rdbuf();
+  std::string error;
+  const auto config = parse_config(rules_text.str(), &error);
+  if (!config) {
+    out += "plos_lint: " + error + "\n";
+    return 2;
+  }
+
+  if (list_rules) {
+    for (const Rule& rule : config->rules) {
+      out += rule.name + (rule.enabled ? "" : " (disabled)") + ": " +
+             rule.message + "\n";
+    }
+    return 0;
+  }
+  if (do_self_test) {
+    const SelfTestResult result = self_test(*config);
+    out += result.report;
+    return result.ok ? 0 : 1;
+  }
+
+  auto files = collect_tree(root, *config, &error);
+  if (!files) {
+    out += "plos_lint: " + error + "\n";
+    return 2;
+  }
+  if (!filters.empty()) {
+    std::erase_if(*files, [&](const auto& entry) {
+      return std::none_of(filters.begin(), filters.end(),
+                          [&](const std::string& f) {
+                            return has_prefix(entry.first, f);
+                          });
+    });
+  }
+  const auto findings = lint_files(*config, *files);
+  out += format_findings(findings);
+  out += "plos_lint: " + std::to_string(findings.size()) + " finding(s) in " +
+         std::to_string(files->size()) + " file(s) scanned\n";
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace plos::lint

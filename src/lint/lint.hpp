@@ -1,0 +1,118 @@
+// plos_lint: determinism-invariant static analyzer (DESIGN.md §11).
+//
+// The determinism contract (§8: bitwise-identical models, journals, and
+// byte ledgers at any thread count) and the federated privacy boundary
+// (raw rows never cross the network layer) are enforced dynamically by the
+// equivalence suites and golden manifests. This analyzer enforces them
+// statically: a token/regex scanner plus a lightweight project include
+// graph — no libclang — that rejects nondeterminism and contract-free
+// numeric code before it runs.
+//
+// The rule *catalog* is built in (each RuleKind below is a matching
+// strategy); the checked-in `tools/lint_rules.json` instantiates it:
+// which rules run, over which path prefixes, with which banned patterns
+// and exemptions. Every in-source exception uses the visible suppression
+// syntax
+//
+//     // plos-lint: allow(rule-name[, rule-name...])    same or next line
+//     // plos-lint: allow-file(rule-name)               whole file
+//
+// so exceptions show up in diffs and code review.
+//
+// The engine works on in-memory file sets so tests drive it hermetically;
+// the CLI walks the real tree. All scanning, ordering, and reporting is
+// deterministic (sorted paths, config-ordered rules, sorted findings).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plos::lint {
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string rule;
+  std::string file;  ///< repo-relative path
+  int line = 0;      ///< 1-based
+  std::string message;
+};
+
+/// Matching strategy a rule uses.
+enum class RuleKind {
+  kBannedPattern,         ///< any regex in `patterns` hit in scrubbed code
+  kFloatEq,               ///< == / != against a nonzero floating literal
+  kPragmaOnce,            ///< headers must contain #pragma once
+  kIncludeOrder,          ///< own-header first; angle block before quoted
+  kUsingNamespaceHeader,  ///< `using namespace` in a header
+  kForbiddenInclude,      ///< (transitive) include of a banned header prefix
+};
+
+struct Rule {
+  std::string name;
+  RuleKind kind = RuleKind::kBannedPattern;
+  std::string message;
+  bool enabled = true;
+  std::vector<std::string> patterns;     ///< kBannedPattern: ECMAScript regexes
+  std::vector<std::string> paths;        ///< apply only under these prefixes (empty = everywhere)
+  std::vector<std::string> allow_paths;  ///< exempt these prefixes
+  std::string forbidden;                 ///< kForbiddenInclude: include-path prefix
+  bool transitive = false;               ///< kForbiddenInclude: follow project includes
+};
+
+struct Config {
+  std::vector<std::string> roots;       ///< directories to scan, repo-relative
+  std::vector<std::string> extensions;  ///< file suffixes to scan
+  std::vector<Rule> rules;
+};
+
+/// Parses `tools/lint_rules.json` text. Returns nullopt (and sets `error`
+/// when non-null) on malformed JSON or an unknown rule kind.
+std::optional<Config> parse_config(std::string_view json_text,
+                                   std::string* error = nullptr);
+
+/// Repo-relative path → file contents. Ordered so iteration (and therefore
+/// finding order) is deterministic.
+using FileSet = std::map<std::string, std::string>;
+
+/// Blanks comments and string/char-literal contents (raw strings included)
+/// while preserving line structure, so pattern rules never fire on prose
+/// or quoted text. Quoted #include targets are kept readable — the include
+/// rules parse them out of the scrubbed text. Exposed for tests.
+std::string strip_comments_and_strings(std::string_view source);
+
+/// Lints one file. `project` (optional) supplies the rest of the tree for
+/// include-graph rules. Suppressions already applied; sorted by line.
+std::vector<Finding> lint_source(const Config& config, const std::string& path,
+                                 std::string_view source,
+                                 const FileSet* project = nullptr);
+
+/// Lints every file in the set; findings sorted by (file, line, rule).
+std::vector<Finding> lint_files(const Config& config, const FileSet& files);
+
+/// Reads every file matching config.extensions under config.roots (relative
+/// to `root_dir`) from disk. Returns nullopt + `error` if a root is missing.
+std::optional<FileSet> collect_tree(const std::string& root_dir,
+                                    const Config& config, std::string* error);
+
+/// "file:line: error: [rule] message" lines, one per finding.
+std::string format_findings(const std::vector<Finding>& findings);
+
+/// Runs the engine against the embedded good/bad fixture snippets: every
+/// bad fixture must produce its expected rule (reported with rule name and
+/// file:line), every good fixture must lint clean.
+struct SelfTestResult {
+  bool ok = false;
+  std::string report;
+};
+SelfTestResult self_test(const Config& config);
+
+/// CLI driver (the `plos_lint` binary is a thin wrapper so tests can cover
+/// argument parsing and exit codes in-process). Appends human-readable
+/// output to `out`. Exit codes: 0 clean / self-test passed, 1 findings or
+/// self-test failure, 2 usage or configuration error.
+int run_cli(const std::vector<std::string>& args, std::string& out);
+
+}  // namespace plos::lint

@@ -47,8 +47,11 @@ double Deserializer::read_f64() { return read_raw<double>(data_, offset_); }
 
 std::vector<double> Deserializer::read_vector() {
   const std::uint64_t n = read_u64();
-  PLOS_CHECK(n * sizeof(double) <= remaining(),
-             "Deserializer: vector length exceeds buffer");
+  // Divide instead of multiplying: n * sizeof(double) can wrap for a
+  // corrupt length prefix and sneak past the bound.
+  PLOS_CHECK(n <= remaining() / sizeof(double),
+             "Deserializer: vector length " << n << " exceeds "
+                                            << remaining() << " byte buffer");
   std::vector<double> out(static_cast<std::size_t>(n));
   for (auto& x : out) x = read_f64();
   return out;
@@ -100,6 +103,12 @@ std::vector<std::uint8_t> frame_message(
   append_raw(frame, static_cast<std::uint32_t>(payload.size()));
   append_raw(frame, crc32(payload));
   frame.insert(frame.end(), payload.begin(), payload.end());
+  // Checked-build postcondition: the frame we just built must decode to the
+  // same payload — length field, magic, and CRC all agree (O(n) re-CRC).
+  PLOS_DCHECK(frame.size() == kFrameHeaderBytes + payload.size(),
+              "frame_message: header/payload length mismatch");
+  PLOS_DCHECK(unframe_message(frame).has_value(),
+              "frame_message: emitted frame fails its own CRC/length check");
   return frame;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/assert.hpp"
 #include "obs/json.hpp"
 
 namespace plos::obs {
@@ -77,6 +78,20 @@ std::string record_to_json(const RoundRecord& record) {
 
 void Journal::append(const RoundRecord& record) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  // Monotonic-round ordering: within one trainer's stream, records arrive
+  // in strictly increasing (cccp_round, admm_iteration) order — the byte-
+  // identity contract (§8) depends on append order being loop order, so an
+  // out-of-order append means a racing or misbehaving producer.
+  if (!records_.empty() && records_.back().trainer == record.trainer) {
+    const RoundRecord& last = records_.back();
+    PLOS_CHECK(record.cccp_round > last.cccp_round ||
+                   (record.cccp_round == last.cccp_round &&
+                    record.admm_iteration > last.admm_iteration),
+               "Journal: out-of-order round record ("
+                   << record.cccp_round << "," << record.admm_iteration
+                   << ") after (" << last.cccp_round << ","
+                   << last.admm_iteration << ")");
+  }
   records_.push_back(record);
 }
 

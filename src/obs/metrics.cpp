@@ -258,7 +258,9 @@ std::string prometheus_name(std::string_view name) {
                     c == ':';
     out += ok ? c : '_';
   }
-  if (out.empty()) out = "_";
+  // push_back rather than operator=(const char*): the latter trips a GCC 12
+  // -Wrestrict false positive (PR105329) under -Werror.
+  if (out.empty()) out.push_back('_');
   return out;
 }
 

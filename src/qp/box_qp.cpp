@@ -98,7 +98,17 @@ QpResult solve_box_qp(const BoxQpProblem& problem, const QpOptions& options) {
   }
 
   result.solution = std::move(x);
-  result.objective = objective(problem, result.solution);
+  result.objective = PLOS_CHECK_FINITE(objective(problem, result.solution));
+
+  // Checked-build postcondition: projection kept every coordinate inside
+  // the box (exact — project_box clamps, no arithmetic slack needed).
+  for (std::size_t i = 0; i < n; ++i) {
+    PLOS_DCHECK(result.solution[i] >= problem.lo &&
+                    result.solution[i] <= problem.hi,
+                "BoxQp: solution[" << i << "]=" << result.solution[i]
+                                   << " outside [" << problem.lo << ", "
+                                   << problem.hi << "]");
+  }
 
   static obs::Counter& solves = obs::metrics().counter("qp.box.solves");
   static obs::Counter& seconds = obs::metrics().counter("qp.box.seconds");

@@ -147,7 +147,22 @@ QpResult solve_capped_simplex_qp(const CappedSimplexQpProblem& problem,
   }
 
   result.solution = std::move(x);
-  result.objective = objective(problem, result.solution);
+  result.objective = PLOS_CHECK_FINITE(objective(problem, result.solution));
+
+  // Checked-build postcondition: the iterate is (numerically) inside the
+  // capped simplex — dual feasibility of the recovered multipliers.
+  for (std::size_t i = 0; i < n; ++i) {
+    PLOS_DCHECK(result.solution[i] >= -1e-9,
+                "CappedSimplexQp: negative multiplier gamma[" << i << "]="
+                                                             << result.solution[i]);
+  }
+  for (std::size_t g = 0; g < problem.groups.size(); ++g) {
+    double sum = 0.0;
+    for (std::size_t idx : problem.groups[g]) sum += result.solution[idx];
+    PLOS_DCHECK(sum <= problem.caps[g] + 1e-9 * (1.0 + problem.caps[g]),
+                "CappedSimplexQp: group " << g << " sum " << sum
+                                          << " exceeds cap " << problem.caps[g]);
+  }
 
   // Instrument handles are resolved once; the registry is a process-lifetime
   // singleton, so the cached references never dangle across reset_values().

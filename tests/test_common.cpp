@@ -53,7 +53,7 @@ TEST(Stopwatch, ElapsedIsNonNegativeAndMonotone) {
 TEST(Stopwatch, ResetRestartsFromZero) {
   Stopwatch watch;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
   const double before = watch.elapsed_seconds();
   watch.reset();
   EXPECT_LE(watch.elapsed_seconds(), before + 1e-3);

@@ -1,0 +1,529 @@
+// plos_lint engine tests (DESIGN.md §11): scrubber state machine, config
+// parsing, each rule kind on hermetic in-memory sources, suppression
+// comments, the transitive include-graph privacy rule, the embedded
+// self-test fixtures, CLI exit codes, and — the acceptance gate — a scan
+// of the real repository tree, which must come back clean.
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace plos::lint {
+namespace {
+
+// Minimal hand-built config exercising one rule per kind. Banned patterns
+// live in raw strings so plos_lint never flags its own test corpus.
+Config engine_config() {
+  Config config;
+  config.roots = {"src"};
+  config.extensions = {".cpp", ".hpp"};
+
+  Rule rng;
+  rng.name = "determinism-rng";
+  rng.kind = RuleKind::kBannedPattern;
+  rng.message = "nondeterministic RNG";
+  rng.patterns = {R"(std::random_device)"};
+  rng.paths = {"src/"};
+  rng.allow_paths = {"src/rng/"};
+  config.rules.push_back(rng);
+
+  Rule float_eq;
+  float_eq.name = "numeric-float-eq";
+  float_eq.kind = RuleKind::kFloatEq;
+  float_eq.message = "exact comparison against nonzero float literal";
+  config.rules.push_back(float_eq);
+
+  Rule pragma;
+  pragma.name = "hygiene-pragma-once";
+  pragma.kind = RuleKind::kPragmaOnce;
+  pragma.message = "header missing #pragma once";
+  config.rules.push_back(pragma);
+
+  Rule order;
+  order.name = "hygiene-include-order";
+  order.kind = RuleKind::kIncludeOrder;
+  order.message = "include order";
+  config.rules.push_back(order);
+
+  Rule using_ns;
+  using_ns.name = "hygiene-using-namespace";
+  using_ns.kind = RuleKind::kUsingNamespaceHeader;
+  using_ns.message = "using namespace in header";
+  config.rules.push_back(using_ns);
+
+  Rule privacy;
+  privacy.name = "privacy-raw-data";
+  privacy.kind = RuleKind::kForbiddenInclude;
+  privacy.message = "net layer must not see raw data";
+  privacy.forbidden = "data/";
+  privacy.transitive = true;
+  privacy.paths = {"src/net/"};
+  config.rules.push_back(privacy);
+
+  return config;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+// ---- scrubber ------------------------------------------------------------
+
+TEST(Scrubber, BlanksLineCommentsButKeepsNewlines) {
+  const std::string scrubbed =
+      strip_comments_and_strings("int a;  // std::random_device\nint b;");
+  EXPECT_EQ(scrubbed.find("random_device"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int a;"), std::string::npos);
+  EXPECT_NE(scrubbed.find("\nint b;"), std::string::npos);
+}
+
+TEST(Scrubber, BlanksBlockCommentsPreservingLineStructure) {
+  const std::string source = "int a; /* rand()\n rand() */ int b;";
+  const std::string scrubbed = strip_comments_and_strings(source);
+  EXPECT_EQ(scrubbed.find("rand"), std::string::npos);
+  EXPECT_EQ(std::count(scrubbed.begin(), scrubbed.end(), '\n'),
+            std::count(source.begin(), source.end(), '\n'));
+  EXPECT_NE(scrubbed.find("int b;"), std::string::npos);
+}
+
+TEST(Scrubber, BlanksStringAndCharLiteralContents) {
+  const std::string scrubbed = strip_comments_and_strings(
+      "const char* s = \"call rand() now\"; char c = 'r';");
+  EXPECT_EQ(scrubbed.find("rand"), std::string::npos);
+  // Delimiters stay so the line remains structurally intact.
+  EXPECT_NE(scrubbed.find('"'), std::string::npos);
+}
+
+TEST(Scrubber, BlanksRawStringsWithCustomDelimiter) {
+  const std::string source =
+      "auto s = R\"lint(std::random_device inside)lint\"; int after;";
+  const std::string scrubbed = strip_comments_and_strings(source);
+  EXPECT_EQ(scrubbed.find("random_device"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int after;"), std::string::npos);
+}
+
+TEST(Scrubber, DigitSeparatorIsNotACharLiteral) {
+  // If 1'000'000 opened a char literal, the rand() call would be blanked.
+  const std::string scrubbed =
+      strip_comments_and_strings("int n = 1'000'000; n = rand();");
+  EXPECT_NE(scrubbed.find("rand()"), std::string::npos);
+}
+
+TEST(Scrubber, KeepsQuotedIncludeTargetsReadable) {
+  const std::string scrubbed = strip_comments_and_strings(
+      "#include \"data/dataset.hpp\"\nconst char* s = \"data/other.hpp\";\n");
+  EXPECT_NE(scrubbed.find("data/dataset.hpp"), std::string::npos);
+  EXPECT_EQ(scrubbed.find("data/other.hpp"), std::string::npos);
+}
+
+TEST(Scrubber, EscapedQuoteDoesNotEndString) {
+  const std::string scrubbed = strip_comments_and_strings(
+      "const char* s = \"a \\\" rand() b\"; int keep;");
+  EXPECT_EQ(scrubbed.find("rand"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int keep;"), std::string::npos);
+}
+
+// ---- config parsing ------------------------------------------------------
+
+TEST(ParseConfig, ParsesRootsExtensionsAndRuleFields) {
+  const std::string json = R"({
+    "roots": ["src", "tools"],
+    "extensions": [".cpp"],
+    "rules": [
+      {"name": "r1", "kind": "banned-pattern", "message": "m",
+       "patterns": ["abc"], "paths": ["src/"], "allow_paths": ["src/x/"]},
+      {"name": "r2", "kind": "forbidden-include", "forbidden": "data/",
+       "transitive": true, "enabled": false}
+    ]
+  })";
+  const auto config = parse_config(json);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->roots, (std::vector<std::string>{"src", "tools"}));
+  EXPECT_EQ(config->extensions, std::vector<std::string>{".cpp"});
+  ASSERT_EQ(config->rules.size(), 2u);
+  EXPECT_EQ(config->rules[0].kind, RuleKind::kBannedPattern);
+  EXPECT_EQ(config->rules[0].patterns, std::vector<std::string>{"abc"});
+  EXPECT_EQ(config->rules[1].kind, RuleKind::kForbiddenInclude);
+  EXPECT_EQ(config->rules[1].forbidden, "data/");
+  EXPECT_TRUE(config->rules[1].transitive);
+  EXPECT_FALSE(config->rules[1].enabled);
+}
+
+TEST(ParseConfig, RejectsMalformedJson) {
+  std::string error;
+  EXPECT_FALSE(parse_config("{not json", &error).has_value());
+  EXPECT_NE(error.find("lint_rules.json"), std::string::npos);
+}
+
+TEST(ParseConfig, RejectsMissingRulesArray) {
+  std::string error;
+  EXPECT_FALSE(parse_config(R"({"roots": ["src"]})", &error).has_value());
+  EXPECT_NE(error.find("rules"), std::string::npos);
+}
+
+TEST(ParseConfig, RejectsUnknownRuleKind) {
+  std::string error;
+  const std::string json =
+      R"({"rules": [{"name": "r", "kind": "telepathy"}]})";
+  EXPECT_FALSE(parse_config(json, &error).has_value());
+  EXPECT_NE(error.find("telepathy"), std::string::npos);
+}
+
+// ---- banned-pattern rule + path scoping ----------------------------------
+
+TEST(Rules, BannedPatternFlagsMatchWithLineNumber) {
+  const auto config = engine_config();
+  const std::string source = "int x;\nstd::random_device rd;\n";
+  const auto findings = lint_source(config, "src/core/solver.cpp", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "determinism-rng");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[0].file, "src/core/solver.cpp");
+}
+
+TEST(Rules, BannedPatternRespectsPathsAndAllowPaths) {
+  const auto config = engine_config();
+  const std::string source = "std::random_device rd;\n";
+  // Inside the exempt prefix: the RNG wrapper is allowed to touch entropy.
+  EXPECT_TRUE(lint_source(config, "src/rng/engine.cpp", source).empty());
+  // Outside the rule's paths entirely.
+  EXPECT_TRUE(lint_source(config, "tools/seed_tool.cpp", source).empty());
+}
+
+TEST(Rules, BannedPatternIgnoresCommentsAndStrings) {
+  const auto config = engine_config();
+  const std::string source =
+      "// std::random_device in prose\n"
+      "const char* s = \"std::random_device\";\n";
+  EXPECT_TRUE(lint_source(config, "src/core/solver.cpp", source).empty());
+}
+
+// ---- float-eq rule -------------------------------------------------------
+
+TEST(Rules, FloatEqFlagsNonzeroLiteralComparison) {
+  const auto config = engine_config();
+  const auto findings = lint_source(config, "src/core/a.cpp",
+                                    "bool done(double f) { return f == 1.5; }");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "numeric-float-eq");
+}
+
+TEST(Rules, FloatEqFlagsLiteralOnLeftAndScientificNotation) {
+  const auto config = engine_config();
+  EXPECT_EQ(lint_source(config, "src/core/a.cpp", "bool b = 2.5 == x;").size(),
+            1u);
+  EXPECT_EQ(
+      lint_source(config, "src/core/a.cpp", "bool b = x != 1e-9;").size(), 1u);
+}
+
+TEST(Rules, FloatEqAllowsExactZeroComparison) {
+  const auto config = engine_config();
+  // The "was this coordinate ever touched" sparsity idiom stays legal.
+  EXPECT_TRUE(
+      lint_source(config, "src/core/a.cpp", "if (gamma[i] != 0.0) use(i);")
+          .empty());
+  EXPECT_TRUE(
+      lint_source(config, "src/core/a.cpp", "bool z = x == 0.0;").empty());
+}
+
+TEST(Rules, FloatEqSeesNonzeroCompareAfterZeroCompareOnOneLine) {
+  const auto config = engine_config();
+  const auto findings = lint_source(
+      config, "src/core/a.cpp", "bool b = a == 0.0 && c == 2.5;");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "numeric-float-eq");
+}
+
+TEST(Rules, FloatEqIgnoresIntegerComparison) {
+  const auto config = engine_config();
+  EXPECT_TRUE(
+      lint_source(config, "src/core/a.cpp", "bool b = n == 3;").empty());
+}
+
+// ---- hygiene rules -------------------------------------------------------
+
+TEST(Rules, PragmaOnceRequiredInHeadersOnly) {
+  const auto config = engine_config();
+  const auto findings =
+      lint_source(config, "src/core/h.hpp", "namespace plos {}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hygiene-pragma-once");
+  EXPECT_EQ(findings[0].line, 1);
+
+  EXPECT_TRUE(
+      lint_source(config, "src/core/h.hpp", "#pragma once\nint x;\n").empty());
+  EXPECT_TRUE(
+      lint_source(config, "src/core/h.cpp", "namespace plos {}\n").empty());
+}
+
+TEST(Rules, IncludeOrderOwnHeaderMustComeFirst) {
+  const auto config = engine_config();
+  const std::string source =
+      "#include <vector>\n"
+      "#include \"core/solver.hpp\"\n";
+  const auto findings = lint_source(config, "src/core/solver.cpp", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hygiene-include-order");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(Rules, IncludeOrderNoAngleAfterQuotedBlock) {
+  const auto config = engine_config();
+  const std::string source =
+      "#include \"core/solver.hpp\"\n"
+      "\n"
+      "#include \"common/assert.hpp\"\n"
+      "#include <vector>\n";
+  const auto findings = lint_source(config, "src/core/solver.cpp", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(Rules, IncludeOrderAcceptsSubjectThenAngleThenQuoted) {
+  const auto config = engine_config();
+  const std::string source =
+      "#include \"core/solver.hpp\"\n"
+      "\n"
+      "#include <cmath>\n"
+      "#include <vector>\n"
+      "\n"
+      "#include \"common/assert.hpp\"\n";
+  EXPECT_TRUE(lint_source(config, "src/core/solver.cpp", source).empty());
+}
+
+TEST(Rules, UsingNamespaceFlaggedInHeaderNotSource) {
+  const auto config = engine_config();
+  const std::string source = "#pragma once\nusing namespace std;\n";
+  const auto findings = lint_source(config, "src/core/h.hpp", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hygiene-using-namespace");
+  EXPECT_EQ(findings[0].line, 2);
+
+  EXPECT_TRUE(
+      lint_source(config, "src/core/h.cpp", "using namespace std;\n").empty());
+}
+
+// ---- suppressions --------------------------------------------------------
+
+TEST(Suppressions, SameLineAllowSilencesNamedRule) {
+  const auto config = engine_config();
+  const std::string source =
+      "std::random_device rd;  // plos-lint: allow(determinism-rng)\n";
+  EXPECT_TRUE(lint_source(config, "src/core/a.cpp", source).empty());
+}
+
+TEST(Suppressions, PrecedingLineAllowSilencesNextLine) {
+  const auto config = engine_config();
+  const std::string source =
+      "// plos-lint: allow(determinism-rng)\n"
+      "std::random_device rd;\n";
+  EXPECT_TRUE(lint_source(config, "src/core/a.cpp", source).empty());
+}
+
+TEST(Suppressions, AllowListCoversMultipleRules) {
+  const auto config = engine_config();
+  const std::string source =
+      "// plos-lint: allow(determinism-rng, numeric-float-eq)\n"
+      "bool b = (x == 1.5); std::random_device rd;\n";
+  EXPECT_TRUE(lint_source(config, "src/core/a.cpp", source).empty());
+}
+
+TEST(Suppressions, AllowFileSilencesWholeFileForThatRuleOnly) {
+  const auto config = engine_config();
+  const std::string source =
+      "// plos-lint: allow-file(determinism-rng)\n"
+      "std::random_device a;\n"
+      "int pad;\n"
+      "std::random_device b;\n"
+      "bool c = x == 2.5;\n";
+  const auto findings = lint_source(config, "src/core/a.cpp", source);
+  // Both RNG hits suppressed; the float-eq on line 5 still fires.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "numeric-float-eq");
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(Suppressions, WrongRuleNameDoesNotSuppress) {
+  const auto config = engine_config();
+  const std::string source =
+      "std::random_device rd;  // plos-lint: allow(numeric-float-eq)\n";
+  EXPECT_EQ(lint_source(config, "src/core/a.cpp", source).size(), 1u);
+}
+
+// ---- include-graph privacy rule ------------------------------------------
+
+TEST(PrivacyRule, FlagsDirectDataInclude) {
+  const auto config = engine_config();
+  const auto findings = lint_source(config, "src/net/wire.cpp",
+                                    "#include \"data/dataset.hpp\"\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "privacy-raw-data");
+  EXPECT_NE(findings[0].message.find("data/dataset.hpp"), std::string::npos);
+}
+
+TEST(PrivacyRule, FollowsTransitiveIncludeChain) {
+  const auto config = engine_config();
+  FileSet project;
+  project["src/net/wire.cpp"] = "#include \"sensing/window.hpp\"\n";
+  project["src/sensing/window.hpp"] =
+      "#pragma once\n#include \"data/dataset.hpp\"\n";
+  project["src/data/dataset.hpp"] = "#pragma once\n";
+  const auto findings = lint_files(config, project);
+  ASSERT_GE(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "privacy-raw-data");
+  EXPECT_EQ(findings[0].file, "src/net/wire.cpp");
+}
+
+TEST(PrivacyRule, CleanNetFileWithProjectIncludesPasses) {
+  const auto config = engine_config();
+  FileSet project;
+  project["src/net/wire.cpp"] = "#include \"common/assert.hpp\"\n";
+  project["src/common/assert.hpp"] = "#pragma once\n#include <string>\n";
+  EXPECT_TRUE(lint_files(config, project).empty());
+}
+
+TEST(PrivacyRule, DoesNotApplyOutsideNetLayer) {
+  const auto config = engine_config();
+  // The device-side solver legitimately sees the dataset.
+  EXPECT_TRUE(lint_source(config, "src/core/distributed.cpp",
+                          "#include \"data/dataset.hpp\"\n")
+                  .empty());
+}
+
+// ---- reporting & ordering ------------------------------------------------
+
+TEST(Reporting, FormatFindingsUsesCompilerStyle) {
+  const std::vector<Finding> findings{
+      {"determinism-rng", "src/core/a.cpp", 7, "no entropy in solvers"}};
+  EXPECT_EQ(format_findings(findings),
+            "src/core/a.cpp:7: error: [determinism-rng] no entropy in "
+            "solvers\n");
+}
+
+TEST(Reporting, LintFilesOrdersFindingsByFileThenLine) {
+  const auto config = engine_config();
+  FileSet project;
+  project["src/core/b.cpp"] = "std::random_device rd;\n";
+  project["src/core/a.cpp"] = "int x;\nstd::random_device rd;\n";
+  const auto findings = lint_files(config, project);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "src/core/a.cpp");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].file, "src/core/b.cpp");
+}
+
+// ---- shipped config, self-test, and the real tree ------------------------
+
+TEST(ShippedConfig, ParsesAndCoversTheDeterminismCatalog) {
+  const std::string text =
+      read_file(std::string(PLOS_REPO_DIR) + "/tools/lint_rules.json");
+  ASSERT_FALSE(text.empty());
+  std::string error;
+  const auto config = parse_config(text, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  const auto names = [&] {
+    std::vector<std::string> out;
+    for (const Rule& r : config->rules) out.push_back(r.name);
+    return out;
+  }();
+  for (const char* required :
+       {"determinism-rng", "determinism-clock", "determinism-unordered",
+        "determinism-build-stamp", "numeric-no-float", "numeric-float-eq",
+        "numeric-c-abs", "privacy-raw-data", "io-iostream",
+        "hygiene-pragma-once", "hygiene-include-order",
+        "hygiene-using-namespace"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << "missing rule " << required;
+  }
+}
+
+TEST(SelfTest, AllEmbeddedFixturesPassAndReportNamesLocations) {
+  const std::string text =
+      read_file(std::string(PLOS_REPO_DIR) + "/tools/lint_rules.json");
+  const auto config = parse_config(text);
+  ASSERT_TRUE(config.has_value());
+  const SelfTestResult result = self_test(*config);
+  EXPECT_TRUE(result.ok) << result.report;
+  // Rejections are reported with the rule name and a file:line location.
+  EXPECT_NE(result.report.find("[determinism-rng]"), std::string::npos);
+  EXPECT_NE(result.report.find("src/core/bad_rng.cpp:3"), std::string::npos)
+      << result.report;
+  EXPECT_NE(result.report.find("all fixtures passed"), std::string::npos);
+}
+
+TEST(Cli, HelpAndListRulesExitZero) {
+  std::string out;
+  EXPECT_EQ(run_cli({"--help"}, out), 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+
+  out.clear();
+  EXPECT_EQ(run_cli({"--root", PLOS_REPO_DIR, "--list-rules"}, out), 0);
+  EXPECT_NE(out.find("determinism-rng"), std::string::npos);
+}
+
+TEST(Cli, UsageErrorsExitTwo) {
+  std::string out;
+  EXPECT_EQ(run_cli({"--frobnicate"}, out), 2);
+  EXPECT_NE(out.find("unknown flag"), std::string::npos);
+
+  out.clear();
+  EXPECT_EQ(run_cli({"--rules"}, out), 2);
+
+  out.clear();
+  EXPECT_EQ(run_cli({"--rules", "/nonexistent/lint_rules.json"}, out), 2);
+  EXPECT_NE(out.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, SelfTestExitsZeroWithShippedRules) {
+  std::string out;
+  EXPECT_EQ(run_cli({"--root", PLOS_REPO_DIR, "--self-test"}, out), 0);
+  EXPECT_NE(out.find("all fixtures passed"), std::string::npos);
+}
+
+TEST(Cli, RealTreeLintsClean) {
+  // The acceptance gate: plos_lint over the actual repository exits 0.
+  std::string out;
+  EXPECT_EQ(run_cli({"--root", PLOS_REPO_DIR}, out), 0) << out;
+  EXPECT_NE(out.find("0 finding(s)"), std::string::npos) << out;
+}
+
+TEST(Cli, FindingsInAScannedTreeExitOne) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "plos_lint_cli_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "core");
+  fs::create_directories(root / "tools");
+  {
+    std::ofstream rules(root / "tools" / "lint_rules.json");
+    rules << R"({"roots": ["src"], "rules": [
+      {"name": "determinism-rng", "kind": "banned-pattern",
+       "message": "no entropy in solvers",
+       "patterns": ["std::random_device"], "paths": ["src/"]}
+    ]})";
+  }
+  {
+    std::ofstream bad(root / "src" / "core" / "bad.cpp");
+    bad << "std::random_device rd;\n";
+  }
+  std::string out;
+  EXPECT_EQ(run_cli({"--root", root.string()}, out), 1);
+  EXPECT_NE(out.find("[determinism-rng]"), std::string::npos);
+  EXPECT_NE(out.find("src/core/bad.cpp:1"), std::string::npos);
+
+  // A positional prefix filter that excludes the bad file scans clean.
+  out.clear();
+  EXPECT_EQ(run_cli({"--root", root.string(), "src/other/"}, out), 0);
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace plos::lint

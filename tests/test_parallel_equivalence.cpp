@@ -221,8 +221,8 @@ TEST_P(SerialEquivalence, BaselinesHar) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, SerialEquivalence,
                          ::testing::Values(1, 2, 4, 8),
-                         [](const auto& info) {
-                           return "threads" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "threads" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -1,0 +1,23 @@
+// plos_lint CLI: determinism-invariant static analyzer over the PLOS tree.
+//
+//   plos_lint                     lint src/ tools/ bench/ tests/ from the
+//                                 repo root (override with --root)
+//   plos_lint src/core            lint only paths under a prefix
+//   plos_lint --self-test         run the engine against embedded fixtures
+//   plos_lint --list-rules        print the active rule catalog
+//
+// Exit codes: 0 clean, 1 findings / self-test failure, 2 usage or config
+// error. All logic lives in src/lint so tests drive it in-process.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string out;
+  const int code = plos::lint::run_cli(args, out);
+  std::fwrite(out.data(), 1, out.size(), code == 0 ? stdout : stderr);
+  return code;
+}
