@@ -50,7 +50,7 @@ void BM_TrainPlosNoUnlabeledTerm(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainPlosNoUnlabeledTerm)
     ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+    ->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

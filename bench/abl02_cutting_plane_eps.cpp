@@ -58,7 +58,7 @@ void BM_TrainPlosTightEpsilon(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainPlosTightEpsilon)
     ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+    ->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

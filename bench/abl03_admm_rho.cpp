@@ -61,7 +61,7 @@ void BM_DistributedPlosRho1(benchmark::State& state) {
 }
 BENCHMARK(BM_DistributedPlosRho1)
     ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+    ->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

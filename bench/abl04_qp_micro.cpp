@@ -42,7 +42,12 @@ void BM_Projection(benchmark::State& state) {
     benchmark::DoNotOptimize(x);
   }
 }
-BENCHMARK(BM_Projection)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_Projection)
+    ->Arg(16)
+    ->Arg(128)
+    ->Arg(1024)
+    ->Arg(8192)
+    ->Apply(bench::bench_time_config);
 
 void BM_QpSolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -51,7 +56,12 @@ void BM_QpSolve(benchmark::State& state) {
     benchmark::DoNotOptimize(qp::solve_capped_simplex_qp(p));
   }
 }
-BENCHMARK(BM_QpSolve)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QpSolve)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond)
+    ->Apply(bench::bench_time_config);
 
 void BM_QpSolveWarmStarted(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -67,7 +77,8 @@ BENCHMARK(BM_QpSolveWarmStarted)
     ->Arg(16)
     ->Arg(64)
     ->Arg(256)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)
+    ->Apply(bench::bench_time_config);
 
 // Thread scaling of one full centralized CCCP run on a 20-user population.
 // The per-user separation oracle and Hessian row assembly dominate, so
@@ -93,8 +104,100 @@ BENCHMARK(BM_CentralizedCccpThreads)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)
+    ->Apply(bench::bench_time_config);
+
+// PLOS_BENCH_JSON mode: emit BENCH_abl04_qp_micro.json (QP micro-kernels)
+// and BENCH_cccp_threads.json (the BM_CentralizedCccpThreads scaling
+// sweep). Every counter is exact; in the cccp_threads suite the four
+// thread-count cases must agree counter-for-counter — serial-equivalent
+// parallelism is itself part of what the baseline gates.
+void emit_bench_json() {
+  bench::BenchSuite micro;
+  micro.name = "abl04_qp_micro";
+  {
+    const std::size_t n = 8192;
+    rng::Engine engine(n);
+    const linalg::Vector base = engine.gaussian_vector(n, 0.5, 1.0);
+    linalg::Vector projected = base;
+    bench::BenchCase bench_case;
+    bench_case.stats = bench::run_timed([&] {
+      projected = base;
+      qp::project_capped_simplex(projected, 1.0);
+    });
+    std::size_t nonzeros = 0;
+    for (std::size_t i = 0; i < projected.size(); ++i) {
+      if (projected[i] != 0.0) ++nonzeros;
+    }
+    bench_case.counters["n"] = static_cast<double>(n);
+    bench_case.counters["nonzeros"] = static_cast<double>(nonzeros);
+    micro.cases["projection_n8192"] = bench_case;
+  }
+  {
+    const std::size_t n = 256;
+    const auto problem = random_problem(n, n / 16, n);
+    qp::QpResult result;
+    bench::BenchCase bench_case;
+    bench_case.stats = bench::run_timed(
+        [&] { result = qp::solve_capped_simplex_qp(problem); });
+    bench_case.counters["n"] = static_cast<double>(n);
+    bench_case.counters["iterations"] = static_cast<double>(result.iterations);
+    micro.cases["qp_solve_n256"] = bench_case;
+
+    qp::QpOptions warm_options;
+    warm_options.warm_start = result.solution;
+    qp::QpResult warm_result;
+    bench::BenchCase warm_case;
+    warm_case.stats = bench::run_timed([&] {
+      warm_result = qp::solve_capped_simplex_qp(problem, warm_options);
+    });
+    warm_case.counters["n"] = static_cast<double>(n);
+    warm_case.counters["iterations"] =
+        static_cast<double>(warm_result.iterations);
+    micro.cases["qp_solve_warm_n256"] = warm_case;
+  }
+  bench::write_bench_suite(micro);
+
+  bench::BenchSuite scaling;
+  scaling.name = "cccp_threads";
+  data::SyntheticSpec spec;
+  spec.num_users = 20;
+  spec.points_per_class = 30;
+  spec.max_rotation = 1.2;
+  rng::Engine engine(404);
+  auto dataset = data::generate_synthetic(spec, engine);
+  data::reveal_labels(dataset, {0, 4, 8, 12, 16}, 0.3, engine);
+  for (const int threads : {1, 2, 4, 8}) {
+    auto options = bench::bench_plos_options();
+    options.cccp.max_iterations = 2;
+    options.num_threads = threads;
+    core::PlosDiagnostics diagnostics;
+    bench::BenchCase bench_case;
+    bench_case.stats = bench::run_timed([&] {
+      diagnostics =
+          core::train_centralized_plos(dataset, options).diagnostics;
+    });
+    bench_case.counters["cccp_rounds"] =
+        static_cast<double>(diagnostics.cccp_iterations);
+    bench_case.counters["qp_solves"] =
+        static_cast<double>(diagnostics.qp_solves);
+    bench_case.counters["constraints"] =
+        static_cast<double>(diagnostics.final_constraint_count);
+    scaling.cases["threads_" + std::to_string(threads)] = bench_case;
+  }
+  bench::write_bench_suite(scaling);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (bench::bench_json_enabled()) {
+    emit_bench_json();
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

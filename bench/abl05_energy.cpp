@@ -78,7 +78,7 @@ void BM_DistributedPlosEnergyRun(benchmark::State& state) {
 }
 BENCHMARK(BM_DistributedPlosEnergyRun)
     ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+    ->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

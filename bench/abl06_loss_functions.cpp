@@ -65,7 +65,7 @@ void BM_TrainLogisticPlos(benchmark::State& state) {
     benchmark::DoNotOptimize(core::train_logistic_plos(dataset, options));
   }
 }
-BENCHMARK(BM_TrainLogisticPlos)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_TrainLogisticPlos)->Unit(benchmark::kMillisecond)->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

@@ -66,7 +66,7 @@ void BM_AsyncDistributedHalfParticipation(benchmark::State& state) {
 }
 BENCHMARK(BM_AsyncDistributedHalfParticipation)
     ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+    ->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

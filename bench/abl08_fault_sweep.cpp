@@ -106,7 +106,7 @@ void BM_DistributedPlosThirtyPercentDrop(benchmark::State& state) {
 }
 BENCHMARK(BM_DistributedPlosThirtyPercentDrop)
     ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+    ->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

@@ -1,8 +1,13 @@
 #include "bench_support.hpp"
 
+#include <algorithm>
+#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "rng/engine.hpp"
@@ -79,6 +84,139 @@ int bench_num_threads() {
     return parsed >= 0 ? parsed : 1;
   }();
   return threads;
+}
+
+int bench_reps() {
+  static const int reps = [] {
+    const char* text = std::getenv("PLOS_BENCH_REPS");
+    if (text == nullptr) return 1;
+    return std::max(1, std::atoi(text));
+  }();
+  return reps;
+}
+
+int bench_warmup() {
+  static const int warmup = [] {
+    const char* text = std::getenv("PLOS_BENCH_WARMUP");
+    if (text == nullptr) return 0;
+    return std::max(0, std::atoi(text));
+  }();
+  return warmup;
+}
+
+void bench_time_config(benchmark::internal::Benchmark* bench) {
+  const int warmup = bench_warmup();
+  if (warmup > 0) {
+    // google-benchmark rejects MinWarmUpTime on a benchmark with an exact
+    // Iterations() count, so a warm-up request switches the registration
+    // to time-based mode (gbench then auto-scales the measured
+    // iterations). Exact warm-up semantics are run_timed()'s job.
+    bench->MinWarmUpTime(0.25 * warmup);
+    return;
+  }
+  bench->Iterations(bench_reps());
+}
+
+namespace {
+
+double median_of_sorted(const std::vector<double>& sorted) {
+  const std::size_t n = sorted.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? sorted[n / 2]
+                    : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+}  // namespace
+
+TimedStats run_timed(const std::function<void()>& body) {
+  TimedStats stats;
+  stats.reps = bench_reps();
+  stats.warmup = bench_warmup();
+  for (int i = 0; i < stats.warmup; ++i) body();
+  std::vector<double> samples_ms;
+  samples_ms.reserve(static_cast<std::size_t>(stats.reps));
+  for (int i = 0; i < stats.reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto stop = std::chrono::steady_clock::now();
+    samples_ms.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  std::sort(samples_ms.begin(), samples_ms.end());
+  stats.min_ms = samples_ms.front();
+  stats.median_ms = median_of_sorted(samples_ms);
+  std::vector<double> deviations_ms;
+  deviations_ms.reserve(samples_ms.size());
+  for (double sample : samples_ms) {
+    deviations_ms.push_back(std::abs(sample - stats.median_ms));
+  }
+  std::sort(deviations_ms.begin(), deviations_ms.end());
+  stats.mad_ms = median_of_sorted(deviations_ms);
+  return stats;
+}
+
+std::string bench_suite_to_json(const BenchSuite& suite) {
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(suite.schema_version);
+  out += ",\"name\":";
+  out += obs::json::escape(suite.name);  // escape() adds the quotes
+  out += ",\"cases\":{";
+  bool first_case = true;
+  for (const auto& [case_name, bench_case] : suite.cases) {
+    if (!first_case) out += ',';
+    first_case = false;
+    out += obs::json::escape(case_name);
+    out += ":{\"counters\":{";
+    bool first_counter = true;
+    for (const auto& [counter, value] : bench_case.counters) {
+      if (!first_counter) out += ',';
+      first_counter = false;
+      out += obs::json::escape(counter);
+      out += ':';
+      out += obs::json::number(value);
+    }
+    out += "},\"timing\":{\"reps\":";
+    out += std::to_string(bench_case.stats.reps);
+    out += ",\"warmup\":";
+    out += std::to_string(bench_case.stats.warmup);
+    out += ",\"median_ms\":";
+    out += obs::json::number(bench_case.stats.median_ms);
+    out += ",\"mad_ms\":";
+    out += obs::json::number(bench_case.stats.mad_ms);
+    out += ",\"min_ms\":";
+    out += obs::json::number(bench_case.stats.min_ms);
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+const char* bench_json_dir() {
+  static const char* dir = std::getenv("PLOS_BENCH_JSON");
+  return dir;
+}
+
+}  // namespace
+
+bool bench_json_enabled() { return bench_json_dir() != nullptr; }
+
+bool write_bench_suite(const BenchSuite& suite) {
+  if (!bench_json_enabled()) return false;
+  const std::string path =
+      std::string(bench_json_dir()) + "/BENCH_" + suite.name + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = bench_suite_to_json(suite);
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), file) == json.size() &&
+      std::fputc('\n', file) != EOF;
+  std::printf("wrote %s\n", path.c_str());
+  return std::fclose(file) == 0 && ok;
 }
 
 bool bench_metrics_enabled() { return bench_metrics_path() != nullptr; }

@@ -6,6 +6,8 @@
 // representative configuration.
 #pragma once
 
+#include <functional>
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,6 +21,10 @@
 #include "data/synthetic.hpp"
 #include "sensing/body_sensor.hpp"
 #include "sensing/har.hpp"
+
+namespace benchmark::internal {
+class Benchmark;  // keep <benchmark/benchmark.h> out of this header
+}
 
 namespace plos::bench {
 
@@ -94,6 +100,70 @@ bool bench_manifest_enabled();
 /// True when the PLOS_BENCH_METRICS environment variable names an output
 /// file; benches then record solver-internal metrics per phase.
 bool bench_metrics_enabled();
+
+// ---- standardized timed runner & BENCH_*.json baselines ------------------
+
+/// Timed repetitions for bench hot sections, from the PLOS_BENCH_REPS
+/// environment variable (default 1, minimum 1).
+int bench_reps();
+
+/// Untimed warm-up runs before the timed repetitions, from
+/// PLOS_BENCH_WARMUP (default 0).
+int bench_warmup();
+
+/// Applies the env knobs to a google-benchmark registration (replacing the
+/// previously hard-coded ->Iterations(1)): exactly bench_reps() iterations
+/// or — because google-benchmark forbids combining an exact iteration
+/// count with a warm-up phase — time-based mode with ~0.25 s of warm-up
+/// per requested warm-up iteration when PLOS_BENCH_WARMUP > 0. Exact
+/// warm-up/rep semantics live in run_timed(), which the BENCH_*.json
+/// emission path uses.
+void bench_time_config(benchmark::internal::Benchmark* bench);
+
+/// Wall-time statistics over bench_reps() timed runs of a body after
+/// bench_warmup() untimed runs. Median/MAD are robust to scheduler noise;
+/// min approximates the noise-free cost.
+struct TimedStats {
+  int reps = 1;
+  int warmup = 0;
+  double median_ms = 0.0;
+  double mad_ms = 0.0;  ///< median absolute deviation from the median
+  double min_ms = 0.0;
+};
+
+/// Runs body bench_warmup() times untimed, then bench_reps() times timed.
+TimedStats run_timed(const std::function<void()>& body);
+
+/// One named bench case: exact deterministic counters (compared exactly
+/// by `plos_inspect bench-check`) plus wall-time stats (compared with a
+/// relative tolerance, or ignored by `bench-diff`).
+struct BenchCase {
+  std::map<std::string, double> counters;
+  TimedStats stats;
+};
+
+/// An in-memory BENCH_<name>.json document.
+struct BenchSuite {
+  std::string name;
+  int schema_version = 1;
+  std::map<std::string, BenchCase> cases;
+};
+
+/// Renders the schema-versioned baseline JSON:
+/// {"schema_version":1,"name":…,
+///  "cases":{case:{"counters":{…},
+///                 "timing":{"reps","warmup","median_ms","mad_ms",
+///                           "min_ms"}},…}}
+std::string bench_suite_to_json(const BenchSuite& suite);
+
+/// True when the PLOS_BENCH_JSON environment variable names an output
+/// directory; benches with a JSON mode then skip their figure tables and
+/// google-benchmark phase and emit machine-readable baselines instead.
+bool bench_json_enabled();
+
+/// Writes <PLOS_BENCH_JSON>/BENCH_<suite.name>.json; false when disabled
+/// or on I/O failure.
+bool write_bench_suite(const BenchSuite& suite);
 
 /// RAII phase scope. When bench_metrics_enabled(), construction enables the
 /// global metrics registry and zeroes its values; destruction appends one

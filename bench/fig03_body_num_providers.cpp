@@ -46,7 +46,7 @@ void BM_TrainPlosBodySensor(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainPlosBodySensor)
     ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+    ->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

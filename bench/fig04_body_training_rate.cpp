@@ -45,7 +45,7 @@ void BM_TrainPlosBodySensorRich(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainPlosBodySensorRich)
     ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+    ->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

@@ -42,7 +42,7 @@ void BM_TrainPlosHar(benchmark::State& state) {
         core::train_centralized_plos(dataset, bench::bench_plos_options()));
   }
 }
-BENCHMARK(BM_TrainPlosHar)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_TrainPlosHar)->Unit(benchmark::kMillisecond)->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

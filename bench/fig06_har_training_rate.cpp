@@ -42,7 +42,7 @@ void BM_TrainPlosHarRich(benchmark::State& state) {
         core::train_centralized_plos(dataset, bench::bench_plos_options()));
   }
 }
-BENCHMARK(BM_TrainPlosHarRich)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_TrainPlosHarRich)->Unit(benchmark::kMillisecond)->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

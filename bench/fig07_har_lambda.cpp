@@ -48,7 +48,7 @@ void BM_TrainPlosLambda100(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainPlosLambda100)
     ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+    ->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

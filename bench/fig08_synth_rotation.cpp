@@ -59,7 +59,7 @@ void BM_TrainPlosRotated(benchmark::State& state) {
         core::train_centralized_plos(dataset, bench::bench_plos_options()));
   }
 }
-BENCHMARK(BM_TrainPlosRotated)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_TrainPlosRotated)->Unit(benchmark::kMillisecond)->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

@@ -55,7 +55,7 @@ void BM_TrainPlosFiveProviders(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainPlosFiveProviders)
     ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+    ->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

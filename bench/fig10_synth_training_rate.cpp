@@ -52,7 +52,7 @@ void BM_TrainPlosMidRate(benchmark::State& state) {
         core::train_centralized_plos(dataset, bench::bench_plos_options()));
   }
 }
-BENCHMARK(BM_TrainPlosMidRate)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_TrainPlosMidRate)->Unit(benchmark::kMillisecond)->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

@@ -71,7 +71,7 @@ void BM_DistributedPlos40Users(benchmark::State& state) {
 }
 BENCHMARK(BM_DistributedPlos40Users)
     ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+    ->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

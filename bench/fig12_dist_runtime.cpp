@@ -84,11 +84,63 @@ void BM_CentralizedPlos60Users(benchmark::State& state) {
 }
 BENCHMARK(BM_CentralizedPlos60Users)
     ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+    ->Apply(bench::bench_time_config);
+
+// PLOS_BENCH_JSON mode: emit BENCH_fig12_dist_runtime.json instead of the
+// figure table. The counters are exact solver/ledger outputs (thread-count
+// and machine independent); only "timing" moves between hosts.
+void emit_bench_json() {
+  bench::BenchSuite suite;
+  suite.name = "fig12_dist_runtime";
+  {
+    const auto dataset = make_dataset(60, 60);
+    core::PlosDiagnostics diagnostics;
+    bench::BenchCase bench_case;
+    bench_case.stats = bench::run_timed([&] {
+      diagnostics =
+          core::train_centralized_plos(dataset, lean_centralized())
+              .diagnostics;
+    });
+    bench_case.counters["cccp_rounds"] =
+        static_cast<double>(diagnostics.cccp_iterations);
+    bench_case.counters["qp_solves"] =
+        static_cast<double>(diagnostics.qp_solves);
+    bench_case.counters["constraints"] =
+        static_cast<double>(diagnostics.final_constraint_count);
+    suite.cases["centralized_60users"] = bench_case;
+  }
+  {
+    const auto dataset = make_dataset(40, 40);
+    core::DistributedPlosDiagnostics diagnostics;
+    net::SimNetwork::TrafficSnapshot traffic;
+    bench::BenchCase bench_case;
+    bench_case.stats = bench::run_timed([&] {
+      net::SimNetwork network = make_network(40);
+      diagnostics =
+          core::train_distributed_plos(dataset, lean_distributed(), &network)
+              .diagnostics;
+      traffic = network.traffic_snapshot();
+    });
+    bench_case.counters["cccp_rounds"] =
+        static_cast<double>(diagnostics.cccp_iterations);
+    bench_case.counters["admm_iterations"] =
+        static_cast<double>(diagnostics.admm_iterations_total);
+    bench_case.counters["qp_solves"] =
+        static_cast<double>(diagnostics.qp_solves);
+    bench_case.counters["bytes"] = static_cast<double>(
+        traffic.bytes_to_devices + traffic.bytes_to_server);
+    suite.cases["distributed_40users"] = bench_case;
+  }
+  bench::write_bench_suite(suite);
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (bench::bench_json_enabled()) {
+    emit_bench_json();
+    return 0;
+  }
   print_figure();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

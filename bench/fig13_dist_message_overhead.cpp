@@ -62,7 +62,7 @@ void BM_DistributedPlosMessageAccounting(benchmark::State& state) {
 }
 BENCHMARK(BM_DistributedPlosMessageAccounting)
     ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+    ->Apply(plos::bench::bench_time_config);
 
 }  // namespace
 

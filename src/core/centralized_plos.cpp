@@ -212,18 +212,21 @@ CentralizedPlosResult train_centralized_plos(
     // the loop parallelizes with no cross-user state.
     std::vector<std::vector<int>> signs(num_users);
     std::vector<linalg::Vector> weights(num_users);
-    pool.parallel_for(num_users, [&](std::size_t t) {
-      weights[t] = result.model.user_weights(t);
-      if (cccp == 0 && options.cluster_sign_initialization &&
-          contexts[t].labeled.empty()) {
-        signs[t] = cluster_initial_signs(
-            contexts[t], weights[t],
-            options.params.lambda / static_cast<double>(num_users),
-            options.params.cl, options.params.cu, options.seed + t);
-      } else {
-        signs[t] = cccp_signs(contexts[t], weights[t]);
-      }
-    });
+    {
+      PLOS_SPAN("plos.sign_fit");
+      pool.parallel_for(num_users, [&](std::size_t t) {
+        weights[t] = result.model.user_weights(t);
+        if (cccp == 0 && options.cluster_sign_initialization &&
+            contexts[t].labeled.empty()) {
+          signs[t] = cluster_initial_signs(
+              contexts[t], weights[t],
+              options.params.lambda / static_cast<double>(num_users),
+              options.params.cl, options.params.cu, options.seed + t);
+        } else {
+          signs[t] = cccp_signs(contexts[t], weights[t]);
+        }
+      });
+    }
 
     // Fresh working sets per convex subproblem (Algorithm 1, step 3). The
     // initialization model above only fixes the CCCP signs; the convex
@@ -248,21 +251,24 @@ CentralizedPlosResult train_centralized_plos(
       // embarrassingly parallel — a user's plane, s_kt statistics, and
       // slack depend only on their own working set and weights, never on
       // constraints other users add within the same iteration.
-      pool.parallel_for(num_users, [&](std::size_t t) {
-        violated[t] = 0;
-        if (contexts[t].num_samples() == 0) return;
-        CuttingPlane plane =
-            most_violated_constraint(contexts[t], signs[t], weights[t],
-                                     options.params.cl, options.params.cu);
-        std::vector<CuttingPlane> scratch;
-        const double xi = optimal_slack(*dual.user_planes(t, scratch),
-                                        weights[t]);
-        if (constraint_violation(plane, weights[t], xi) >
-            options.cutting_plane.epsilon) {
-          separated[t] = std::move(plane);
-          violated[t] = 1;
-        }
-      });
+      {
+        PLOS_SPAN("plos.separation");
+        pool.parallel_for(num_users, [&](std::size_t t) {
+          violated[t] = 0;
+          if (contexts[t].num_samples() == 0) return;
+          CuttingPlane plane =
+              most_violated_constraint(contexts[t], signs[t], weights[t],
+                                       options.params.cl, options.params.cu);
+          std::vector<CuttingPlane> scratch;
+          const double xi = optimal_slack(*dual.user_planes(t, scratch),
+                                          weights[t]);
+          if (constraint_violation(plane, weights[t], xi) >
+              options.cutting_plane.epsilon) {
+            separated[t] = std::move(plane);
+            violated[t] = 1;
+          }
+        });
+      }
       bool added = false;
       for (std::size_t t = 0; t < num_users; ++t) {
         if (!violated[t]) continue;
@@ -271,7 +277,11 @@ CentralizedPlosResult train_centralized_plos(
       }
       if (!added) break;
 
-      round_qp_iterations += dual.solve(result.model, options.qp).iterations;
+      {
+        PLOS_SPAN("plos.dual_solve");
+        round_qp_iterations +=
+            dual.solve(result.model, options.qp).iterations;
+      }
       ++result.diagnostics.qp_solves;
       pool.parallel_for(num_users, [&](std::size_t t) {
         weights[t] = result.model.user_weights(t);

@@ -288,6 +288,7 @@ DistributedPlosResult train_distributed_impl(
   // --- bootstrap round: average of local SVMs as the initial w0 ----------
   linalg::Vector w0 = linalg::zeros(dim);
   if (options.svm_bootstrap) {
+    PLOS_SPAN("plos.bootstrap");
     // Local SVM fits run in parallel on the devices; the upload accounting
     // and the server-side average stay in ascending device order so the
     // floating-point sum matches the serial path bitwise.
@@ -499,28 +500,31 @@ DistributedPlosResult train_distributed_impl(
 
       // Server closed-form updates (Eq. 23).
       Stopwatch server_watch;
-      linalg::Vector acc = linalg::zeros(dim);
-      for (std::size_t t = 0; t < num_users; ++t) {
-        linalg::axpy(1.0, w[t], acc);
-        linalg::axpy(-1.0, v[t], acc);
-        linalg::axpy(1.0, u_old[t], acc);
-      }
-      linalg::scale(acc, options.rho /
-                             (2.0 + static_cast<double>(num_users) * options.rho));
-      w0 = std::move(acc);
       double primal_sq = 0.0;
       double w_sq = 0.0, target_sq = 0.0, u_sq = 0.0;
-      for (std::size_t t = 0; t < num_users; ++t) {
-        linalg::Vector residual = linalg::sub(w[t], w0);
-        linalg::axpy(-1.0, v[t], residual);
-        // Dual variables refresh only for devices whose constraint block
-        // actually re-solved this iteration (stale blocks keep their u).
-        if (participated[t]) u[t] = linalg::add(u_old[t], residual);
-        primal_sq += linalg::squared_norm(residual);
-        w_sq += linalg::squared_norm(w[t]);
-        linalg::Vector target = linalg::add(w0, v[t]);
-        target_sq += linalg::squared_norm(target);
-        u_sq += linalg::squared_norm(u[t]);
+      {
+        PLOS_SPAN("plos.server_update");
+        linalg::Vector acc = linalg::zeros(dim);
+        for (std::size_t t = 0; t < num_users; ++t) {
+          linalg::axpy(1.0, w[t], acc);
+          linalg::axpy(-1.0, v[t], acc);
+          linalg::axpy(1.0, u_old[t], acc);
+        }
+        linalg::scale(acc, options.rho / (2.0 + static_cast<double>(num_users) *
+                                                    options.rho));
+        w0 = std::move(acc);
+        for (std::size_t t = 0; t < num_users; ++t) {
+          linalg::Vector residual = linalg::sub(w[t], w0);
+          linalg::axpy(-1.0, v[t], residual);
+          // Dual variables refresh only for devices whose constraint block
+          // actually re-solved this iteration (stale blocks keep their u).
+          if (participated[t]) u[t] = linalg::add(u_old[t], residual);
+          primal_sq += linalg::squared_norm(residual);
+          w_sq += linalg::squared_norm(w[t]);
+          linalg::Vector target = linalg::add(w0, v[t]);
+          target_sq += linalg::squared_norm(target);
+          u_sq += linalg::squared_norm(u[t]);
+        }
       }
 
       objective = linalg::squared_norm(w0);

@@ -4,6 +4,7 @@
 
 #include "net/serialize.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace plos::net {
 
@@ -118,6 +119,7 @@ SimNetwork::TransmitOutcome SimNetwork::transmit(
     std::size_t device, Direction direction,
     std::span<const std::uint8_t> frame) {
   PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
+  PLOS_SPAN("net.transmit");
   const std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t round = rounds_;
   const double multiplier = fault_.time_multiplier(round, device);

@@ -258,6 +258,177 @@ std::string convergence_report(const json::Value* manifest,
   return out;
 }
 
+// ---- bench baseline comparison -------------------------------------------
+
+namespace {
+
+const json::Object* object_field(const json::Value& value,
+                                 std::string_view key) {
+  const json::Value* field = value.find(key);
+  return field != nullptr && field->is_object() ? &field->as_object()
+                                                : nullptr;
+}
+
+double number_field(const json::Value& value, std::string_view key,
+                    double fallback) {
+  const json::Value* field = value.find(key);
+  return field != nullptr && field->is_number() ? field->as_number()
+                                                : fallback;
+}
+
+std::string string_field(const json::Value& value, std::string_view key) {
+  const json::Value* field = value.find(key);
+  return field != nullptr && field->is_string() ? field->as_string() : "";
+}
+
+std::string format_ms(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return buffer;
+}
+
+}  // namespace
+
+BenchCheckResult bench_check(const json::Value& run,
+                             const json::Value& baseline,
+                             const BenchCheckOptions& options) {
+  BenchCheckResult result;
+  const std::string run_name = string_field(run, "name");
+  const std::string baseline_name = string_field(baseline, "name");
+  if (run_name != baseline_name) {
+    result.violations.push_back("suite name mismatch: run '" + run_name +
+                                "' vs baseline '" + baseline_name + "'");
+  }
+  const double run_schema = number_field(run, "schema_version", -1.0);
+  const double baseline_schema = number_field(baseline, "schema_version", -1.0);
+  if (run_schema != baseline_schema) {
+    result.violations.push_back(
+        "schema_version mismatch: run " + json::number(run_schema) +
+        " vs baseline " + json::number(baseline_schema));
+  }
+  const json::Object* run_cases = object_field(run, "cases");
+  const json::Object* baseline_cases = object_field(baseline, "cases");
+  if (run_cases == nullptr || baseline_cases == nullptr) {
+    result.violations.push_back(std::string("missing cases object in ") +
+                                (run_cases == nullptr ? "run" : "baseline"));
+    return result;
+  }
+
+  for (const auto& [case_name, baseline_case] : *baseline_cases) {
+    const auto run_it = run_cases->find(case_name);
+    if (run_it == run_cases->end()) {
+      result.violations.push_back("case '" + case_name +
+                                  "' missing from run");
+      continue;
+    }
+    const json::Value& run_case = run_it->second;
+
+    // Counters: exact, both directions. A counter that moved, appeared,
+    // or vanished is drift; intentional changes regenerate the baseline.
+    const json::Object* baseline_counters =
+        object_field(baseline_case, "counters");
+    const json::Object* run_counters = object_field(run_case, "counters");
+    if (baseline_counters != nullptr && run_counters != nullptr) {
+      for (const auto& [counter, baseline_value] : *baseline_counters) {
+        const auto value_it = run_counters->find(counter);
+        if (value_it == run_counters->end()) {
+          result.violations.push_back("case '" + case_name + "': counter '" +
+                                      counter + "' missing from run");
+          continue;
+        }
+        ++result.counters_compared;
+        const double expected = baseline_value.is_number()
+                                    ? baseline_value.as_number()
+                                    : 0.0;
+        const double actual =
+            value_it->second.is_number() ? value_it->second.as_number() : 0.0;
+        if (actual != expected) {
+          result.violations.push_back(
+              "case '" + case_name + "': counter '" + counter + "' drifted: " +
+              json::number(actual) + " vs baseline " +
+              json::number(expected));
+        }
+      }
+      for (const auto& [counter, value] : *run_counters) {
+        if (baseline_counters->find(counter) == baseline_counters->end()) {
+          result.violations.push_back("case '" + case_name + "': counter '" +
+                                      counter + "' not in baseline");
+        }
+      }
+    } else {
+      result.violations.push_back(
+          "case '" + case_name + "': missing counters object in " +
+          (run_counters == nullptr ? "run" : "baseline"));
+    }
+
+    const json::Value* baseline_timing = baseline_case.find("timing");
+    const json::Value* run_timing = run_case.find("timing");
+    if (baseline_timing != nullptr && run_timing != nullptr) {
+      const double baseline_median =
+          number_field(*baseline_timing, "median_ms", 0.0);
+      const double run_median = number_field(*run_timing, "median_ms", 0.0);
+      if (baseline_median > 0.0 && run_median > 0.0) {
+        char note[160];
+        std::snprintf(note, sizeof(note),
+                      "case '%s': median %.3f ms vs baseline %.3f ms (%.2fx)",
+                      case_name.c_str(), run_median, baseline_median,
+                      run_median / baseline_median);
+        result.notes.push_back(note);
+        if (options.check_time_regression &&
+            run_median > baseline_median * (1.0 + options.time_tolerance)) {
+          std::snprintf(note, sizeof(note),
+                        "case '%s': wall-time regression: median %.3f ms "
+                        "exceeds baseline %.3f ms by more than %.0f%%",
+                        case_name.c_str(), run_median, baseline_median,
+                        options.time_tolerance * 100.0);
+          result.violations.push_back(note);
+        }
+      }
+    }
+  }
+  for (const auto& [case_name, run_case] : *run_cases) {
+    if (baseline_cases->find(case_name) == baseline_cases->end()) {
+      result.violations.push_back("case '" + case_name +
+                                  "' not in baseline");
+    }
+  }
+  return result;
+}
+
+std::string bench_report(const json::Value& suite) {
+  std::string out = "bench suite: " + string_field(suite, "name") +
+                    " (schema " +
+                    json::number(number_field(suite, "schema_version", 0.0)) +
+                    ")\n";
+  const json::Object* cases = object_field(suite, "cases");
+  if (cases == nullptr) {
+    out += "  (no cases)\n";
+    return out;
+  }
+  for (const auto& [case_name, bench_case] : *cases) {
+    out += "  " + case_name + "\n";
+    if (const json::Object* counters = object_field(bench_case, "counters")) {
+      out += "    counters:";
+      for (const auto& [counter, value] : *counters) {
+        out += " " + counter + "=" +
+               (value.is_number() ? json::number(value.as_number())
+                                  : value.to_json());
+      }
+      out += "\n";
+    }
+    if (const json::Value* timing = bench_case.find("timing")) {
+      out += "    timing: median " +
+             format_ms(number_field(*timing, "median_ms", 0.0)) +
+             " ms (mad " + format_ms(number_field(*timing, "mad_ms", 0.0)) +
+             ", min " + format_ms(number_field(*timing, "min_ms", 0.0)) +
+             ", reps " + json::number(number_field(*timing, "reps", 0.0)) +
+             ", warmup " + json::number(number_field(*timing, "warmup", 0.0)) +
+             ")\n";
+    }
+  }
+  return out;
+}
+
 bool read_file(const std::string& path, std::string& out) {
   out.clear();
   std::FILE* file = path == "-" ? stdin : std::fopen(path.c_str(), "rb");

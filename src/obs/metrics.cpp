@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "common/assert.hpp"
 
@@ -130,6 +131,31 @@ std::vector<std::size_t> Histogram::bucket_counts() const {
   return counts_;
 }
 
+double Histogram::quantile(double q) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (total_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double rank = q * static_cast<double>(total_);
+  std::size_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double reached = static_cast<double>(cumulative + counts_[b]);
+    if (reached >= rank) {
+      // Bucket b covers (bounds_[b-1], bounds_[b]]; min_/max_ tighten the
+      // open-ended first and overflow buckets.
+      const double lower = b == 0 ? min_ : std::max(min_, bounds_[b - 1]);
+      const double upper =
+          b < bounds_.size() ? std::min(max_, bounds_[b]) : max_;
+      const double fraction = (rank - static_cast<double>(cumulative)) /
+                              static_cast<double>(counts_[b]);
+      return std::clamp(lower + (upper - lower) * fraction, min_, max_);
+    }
+    cumulative += counts_[b];
+  }
+  return max_;
+}
+
 std::span<const double> default_iteration_buckets() {
   static constexpr std::array<double, 12> kBuckets = {
       1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000};
@@ -239,6 +265,12 @@ std::string Registry::to_json() const {
     out += json_number(histogram->min());
     out += ",\"max\":";
     out += json_number(histogram->max());
+    out += ",\"p50\":";
+    out += json_number(histogram->quantile(0.50));
+    out += ",\"p90\":";
+    out += json_number(histogram->quantile(0.90));
+    out += ",\"p99\":";
+    out += json_number(histogram->quantile(0.99));
     out += '}';
   }
   out += "}}";
@@ -309,6 +341,15 @@ std::string Registry::to_prometheus() const {
     out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
     out += metric + "_sum " + prometheus_number(histogram->sum()) + "\n";
     out += metric + "_count " + std::to_string(histogram->count()) + "\n";
+    // Prometheus histograms carry no server-side quantiles; export the
+    // bucket-interpolated summaries as companion gauges.
+    const std::pair<const char*, double> kQuantiles[] = {
+        {"_p50", 0.50}, {"_p90", 0.90}, {"_p99", 0.99}};
+    for (const auto& [suffix, q] : kQuantiles) {
+      out += "# TYPE " + metric + suffix + " gauge\n";
+      out += metric + suffix + " " +
+             prometheus_number(histogram->quantile(q)) + "\n";
+    }
   }
   return out;
 }

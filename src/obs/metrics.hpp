@@ -86,6 +86,13 @@ class Histogram {
   double sum() const;
   double min() const;
   double max() const;
+  /// Approximate quantile (q clamped to [0, 1]) reconstructed from the
+  /// bucket counts, Prometheus-style: the containing bucket is found by
+  /// cumulative rank, then the value is linearly interpolated between the
+  /// bucket's edges. The tracked min/max tighten the first and overflow
+  /// buckets and clamp the result, so q=0 → min(), q=1 → max(). Returns
+  /// 0 when the histogram is empty.
+  double quantile(double q) const;
   /// Upper bucket bounds, as fixed at creation.
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
@@ -133,16 +140,18 @@ class Registry {
   /// {"counters":{name:value,…},
   ///  "gauges":{name:{"value":v,"samples":[…]},…},
   ///  "histograms":{name:{"bounds":[…],"counts":[…],"count":n,"sum":s,
-  ///                      "min":m,"max":M},…}}
+  ///                      "min":m,"max":M,"p50":…,"p90":…,"p99":…},…}}
   /// Gauges additionally carry "dropped_samples" when their sample trace
-  /// overflowed kMaxSamples.
+  /// overflowed kMaxSamples. The p50/p90/p99 summaries are bucket-
+  /// interpolated quantiles (see Histogram::quantile).
   std::string to_json() const;
 
   /// Snapshot in the Prometheus text exposition format (version 0.0.4):
   /// counters and gauges as scalar samples, histograms as cumulative
-  /// `_bucket{le="…"}` series plus `_sum`/`_count`. Instrument names are
-  /// sanitized to [a-zA-Z0-9_:] (every other character becomes '_');
-  /// gauges with an overflowed sample trace expose an extra
+  /// `_bucket{le="…"}` series plus `_sum`/`_count` and bucket-
+  /// interpolated `<name>_p50`/`_p90`/`_p99` summary gauges. Instrument
+  /// names are sanitized to [a-zA-Z0-9_:] (every other character becomes
+  /// '_'); gauges with an overflowed sample trace expose an extra
   /// `<name>_dropped_samples` gauge.
   std::string to_prometheus() const;
 

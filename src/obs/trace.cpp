@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/profile.hpp"
+
 namespace plos::obs {
 
 namespace {
@@ -133,6 +135,10 @@ bool TraceCollector::write_chrome_json(const std::string& path) const {
 
 ScopedSpan::ScopedSpan(const char* name, const char* arg_name, double arg)
     : name_(name), arg_name_(arg_name), arg_(arg) {
+  if (Profiler::enabled()) {
+    profiled_ = true;
+    profile_span_open(name_);
+  }
   if (!TraceCollector::enabled()) return;
   active_ = true;
   depth_ = span_depth++;
@@ -140,6 +146,7 @@ ScopedSpan::ScopedSpan(const char* name, const char* arg_name, double arg)
 }
 
 ScopedSpan::~ScopedSpan() {
+  if (profiled_) profile_span_close();
   if (!active_) return;
   --span_depth;
   TraceCollector& collector = TraceCollector::instance();

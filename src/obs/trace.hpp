@@ -96,6 +96,10 @@ class ScopedSpan {
   double start_us_ = 0.0;
   int depth_ = 0;
   bool active_ = false;
+  /// Spans also feed the aggregating Profiler (obs/profile.hpp) when it
+  /// is enabled; tracked separately from active_ so enabling either
+  /// collector mid-span keeps open/close calls paired.
+  bool profiled_ = false;
 };
 
 }  // namespace plos::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/profile.hpp"
 
 namespace plos::parallel {
 
@@ -81,11 +82,18 @@ void ThreadPool::parallel_for(std::size_t n,
     }
   };
 
+  // Workers inherit the caller's profile position so spans opened inside
+  // body() nest identically at every thread count (chunk 0 runs on the
+  // caller, whose thread-local context is already correct).
+  const obs::ProfileContext profile_parent = obs::profile_context();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t k = 1; k < chunks; ++k) {
       queue_.emplace_back([&, k] {
-        run_chunk(k);
+        {
+          const obs::ProfileContextScope profile_scope(profile_parent);
+          run_chunk(k);
+        }
         // Notify under the lock: the caller cannot finish its wait (and
         // destroy done_cv) until this thread released done_mutex, which
         // makes the notify safe against caller-stack teardown.
@@ -116,8 +124,12 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     return future;
   }
   {
+    const obs::ProfileContext profile_parent = obs::profile_context();
     const std::lock_guard<std::mutex> lock(mutex_);
-    queue_.emplace_back([packaged] { (*packaged)(); });
+    queue_.emplace_back([packaged, profile_parent] {
+      const obs::ProfileContextScope profile_scope(profile_parent);
+      (*packaged)();
+    });
   }
   cv_.notify_one();
   return future;

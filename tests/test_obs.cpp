@@ -351,6 +351,51 @@ TEST(Metrics, EmptyRegistrySnapshotIsValidJson) {
   EXPECT_TRUE(is_valid_json(registry.to_json()));
 }
 
+TEST(Metrics, HistogramQuantilesInterpolateWithinBuckets) {
+  Registry registry;
+  const double bounds[] = {1.0, 2.0, 5.0, 10.0};
+  Histogram& histogram = registry.histogram("h", bounds);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);  // empty
+  for (int v = 1; v <= 10; ++v) histogram.record(static_cast<double>(v));
+  // Buckets hold {1, 1, 3, 5} values; rank-based interpolation:
+  // p50 rank 5 lands at the top of the (2, 5] bucket.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.50), 5.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.90), 9.0);
+  EXPECT_NEAR(histogram.quantile(0.99), 9.9, 1e-9);
+  // Extremes snap to the tracked min/max.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(-3.0), 1.0);  // clamped q
+  EXPECT_DOUBLE_EQ(histogram.quantile(7.0), 10.0);
+}
+
+TEST(Metrics, HistogramQuantileSingleValueIsExact) {
+  Registry registry;
+  const double bounds[] = {1.0, 2.0, 5.0, 10.0};
+  Histogram& histogram = registry.histogram("h", bounds);
+  histogram.record(7.0);
+  // min/max tighten the containing bucket to the single point.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.50), 7.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.99), 7.0);
+}
+
+TEST(Metrics, SnapshotsCarryQuantileSummaries) {
+  Registry registry;
+  const double bounds[] = {1.0, 2.0, 5.0, 10.0};
+  Histogram& histogram = registry.histogram("q.hist", bounds);
+  for (int v = 1; v <= 10; ++v) histogram.record(static_cast<double>(v));
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"p50\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p90\":9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos) << json;
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE q_hist_p50 gauge"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("q_hist_p50 5"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("q_hist_p90 9"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("q_hist_p99 "), std::string::npos) << prom;
+}
+
 // ---- trace spans ---------------------------------------------------------
 
 class TraceTest : public ::testing::Test {

@@ -14,6 +14,19 @@
 //       regression gate for CI: like diff, but with cross-build defaults
 //       (tolerance 1e-6; timing, build info, and the raw dataset content
 //       hash ignored). Exits 1 on violation, 2 on usage/IO errors.
+//
+//   plos_inspect bench-report BENCH.json
+//       human summary of one BENCH_*.json bench suite
+//
+//   plos_inspect bench-diff A.json B.json
+//       exact-counter comparison of two bench suites (wall time ignored);
+//       exits 1 on any counter drift
+//
+//   plos_inspect bench-check RUN.json --against BENCH_baseline.json
+//                [--time-tol FACTOR]
+//       CI perf gate: counters exact, median wall time allowed to exceed
+//       the baseline by at most FACTOR (default 3.0 = 4x). Exits 1 on
+//       violation.
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -41,7 +54,15 @@ void print_usage() {
       "               [--field-tol PATH=EPS]\n"
       "      gate RUN against a golden manifest (default tolerance 1e-6;\n"
       "      timing.*, build.*, dataset.content_hash ignored; exit 1 on\n"
-      "      violation)\n");
+      "      violation)\n"
+      "  plos_inspect bench-report BENCH.json\n"
+      "      print a human summary of one BENCH_*.json bench suite\n"
+      "  plos_inspect bench-diff A B\n"
+      "      compare two bench suites' exact counters (wall time ignored;\n"
+      "      exit 1 on drift)\n"
+      "  plos_inspect bench-check RUN --against BASELINE [--time-tol F]\n"
+      "      perf gate: counters exact, median wall time may exceed the\n"
+      "      baseline by at most F (default 3.0 = 4x); exit 1 on violation\n");
 }
 
 int usage_error(const char* message) {
@@ -116,6 +137,7 @@ struct CompareArgs {
   std::vector<std::string> files;
   std::string against;
   std::optional<double> tolerance;
+  std::optional<double> time_tolerance;
   std::map<std::string, double> field_tolerances;
   bool include_timing = false;
 };
@@ -140,6 +162,14 @@ std::optional<CompareArgs> parse_compare_args(int argc, char** argv, int first) 
         return std::nullopt;
       }
       args.tolerance = tol;
+    } else if (flag == "--time-tol") {
+      const char* text = value();
+      double tol = 0.0;
+      if (text == nullptr || !parse_double(text, tol) || tol < 0.0) {
+        std::fprintf(stderr, "plos_inspect: --time-tol expects a number >= 0\n");
+        return std::nullopt;
+      }
+      args.time_tolerance = tol;
     } else if (flag == "--field-tol") {
       const char* text = value();
       if (text == nullptr) return std::nullopt;
@@ -243,6 +273,59 @@ int run_check(const CompareArgs& args) {
   return 1;
 }
 
+int run_bench_report(const std::vector<std::string>& files) {
+  if (files.size() != 1) return usage_error("bench-report expects one file");
+  obs::json::Value suite;
+  if (!load_manifest(files[0], suite)) return 2;
+  const std::string report = obs::bench_report(suite);
+  std::fputs(report.c_str(), stdout);
+  return 0;
+}
+
+int run_bench_compare(const CompareArgs& args, bool check_time) {
+  std::string run_path, baseline_path;
+  if (check_time) {
+    if (args.files.size() != 1 || args.against.empty()) {
+      return usage_error("bench-check expects RUN --against BASELINE");
+    }
+    run_path = args.files[0];
+    baseline_path = args.against;
+  } else {
+    if (args.files.size() != 2) {
+      return usage_error("bench-diff expects two files");
+    }
+    run_path = args.files[0];
+    baseline_path = args.files[1];
+  }
+  obs::json::Value run, baseline;
+  if (!load_manifest(run_path, run) ||
+      !load_manifest(baseline_path, baseline)) {
+    return 2;
+  }
+  obs::BenchCheckOptions options;
+  options.check_time_regression = check_time;
+  if (args.time_tolerance) options.time_tolerance = *args.time_tolerance;
+  const obs::BenchCheckResult result =
+      obs::bench_check(run, baseline, options);
+  for (const std::string& note : result.notes) {
+    std::printf("  %s\n", note.c_str());
+  }
+  if (result.ok()) {
+    std::printf("bench %s passed: %s matches %s (%zu counter(s) exact%s)\n",
+                check_time ? "check" : "diff", run_path.c_str(),
+                baseline_path.c_str(), result.counters_compared,
+                check_time ? ", wall time within tolerance" : "");
+    return 0;
+  }
+  std::printf("bench %s FAILED: %zu violation(s) against %s:\n",
+              check_time ? "check" : "diff", result.violations.size(),
+              baseline_path.c_str());
+  for (const std::string& violation : result.violations) {
+    std::printf("  %s\n", violation.c_str());
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -263,5 +346,8 @@ int main(int argc, char** argv) {
   if (command == "report") return run_report(args->files);
   if (command == "diff") return run_diff(*args);
   if (command == "check") return run_check(*args);
+  if (command == "bench-report") return run_bench_report(args->files);
+  if (command == "bench-diff") return run_bench_compare(*args, false);
+  if (command == "bench-check") return run_bench_compare(*args, true);
   return usage_error(("unknown command '" + command + "'").c_str());
 }

@@ -34,6 +34,7 @@
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 #include "rng/engine.hpp"
@@ -71,6 +72,7 @@ struct Args {
   std::string metrics_format = "json";  // json | prom
   std::string manifest_out;  // empty = no run manifest; "-" = stdout
   std::string journal_out;   // empty = no round journal; "-" = stdout
+  std::string profile_out;   // empty = no profile tree; "-" = stdout
   std::string watchdog = "off";  // off | warn | abort
   int watchdog_stall_rounds = 0;  // 0 = stall detection disabled
 };
@@ -112,6 +114,11 @@ void print_usage() {
       "                             and final metrics ('-' = stdout)\n"
       "  --journal-out FILE         write the per-round JSONL journal of the\n"
       "                             PLOS training loop ('-' = stdout)\n"
+      "  --profile-out FILE         write the hierarchical phase-profile tree\n"
+      "                             (per-phase call counts + exact solver\n"
+      "                             counters; wall times and peak RSS live in\n"
+      "                             its quarantined \"timing\" section)\n"
+      "                             ('-' = stdout)\n"
       "  --watchdog MODE            off (default), warn, or abort: convergence\n"
       "                             watchdog over the round journal (NaN,\n"
       "                             divergence, participation collapse; abort\n"
@@ -281,6 +288,8 @@ std::optional<Args> parse(int argc, char** argv) {
       args.manifest_out = value();
     } else if (flag == "--journal-out") {
       args.journal_out = value();
+    } else if (flag == "--profile-out") {
+      args.profile_out = value();
     } else if (flag == "--watchdog") {
       args.watchdog = value();
       if (ok && args.watchdog != "off" && args.watchdog != "warn" &&
@@ -422,12 +431,16 @@ int main(int argc, char** argv) {
     obs::Logger::instance().set_sink(std::make_shared<obs::StderrSink>());
     obs::Logger::instance().set_level(*obs::parse_level(args.log_level));
   }
-  if (!args.metrics_out.empty()) {
+  if (!args.metrics_out.empty() || !args.profile_out.empty()) {
     obs::metrics().set_enabled(true);
     register_standard_instruments();
   }
   if (!args.trace_out.empty()) {
     obs::TraceCollector::instance().set_enabled(true);
+  }
+  if (!args.profile_out.empty()) {
+    obs::Profiler::instance().reset();
+    obs::Profiler::instance().set_enabled(true);
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -729,6 +742,18 @@ int main(int argc, char** argv) {
     }
     if (args.metrics_out != "-") {
       std::printf("metrics written to %s\n", args.metrics_out.c_str());
+    }
+  }
+  if (!args.profile_out.empty()) {
+    obs::ProfileJsonOptions profile_options;
+    profile_options.registry = &obs::metrics();
+    if (!obs::write_profile(args.profile_out, profile_options)) {
+      std::fprintf(stderr, "failed to write profile to %s\n",
+                   args.profile_out.c_str());
+      return 1;
+    }
+    if (args.profile_out != "-") {
+      std::printf("profile written to %s\n", args.profile_out.c_str());
     }
   }
   return 0;
