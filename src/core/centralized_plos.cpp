@@ -5,10 +5,12 @@
 #include "common/assert.hpp"
 #include "common/stopwatch.hpp"
 #include "core/cutting_plane.hpp"
+#include "core/gram_cache.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "qp/warm_store.hpp"
 #include "rng/engine.hpp"
 #include "svm/linear_svm.hpp"
 
@@ -18,33 +20,42 @@ namespace {
 
 // Dual QP state over the union of all users' working sets. Grows
 // incrementally: adding a constraint appends one variable, one Hessian
-// row/column, one linear coefficient, and one group member.
+// row/column, one linear coefficient, and one group member. Plane products
+// flow through the trainer-owned PlaneGramCache (so a plane re-derived in a
+// later CCCP round serves its Hessian border from memo) and converged duals
+// persist per user in the trainer-owned WarmStore at round boundaries.
 class DualState {
  public:
-  DualState(std::size_t num_users, double lambda)
+  DualState(std::size_t num_users, double lambda, PlaneGramCache* gram,
+            qp::WarmStore* warm)
       : lambda_over_t_(lambda / static_cast<double>(num_users)),
         cap_(static_cast<double>(num_users) / (2.0 * lambda)),
-        groups_(num_users) {}
+        groups_(num_users),
+        gram_(gram),
+        warm_(warm) {}
 
   std::size_t size() const { return planes_.size(); }
 
   void add_constraint(std::size_t user, CuttingPlane plane,
                       parallel::ThreadPool& pool) {
     const std::size_t a = planes_.size();
-    // Extend the Hessian by one row/column. Each worker owns a disjoint set
-    // of rows i (copying row i and computing the rank-1 border entries
-    // h(i,a)/h(a,i), a d-dimensional dot product each), so the assembly is
-    // race-free and bitwise independent of the thread count.
+    const std::uint32_t id = gram_->intern(plane.s);
+    // Extend the Hessian by one row/column. Row copies parallelize (each
+    // worker owns disjoint rows), but the border dots run on the calling
+    // thread: they mutate the shared Gram cache, which is single-owner by
+    // contract — and after the first CCCP round they are mostly memo hits.
     linalg::Matrix h(a + 1, a + 1);
     pool.parallel_for(a, [&](std::size_t i) {
       for (std::size_t j = 0; j < a; ++j) h(i, j) = hessian_(i, j);
-      const double d = linalg::dot(planes_[i].plane.s, plane.s);
+    });
+    for (std::size_t i = 0; i < a; ++i) {
+      const double d = gram_->dot(ids_[i], id);
       const double entry =
           (lambda_over_t_ + (planes_[i].user == user ? 1.0 : 0.0)) * d;
       h(i, a) = entry;
       h(a, i) = entry;
-    });
-    h(a, a) = (lambda_over_t_ + 1.0) * linalg::squared_norm(plane.s);
+    }
+    h(a, a) = (lambda_over_t_ + 1.0) * gram_->dot(id, id);
     // The bordered Hessian stays positive semidefinite only if the new
     // diagonal entry (a Gram self-product) is finite and non-negative.
     PLOS_DCHECK(std::isfinite(h(a, a)) && h(a, a) >= 0.0,
@@ -53,8 +64,28 @@ class DualState {
 
     linear_.push_back(plane.offset);
     groups_[user].push_back(a);
+    // New dual variables start from the γ this plane converged to the last
+    // time it was in user's working set (0 if never) instead of flat zero.
+    previous_gamma_.push_back(warm_->seed(user, id));
+    ids_.push_back(id);
     planes_.push_back({user, std::move(plane)});
     count_constraint_added();
+  }
+
+  /// Persists each user's current duals keyed by interned plane id, so the
+  /// next CCCP round's re-derived planes warm-start where they converged.
+  void persist_warm_starts() {
+    for (std::size_t t = 0; t < groups_.size(); ++t) {
+      std::vector<std::uint32_t> ids;
+      std::vector<double> gammas;
+      ids.reserve(groups_[t].size());
+      gammas.reserve(groups_[t].size());
+      for (std::size_t a : groups_[t]) {
+        ids.push_back(ids_[a]);
+        gammas.push_back(previous_gamma_[a]);
+      }
+      warm_->store(t, ids, gammas);
+    }
   }
 
   /// Solves the dual and recovers (w0, v_t) into `model`.
@@ -109,7 +140,10 @@ class DualState {
   linalg::Vector linear_;
   std::vector<std::vector<std::size_t>> groups_;
   std::vector<Entry> planes_;
+  std::vector<std::uint32_t> ids_;  ///< interned plane id per dual variable
   linalg::Vector previous_gamma_;
+  PlaneGramCache* gram_;
+  qp::WarmStore* warm_;
 };
 
 linalg::Vector initial_global_weights(const data::MultiUserDataset& dataset,
@@ -198,6 +232,12 @@ CentralizedPlosResult train_centralized_plos(
     contexts.push_back(PlosUserContext::from_user(user));
   }
 
+  // Hot-path state that outlives the per-round DualState: the Gram cache
+  // keeps every plane (and pairwise product) ever derived, and the warm
+  // store carries converged duals across CCCP rounds (DESIGN.md §13).
+  PlaneGramCache gram(options.hotpath_cache);
+  qp::WarmStore warm_store(num_users);
+
   double previous_objective = std::numeric_limits<double>::infinity();
   PersonalizedModel previous_model = result.model;
   for (int cccp = 0; cccp < options.cccp.max_iterations; ++cccp) {
@@ -218,10 +258,15 @@ CentralizedPlosResult train_centralized_plos(
         weights[t] = result.model.user_weights(t);
         if (cccp == 0 && options.cluster_sign_initialization &&
             contexts[t].labeled.empty()) {
+          // Per-user scratch cache: the sign-fitting refinements re-derive
+          // planes across their CCCP rounds, but the fits run concurrently,
+          // so they must not touch the trainer's single-owner cache.
+          PlaneGramCache sign_cache(options.hotpath_cache);
           signs[t] = cluster_initial_signs(
               contexts[t], weights[t],
               options.params.lambda / static_cast<double>(num_users),
-              options.params.cl, options.params.cu, options.seed + t);
+              options.params.cl, options.params.cu, options.seed + t,
+              &sign_cache);
         } else {
           signs[t] = cccp_signs(contexts[t], weights[t]);
         }
@@ -235,7 +280,7 @@ CentralizedPlosResult train_centralized_plos(
     // genuinely optimizes the PLOS objective instead of merely certifying
     // the init — an SVM init that happens to satisfy all margins must not
     // short-circuit training.
-    DualState dual(num_users, options.params.lambda);
+    DualState dual(num_users, options.params.lambda, &gram, &warm_store);
     for (auto& w : weights) w.assign(dim, 0.0);
     result.model = PersonalizedModel::zeros(num_users, dim);
 
@@ -288,6 +333,7 @@ CentralizedPlosResult train_centralized_plos(
       });
     }
     result.diagnostics.final_constraint_count = dual.size();
+    dual.persist_warm_starts();
 
     const double objective =
         plos_objective(dataset, result.model, options.params);

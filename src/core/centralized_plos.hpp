@@ -46,6 +46,13 @@ struct CentralizedPlosOptions {
   /// Hessian row assembly. 0 = all hardware threads, 1 = legacy serial.
   /// Results are bitwise identical for every value (see DESIGN.md §8).
   int num_threads = 1;
+  /// Master switch for the bitwise-transparent hot-path caches: Gram dot
+  /// memoization and cached Lipschitz estimates (DESIGN.md §13). Models
+  /// and journals are bitwise identical either way — the flag exists so
+  /// the equivalence suite and PLOS_NO_HOTPATH_CACHE runs can prove that.
+  /// Plane interning and cross-round QP warm starts are algorithm state
+  /// and stay on in both flavors.
+  bool hotpath_cache = true;
   /// Telemetry sinks, both optional and borrowed (caller owns, must
   /// outlive the call). The journal receives one RoundRecord per started
   /// CCCP round, appended on the aggregation thread in round order, so

@@ -36,7 +36,8 @@ LocalDeviationFit fit_local_deviation(const PlosUserContext& ctx,
                                       std::span<const double> global_weights,
                                       double lambda_over_t, double cl,
                                       double cu, double epsilon,
-                                      int max_iterations) {
+                                      int max_iterations,
+                                      PlaneGramCache* cache) {
   PLOS_CHECK(ctx.user != nullptr, "fit_local_deviation: null user");
   PLOS_CHECK(lambda_over_t > 0.0,
              "fit_local_deviation: lambda_over_t must be positive");
@@ -47,8 +48,13 @@ LocalDeviationFit fit_local_deviation(const PlosUserContext& ctx,
   fit.weights.assign(global_weights.begin(), global_weights.end());
   if (ctx.num_samples() == 0) return fit;
 
+  PlaneGramCache local_cache;
+  PlaneGramCache& gram = cache != nullptr ? *cache : local_cache;
+
   std::vector<CuttingPlane> working_set;
+  std::vector<std::uint32_t> plane_ids;
   linalg::Matrix dots;
+  linalg::Vector linear_base;  // b_i − ⟨s_i, w0⟩, fixed once a plane enters
   linalg::Vector gamma;
   linalg::Vector v = linalg::zeros(dim);
 
@@ -58,20 +64,26 @@ LocalDeviationFit fit_local_deviation(const PlosUserContext& ctx,
         most_violated_constraint(ctx, signs, fit.weights, cl, cu);
     if (constraint_violation(plane, fit.weights, xi) <= epsilon) break;
 
-    // Extend the cached ⟨s_i, s_j⟩ matrix with the new plane.
+    // Extend the ⟨s_i, s_j⟩ matrix with the new plane through the Gram
+    // cache: a bitwise re-derivation of a known plane serves its whole row
+    // from memo instead of recomputing a dot per existing plane.
     const std::size_t a = working_set.size();
+    const std::uint32_t id = gram.intern(plane.s);
     linalg::Matrix next(a + 1, a + 1);
     for (std::size_t i = 0; i < a; ++i) {
       for (std::size_t j = 0; j < a; ++j) next(i, j) = dots(i, j);
     }
     for (std::size_t i = 0; i < a; ++i) {
-      const double d = linalg::dot(working_set[i].s, plane.s);
+      const double d = gram.dot(plane_ids[i], id);
       next(i, a) = d;
       next(a, i) = d;
     }
-    next(a, a) = linalg::squared_norm(plane.s);
+    next(a, a) = gram.dot(id, id);
     dots = std::move(next);
     working_set.push_back(plane);
+    plane_ids.push_back(id);
+    linear_base.push_back(plane.offset -
+                          linalg::dot(plane.s, global_weights));
     count_constraint_added();
 
     // Dual: max Σγ(b_c − s_c·w0) − ½ κ ||Σγs||², γ ≥ 0, Σγ ≤ 1.
@@ -83,8 +95,7 @@ LocalDeviationFit fit_local_deviation(const PlosUserContext& ctx,
       for (std::size_t j = 0; j < n; ++j) {
         problem.hessian(i, j) = kappa * dots(i, j);
       }
-      problem.linear[i] = working_set[i].offset -
-                          linalg::dot(working_set[i].s, global_weights);
+      problem.linear[i] = linear_base[i];
     }
     problem.groups = {std::vector<std::size_t>(n)};
     for (std::size_t i = 0; i < n; ++i) problem.groups[0][i] = i;
@@ -120,12 +131,12 @@ namespace {
 std::pair<std::vector<int>, double> refine_signs_locally(
     const PlosUserContext& ctx, std::vector<int> signs,
     std::span<const double> global_weights, double lambda_over_t, double cl,
-    double cu) {
+    double cu, PlaneGramCache* cache) {
   double objective = 0.0;
   for (int round = 0; round < 4; ++round) {
     const LocalDeviationFit fit =
         fit_local_deviation(ctx, signs, global_weights, lambda_over_t, cl, cu,
-                            /*epsilon=*/1e-2, /*max_iterations=*/50);
+                            /*epsilon=*/1e-2, /*max_iterations=*/50, cache);
     objective = fit.objective;
     std::vector<int> next = cccp_signs(ctx, fit.weights);
     if (next == signs) break;
@@ -139,7 +150,8 @@ std::pair<std::vector<int>, double> refine_signs_locally(
 std::vector<int> cluster_initial_signs(const PlosUserContext& ctx,
                                        std::span<const double> user_weights,
                                        double lambda_over_t, double cl,
-                                       double cu, std::uint64_t seed) {
+                                       double cu, std::uint64_t seed,
+                                       PlaneGramCache* cache) {
   PLOS_CHECK(ctx.user != nullptr, "cluster_initial_signs: null user");
   PLOS_CHECK(ctx.labeled.empty(),
              "cluster_initial_signs: only for users without labels");
@@ -164,14 +176,15 @@ std::vector<int> cluster_initial_signs(const PlosUserContext& ctx,
   }
 
   auto [refined_weight_signs, weight_score] = refine_signs_locally(
-      ctx, weight_signs, user_weights, lambda_over_t, cl, cu);
+      ctx, weight_signs, user_weights, lambda_over_t, cl, cu, cache);
   const bool one_sided =
       std::all_of(cluster_signs.begin(), cluster_signs.end(),
                   [&](int s) { return s == cluster_signs.front(); });
   if (one_sided) return refined_weight_signs;
 
   auto [refined_cluster_signs, cluster_score] = refine_signs_locally(
-      ctx, std::move(cluster_signs), user_weights, lambda_over_t, cl, cu);
+      ctx, std::move(cluster_signs), user_weights, lambda_over_t, cl, cu,
+      cache);
   return cluster_score < weight_score ? std::move(refined_cluster_signs)
                                       : std::move(refined_weight_signs);
 }

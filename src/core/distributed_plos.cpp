@@ -6,11 +6,13 @@
 #include "common/assert.hpp"
 #include "common/stopwatch.hpp"
 #include "core/cutting_plane.hpp"
+#include "core/gram_cache.hpp"
 #include "net/serialize.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "qp/warm_store.hpp"
 #include "rng/engine.hpp"
 #include "svm/linear_svm.hpp"
 
@@ -67,18 +69,28 @@ enum DeviceRoundStatus : char {
 };
 
 // One simulated device: owns its raw data, CCCP signs, and the cutting-plane
-// working set of the current CCCP round.
+// working set of the current CCCP round. Hot-path state (DESIGN.md §13):
+// the device-owned Gram cache persists across CCCP rounds so re-derived
+// planes serve their Hessian border from memo; the trainer-owned WarmStore
+// slot carries converged duals across rounds; and the Lipschitz estimate of
+// the prox-QP Hessian is cached per working-set version, which is what lets
+// late ADMM iterations (unchanged working set, barely-moved prox center)
+// skip the power iteration and often the whole FISTA loop.
 class Device {
  public:
   Device(const data::UserData& user, std::size_t num_users,
-         const DistributedPlosOptions& options)
+         const DistributedPlosOptions& options, qp::WarmStore* warm,
+         std::size_t slot)
       : ctx_(PlosUserContext::from_user(user)),
         options_(&options),
         num_users_(static_cast<double>(num_users)),
         kappa_(static_cast<double>(num_users) / (2.0 * options.params.lambda) +
                1.0 / options.rho),
         v_over_g_(static_cast<double>(num_users) /
-                  (2.0 * options.params.lambda)) {}
+                  (2.0 * options.params.lambda)),
+        gram_(options.hotpath_cache),
+        warm_(warm),
+        slot_(slot) {}
 
   /// Local SVM on revealed labels for the bootstrap round; empty when the
   /// device has no labels.
@@ -99,17 +111,25 @@ class Device {
   /// reset the working set (the planes depend on the signs).
   void begin_cccp_round(std::span<const double> current_weights,
                         bool first_round, std::uint64_t seed) {
+    // Persist the round's converged duals keyed by interned plane id before
+    // resetting: planes the next round re-derives bitwise resume from them.
+    if (!plane_ids_.empty() && previous_gamma_.size() == plane_ids_.size()) {
+      warm_->store(slot_, plane_ids_, previous_gamma_);
+    }
     if (first_round && options_->cluster_sign_initialization &&
         ctx_.labeled.empty()) {
       signs_ = cluster_initial_signs(ctx_, current_weights,
                                      options_->params.lambda / num_users_,
                                      options_->params.cl, options_->params.cu,
-                                     seed);
+                                     seed, &gram_);
     } else {
       signs_ = cccp_signs(ctx_, current_weights);
     }
     working_set_.clear();
-    dots_ = linalg::Matrix();
+    plane_ids_.clear();
+    hessian_ = linalg::Matrix();
+    linear_.clear();
+    lipschitz_ = 0.0;
     previous_gamma_.clear();
   }
 
@@ -131,6 +151,15 @@ class Device {
 
     if (ctx_.num_samples() == 0) return sol;
 
+    // The prox center moved: refresh the d-dependent linear coefficients
+    // once per ADMM iteration. They are loop-invariant across the plane
+    // additions below (each addition appends only its own entry), where
+    // the old code recomputed the full set on every dual solve.
+    for (std::size_t i = 0; i < working_set_.size(); ++i) {
+      linear_[i] =
+          working_set_[i].offset - linalg::dot(working_set_[i].s, d);
+    }
+
     // The working set persists across ADMM iterations (the planes depend
     // only on the CCCP signs), but the prox center d moved — re-solve over
     // the existing set before looking for new violations.
@@ -138,13 +167,13 @@ class Device {
 
     for (int it = 0; it < options_->cutting_plane.max_iterations; ++it) {
       sol.xi = optimal_slack(working_set_, sol.w);
-      const CuttingPlane plane = most_violated_constraint(
+      CuttingPlane plane = most_violated_constraint(
           ctx_, signs_, sol.w, options_->params.cl, options_->params.cu);
       if (constraint_violation(plane, sol.w, sol.xi) <=
           options_->cutting_plane.epsilon) {
         break;
       }
-      add_plane(plane);
+      add_plane(std::move(plane), d);
       solve_dual(d, sol);
     }
     sol.xi = optimal_slack(working_set_, sol.w);
@@ -161,19 +190,29 @@ class Device {
   std::size_t working_set_size() const { return working_set_.size(); }
 
  private:
-  void add_plane(CuttingPlane plane) {
+  void add_plane(CuttingPlane plane, const linalg::Vector& d) {
     const std::size_t a = working_set_.size();
-    linalg::Matrix dots(a + 1, a + 1);
+    const std::uint32_t id = gram_.intern(plane.s);
+    // Extend the prox-QP Hessian (already scaled by κ) by one border
+    // row/column through the Gram cache: a plane re-derived from an earlier
+    // round serves its whole border from memo.
+    linalg::Matrix h(a + 1, a + 1);
     for (std::size_t i = 0; i < a; ++i) {
-      for (std::size_t j = 0; j < a; ++j) dots(i, j) = dots_(i, j);
+      for (std::size_t j = 0; j < a; ++j) h(i, j) = hessian_(i, j);
     }
     for (std::size_t i = 0; i < a; ++i) {
-      const double d = linalg::dot(working_set_[i].s, plane.s);
-      dots(i, a) = d;
-      dots(a, i) = d;
+      const double entry = kappa_ * gram_.dot(plane_ids_[i], id);
+      h(i, a) = entry;
+      h(a, i) = entry;
     }
-    dots(a, a) = linalg::squared_norm(plane.s);
-    dots_ = std::move(dots);
+    h(a, a) = kappa_ * gram_.dot(id, id);
+    hessian_ = std::move(h);
+    lipschitz_ = 0.0;  // Hessian version changed
+    linear_.push_back(plane.offset - linalg::dot(plane.s, d));
+    // The new dual variable resumes from the γ this plane converged to in
+    // the previous CCCP round (0 if it was never in the working set).
+    previous_gamma_.push_back(warm_->seed(slot_, id));
+    plane_ids_.push_back(id);
     working_set_.push_back(std::move(plane));
     count_constraint_added();
   }
@@ -181,15 +220,8 @@ class Device {
   void solve_dual(const linalg::Vector& d, LocalSolution& sol) {
     const std::size_t n = working_set_.size();
     qp::CappedSimplexQpProblem problem;
-    problem.hessian = linalg::Matrix(n, n);
-    problem.linear.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        problem.hessian(i, j) = kappa_ * dots_(i, j);
-      }
-      problem.linear[i] =
-          working_set_[i].offset - linalg::dot(working_set_[i].s, d);
-    }
+    problem.hessian = hessian_;
+    problem.linear = linear_;
     problem.groups.resize(1);
     problem.groups[0].resize(n);
     for (std::size_t i = 0; i < n; ++i) problem.groups[0][i] = i;
@@ -198,6 +230,16 @@ class Device {
     qp::QpOptions qp_options = options_->qp;
     qp_options.warm_start = previous_gamma_;
     qp_options.warm_start.resize(n, 0.0);
+    if (gram_.memoize()) {
+      // Lipschitz memo per working-set version: re-solves of an unchanged
+      // Hessian (every late ADMM iteration) skip the power iteration.
+      // Bitwise-neutral — lipschitz_estimate is a pure function of H, and
+      // checked builds re-derive and compare (see QpOptions::lipschitz).
+      if (lipschitz_ == 0.0) {
+        lipschitz_ = qp::lipschitz_estimate(problem.hessian);
+      }
+      qp_options.lipschitz = lipschitz_;
+    }
     const qp::QpResult result = qp::solve_capped_simplex_qp(problem, qp_options);
     ++qp_solves_;
     qp_iterations_ += result.iterations;
@@ -221,8 +263,14 @@ class Device {
   double v_over_g_;  ///< T/(2λ)
   std::vector<int> signs_;
   std::vector<CuttingPlane> working_set_;
-  linalg::Matrix dots_;  ///< cached pairwise ⟨s_i, s_j⟩
+  std::vector<std::uint32_t> plane_ids_;  ///< interned id per working-set slot
+  linalg::Matrix hessian_;   ///< κ ⟨s_i, s_j⟩ over the working set
+  linalg::Vector linear_;    ///< b_i − ⟨s_i, d⟩ at the current prox center
+  double lipschitz_ = 0.0;   ///< memoized λmax(hessian_); 0 = stale
   linalg::Vector previous_gamma_;
+  PlaneGramCache gram_;      ///< persists across CCCP rounds
+  qp::WarmStore* warm_;      ///< trainer-owned; this device's slot is slot_
+  std::size_t slot_;
   int qp_solves_ = 0;
   int qp_iterations_ = 0;
 };
@@ -279,10 +327,14 @@ DistributedPlosResult train_distributed_impl(
     fault = &network->fault_model();
   }
 
+  // Converged per-plane duals, one slot per device, carried across CCCP
+  // rounds. Workers only ever touch their own device's slot, so the store
+  // needs no locking under the pool's static chunking.
+  qp::WarmStore warm_store(num_users);
   std::vector<Device> devices;
   devices.reserve(num_users);
-  for (const auto& user : dataset.users) {
-    devices.emplace_back(user, num_users, options);
+  for (std::size_t t = 0; t < num_users; ++t) {
+    devices.emplace_back(dataset.users[t], num_users, options, &warm_store, t);
   }
 
   // --- bootstrap round: average of local SVMs as the initial w0 ----------

@@ -67,6 +67,10 @@ struct DistributedPlosOptions {
   /// ledgers, and traces are bitwise identical for every value; only real
   /// wall time changes (see DESIGN.md §8).
   int num_threads = 1;
+  /// See CentralizedPlosOptions::hotpath_cache: disables the Gram-dot and
+  /// Lipschitz memoization (bitwise-identical results, just slower); plane
+  /// interning and cross-round warm starts stay on in both flavors.
+  bool hotpath_cache = true;
   /// Telemetry sinks, both optional and borrowed. The journal receives
   /// one RoundRecord per ADMM iteration (objective, residuals,
   /// participation, byte/fault deltas from the simulated network),

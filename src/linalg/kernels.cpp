@@ -1,0 +1,91 @@
+#include "linalg/kernels.hpp"
+
+#include "common/assert.hpp"
+
+namespace plos::linalg::kernels {
+
+// The three reductions share one shape: 4 accumulators over stride-4
+// blocks, scalar tail appended to acc0, tree fold (acc0+acc1)+(acc2+acc3).
+// Keeping the tail on acc0 (not a fifth accumulator) makes dims 1-3 reduce
+// to the plain serial sum, so tiny vectors cost nothing extra.
+
+double blocked_dot(std::span<const double> a, std::span<const double> b) {
+  PLOS_CHECK(a.size() == b.size(), "blocked_dot: size mismatch");
+  const std::size_t n = a.size();
+  const std::size_t blocked = n - n % 4;
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  for (std::size_t i = 0; i < blocked; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (std::size_t i = blocked; i < n; ++i) acc0 += a[i] * b[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+double blocked_squared_norm(std::span<const double> a) {
+  const std::size_t n = a.size();
+  const std::size_t blocked = n - n % 4;
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  for (std::size_t i = 0; i < blocked; i += 4) {
+    acc0 += a[i] * a[i];
+    acc1 += a[i + 1] * a[i + 1];
+    acc2 += a[i + 2] * a[i + 2];
+    acc3 += a[i + 3] * a[i + 3];
+  }
+  for (std::size_t i = blocked; i < n; ++i) acc0 += a[i] * a[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+double blocked_squared_distance(std::span<const double> a,
+                                std::span<const double> b) {
+  PLOS_CHECK(a.size() == b.size(), "blocked_squared_distance: size mismatch");
+  const std::size_t n = a.size();
+  const std::size_t blocked = n - n % 4;
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  for (std::size_t i = 0; i < blocked; i += 4) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  for (std::size_t i = blocked; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc0 += d * d;
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+void blocked_axpy(double alpha, std::span<const double> x,
+                  std::span<double> y) {
+  PLOS_CHECK(x.size() == y.size(), "blocked_axpy: size mismatch");
+  const std::size_t n = x.size();
+  const std::size_t blocked = n - n % 4;
+  for (std::size_t i = 0; i < blocked; i += 4) {
+    y[i] += alpha * x[i];
+    y[i + 1] += alpha * x[i + 1];
+    y[i + 2] += alpha * x[i + 2];
+    y[i + 3] += alpha * x[i + 3];
+  }
+  for (std::size_t i = blocked; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void blocked_rank1_update(std::span<double> a, std::size_t rows,
+                          std::size_t cols, double alpha,
+                          std::span<const double> x,
+                          std::span<const double> y) {
+  PLOS_CHECK(a.size() == rows * cols, "blocked_rank1_update: buffer size");
+  PLOS_CHECK(x.size() == rows && y.size() == cols,
+             "blocked_rank1_update: vector sizes");
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double scale = alpha * x[i];
+    blocked_axpy(scale, y, a.subspan(i * cols, cols));
+  }
+}
+
+}  // namespace plos::linalg::kernels

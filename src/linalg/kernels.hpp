@@ -1,0 +1,46 @@
+// Blocked level-1 kernels with a pinned accumulation order.
+//
+// Every reduction in this file runs 4 independent accumulator chains over
+// stride-4 blocks and folds them with a fixed serial reduction tree
+// ((acc0 + acc1) + (acc2 + acc3)), then adds the scalar tail. The order is
+// part of the public contract: for identical inputs the returned doubles are
+// bitwise identical on every build, compiler, and thread count. The build
+// pins -ffp-contract=off so no compiler may fuse a*b+c into an FMA and
+// silently change the rounding (see DESIGN.md §13).
+//
+// Breaking the single serial dependency chain into 4 is also where the
+// speed comes from: each chain's add latency overlaps the others', so the
+// 120-d/561-d feature dots that dominate the cutting-plane and QP hot paths
+// run close to the FPU's throughput limit instead of its latency limit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace plos::linalg::kernels {
+
+/// Blocked inner product <a, b>. Requires a.size() == b.size().
+double blocked_dot(std::span<const double> a, std::span<const double> b);
+
+/// Blocked ||a||^2 (dot of a with itself, same accumulation order).
+double blocked_squared_norm(std::span<const double> a);
+
+/// Blocked ||a - b||^2. Requires equal sizes.
+double blocked_squared_distance(std::span<const double> a,
+                                std::span<const double> b);
+
+/// y += alpha * x, unrolled by 4. Element-wise (no cross-element
+/// accumulation), so the result is exactly the naive loop's.
+void blocked_axpy(double alpha, std::span<const double> x,
+                  std::span<double> y);
+
+/// Rank-1 update of a row-major rows x cols buffer: A += alpha * x * y^T.
+/// Requires a.size() == rows * cols, x.size() == rows, y.size() == cols.
+/// Each element receives exactly one fused-free `a + alpha*x_i*y_j`, so the
+/// result is independent of the internal unroll factor.
+void blocked_rank1_update(std::span<double> a, std::size_t rows,
+                          std::size_t cols, double alpha,
+                          std::span<const double> x,
+                          std::span<const double> y);
+
+}  // namespace plos::linalg::kernels

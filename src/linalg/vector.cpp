@@ -4,37 +4,31 @@
 #include <cstdlib>
 
 #include "common/assert.hpp"
+#include "linalg/kernels.hpp"
 
 namespace plos::linalg {
 
+// The reductions delegate to the blocked kernels (linalg/kernels.hpp): one
+// accumulation order for the whole library, pinned by the kernel golden
+// tests so every caller — QP solvers, cutting planes, evaluation — produces
+// the same doubles on every build and thread count.
+
 double dot(std::span<const double> a, std::span<const double> b) {
-  PLOS_CHECK(a.size() == b.size(), "dot: size mismatch");
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return kernels::blocked_dot(a, b);
 }
 
 double norm(std::span<const double> a) { return std::sqrt(squared_norm(a)); }
 
 double squared_norm(std::span<const double> a) {
-  double s = 0.0;
-  for (double v : a) s += v * v;
-  return s;
+  return kernels::blocked_squared_norm(a);
 }
 
 double squared_distance(std::span<const double> a, std::span<const double> b) {
-  PLOS_CHECK(a.size() == b.size(), "squared_distance: size mismatch");
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  return kernels::blocked_squared_distance(a, b);
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
-  PLOS_CHECK(x.size() == y.size(), "axpy: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  kernels::blocked_axpy(alpha, x, y);
 }
 
 void scale(std::span<double> x, double alpha) {

@@ -392,6 +392,16 @@ BenchCheckResult bench_check(const json::Value& run,
                                   "' not in baseline");
     }
   }
+  // A gate that compared nothing gates nothing: an empty baseline (or one
+  // whose cases carry no counters) must fail loudly instead of passing
+  // vacuously — the classic way a truncated/mis-regenerated baseline file
+  // silently disables the whole perf gate.
+  if (baseline_cases->empty()) {
+    result.violations.push_back("baseline has no cases — nothing gated");
+  } else if (result.counters_compared == 0) {
+    result.violations.push_back(
+        "baseline cases carry no counters — nothing gated");
+  }
   return result;
 }
 

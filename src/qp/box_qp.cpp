@@ -23,21 +23,6 @@ linalg::Vector gradient(const BoxQpProblem& p, std::span<const double> x) {
   return g;
 }
 
-double lipschitz_estimate(const linalg::Matrix& h) {
-  const std::size_t n = h.rows();
-  linalg::Vector v(n, 1.0 / std::sqrt(static_cast<double>(n)));
-  double lambda = 0.0;
-  for (int it = 0; it < 30; ++it) {
-    linalg::Vector hv = h.matvec(v);
-    const double nrm = linalg::norm(hv);
-    if (nrm <= 1e-300) return 1e-12;
-    lambda = nrm;
-    linalg::scale(hv, 1.0 / nrm);
-    v = std::move(hv);
-  }
-  return 1.1 * lambda + 1e-12;
-}
-
 }  // namespace
 
 QpResult solve_box_qp(const BoxQpProblem& problem, const QpOptions& options) {
@@ -54,15 +39,47 @@ QpResult solve_box_qp(const BoxQpProblem& problem, const QpOptions& options) {
     return result;
   }
 
-  const double step = 1.0 / lipschitz_estimate(problem.hessian);
+  static obs::Counter& lipschitz_reuses =
+      obs::metrics().counter("qp.box.lipschitz_reuses");
+  static obs::Counter& warm_hits = obs::metrics().counter("qp.box.warm_hits");
+  double lips = options.lipschitz;
+  if (lips > 0.0) {
+    PLOS_DCHECK(lips == lipschitz_estimate(problem.hessian),
+                "QpOptions::lipschitz " << lips
+                                        << " != fresh estimate — stale cache");
+    lipschitz_reuses.increment();
+  } else {
+    lips = lipschitz_estimate(problem.hessian);
+  }
+  const double step = 1.0 / lips;
+
   linalg::Vector x(n, 0.0);
+  if (!options.warm_start.empty()) {
+    PLOS_CHECK(options.warm_start.size() == n,
+               "BoxQp: warm start size mismatch");
+    x = options.warm_start;
+  }
   project_box(x, problem.lo, problem.hi);
   linalg::Vector y = x;
   linalg::Vector x_prev = x;
   double momentum = 1.0;
   double f_prev = objective(problem, x);
 
-  for (int it = 0; it < options.max_iterations; ++it) {
+  // Iteration-0 convergence test — mirrors the capped-simplex solver: a
+  // converged (projected) warm start returns unchanged after 0 iterations.
+  {
+    linalg::Vector probe = x;
+    linalg::axpy(-step, gradient(problem, x), probe);
+    project_box(probe, problem.lo, problem.hi);
+    const double pg_step0 =
+        std::sqrt(linalg::squared_distance(probe, x)) / step;
+    if (pg_step0 <= options.tolerance * (1.0 + std::abs(f_prev))) {
+      result.converged = true;
+      if (!options.warm_start.empty()) warm_hits.increment();
+    }
+  }
+
+  for (int it = 0; !result.converged && it < options.max_iterations; ++it) {
     const linalg::Vector grad_y = gradient(problem, y);
     linalg::Vector x_next = y;
     linalg::axpy(-step, grad_y, x_next);
@@ -118,6 +135,28 @@ QpResult solve_box_qp(const BoxQpProblem& problem, const QpOptions& options) {
   seconds.add(watch.elapsed_seconds());
   iterations.record(static_cast<double>(result.iterations));
   return result;
+}
+
+double kkt_residual(const BoxQpProblem& problem, std::span<const double> x) {
+  const std::size_t n = problem.linear.size();
+  PLOS_CHECK(problem.hessian.rows() == n && problem.hessian.cols() == n,
+             "kkt_residual: hessian/linear size mismatch");
+  PLOS_CHECK(x.size() == n, "kkt_residual: x size mismatch");
+
+  double feasibility = 0.0;
+  for (double v : x) {
+    feasibility = std::max(feasibility, problem.lo - v);
+    feasibility = std::max(feasibility, v - problem.hi);
+  }
+
+  // Stationarity on a convex set: x is optimal iff x == P(x - grad(x)).
+  linalg::Vector probe(x.begin(), x.end());
+  const linalg::Vector grad = gradient(problem, x);
+  linalg::axpy(-1.0, grad, probe);
+  project_box(probe, problem.lo, problem.hi);
+  const double stationarity = std::sqrt(linalg::squared_distance(probe, x));
+
+  return std::max(feasibility, stationarity);
 }
 
 }  // namespace plos::qp

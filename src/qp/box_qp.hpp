@@ -19,4 +19,10 @@ struct BoxQpProblem {
 
 QpResult solve_box_qp(const BoxQpProblem& problem, const QpOptions& options = {});
 
+/// Max KKT violation of `x` for `problem`: box-feasibility violation plus
+/// stationarity measured as the norm of the unit-step projected gradient.
+/// Mirrors qp::kkt_residual for the capped-simplex dual; used by the
+/// property-test suite.
+double kkt_residual(const BoxQpProblem& problem, std::span<const double> x);
+
 }  // namespace plos::qp

@@ -60,6 +60,24 @@ linalg::Vector gradient(const CappedSimplexQpProblem& p,
   return g;
 }
 
+// Step length for a given Lipschitz constant: estimate it unless the
+// caller supplied a cached value. Checked builds re-derive the estimate
+// and insist on exact equality — a stale cache would silently change
+// iterate trajectories, so the contract is bitwise, not approximate.
+double resolve_lipschitz(const linalg::Matrix& h, double supplied,
+                         obs::Counter& reuses) {
+  if (supplied > 0.0) {
+    PLOS_DCHECK(supplied == lipschitz_estimate(h),
+                "QpOptions::lipschitz " << supplied
+                                        << " != fresh estimate — stale cache");
+    reuses.increment();
+    return supplied;
+  }
+  return lipschitz_estimate(h);
+}
+
+}  // namespace
+
 // Largest eigenvalue of H via power iteration (Lipschitz constant of the
 // gradient). A loose overestimate only slows convergence, so a handful of
 // iterations with a safety factor is enough.
@@ -78,8 +96,6 @@ double lipschitz_estimate(const linalg::Matrix& h) {
   return 1.1 * lambda + 1e-12;
 }
 
-}  // namespace
-
 QpResult solve_capped_simplex_qp(const CappedSimplexQpProblem& problem,
                                  const QpOptions& options) {
   PLOS_SPAN("qp.capped_simplex_solve");
@@ -93,7 +109,12 @@ QpResult solve_capped_simplex_qp(const CappedSimplexQpProblem& problem,
     return result;
   }
 
-  const double lips = lipschitz_estimate(problem.hessian);
+  static obs::Counter& lipschitz_reuses =
+      obs::metrics().counter("qp.capped_simplex.lipschitz_reuses");
+  static obs::Counter& warm_hits =
+      obs::metrics().counter("qp.capped_simplex.warm_hits");
+  const double lips =
+      resolve_lipschitz(problem.hessian, options.lipschitz, lipschitz_reuses);
   const double step = 1.0 / lips;
 
   linalg::Vector x(n, 0.0);
@@ -108,7 +129,24 @@ QpResult solve_capped_simplex_qp(const CappedSimplexQpProblem& problem,
   double momentum = 1.0;      // FISTA t_k sequence
   double f_prev = objective(problem, x);
 
-  for (int it = 0; it < options.max_iterations; ++it) {
+  // Iteration-0 convergence test: when the projected warm start already
+  // satisfies the stopping rule it is returned unchanged, so re-solving
+  // from a converged solution is bitwise-idempotent (the property-test
+  // suite pins this) and late ADMM iterations whose working set and prox
+  // center barely moved skip the FISTA loop entirely.
+  {
+    linalg::Vector probe = x;
+    linalg::axpy(-step, gradient(problem, x), probe);
+    project_groups(problem, probe);
+    const double pg_step0 = std::sqrt(linalg::squared_distance(probe, x)) /
+                            std::max(step, 1e-300);
+    if (pg_step0 <= options.tolerance * (1.0 + std::abs(f_prev))) {
+      result.converged = true;
+      if (!options.warm_start.empty()) warm_hits.increment();
+    }
+  }
+
+  for (int it = 0; !result.converged && it < options.max_iterations; ++it) {
     const linalg::Vector grad_y = gradient(problem, y);
     linalg::Vector x_next = y;
     linalg::axpy(-step, grad_y, x_next);

@@ -34,13 +34,23 @@ struct QpOptions {
   /// Optional warm start; projected onto the feasible set before use.
   /// Cutting-plane loops re-solve a growing problem, so passing the previous
   /// solution (padded with zeros for new variables) cuts iterations sharply.
+  /// A warm start that already satisfies the convergence test is returned
+  /// unchanged after zero iterations (see QpResult::iterations), which is
+  /// what makes warm-started re-solves bitwise-idempotent.
   linalg::Vector warm_start;
+  /// Precomputed gradient Lipschitz constant for `hessian` (the FISTA step
+  /// is 1/L). 0 = estimate internally with lipschitz_estimate(). Callers
+  /// that re-solve with an unchanged Hessian cache the estimate and pass it
+  /// here; because lipschitz_estimate is a pure function of H, supplying
+  /// the cached value is bitwise-neutral (checked builds re-derive it and
+  /// PLOS_DCHECK exact equality).
+  double lipschitz = 0.0;
 };
 
 struct QpResult {
   linalg::Vector solution;
   double objective = 0.0;  ///< f at the solution (minimization form)
-  int iterations = 0;
+  int iterations = 0;      ///< 0 = the (projected) warm start already passed
   bool converged = false;
 };
 
@@ -53,5 +63,11 @@ QpResult solve_capped_simplex_qp(const CappedSimplexQpProblem& problem,
 /// Near-zero means near-optimal; used by tests and solver diagnostics.
 double kkt_residual(const CappedSimplexQpProblem& problem,
                     std::span<const double> gamma);
+
+/// Power-iteration overestimate of λmax(H), the gradient Lipschitz constant
+/// the FISTA solvers step against. Deterministic pure function of H: both
+/// QP solvers call it when QpOptions::lipschitz is 0, and hot-path callers
+/// memoize it per Hessian version and pass it back via the option.
+double lipschitz_estimate(const linalg::Matrix& h);
 
 }  // namespace plos::qp

@@ -1,6 +1,7 @@
 #include "qp/projection.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -31,6 +32,27 @@ void project_capped_simplex(std::span<double> x, double cap) {
     }
   }
   for (double& v : x) v = std::max(v - theta, 0.0);
+
+  // The threshold step can leave the floating-point sum a few ulps ABOVE
+  // cap, and a re-projection of such a point would re-enter this branch and
+  // drift every coordinate by an ulp. Shave the excess off the largest
+  // coordinate (first index on ties) until the same left-to-right sum the
+  // feasibility check above uses comes out <= cap. The post-condition makes
+  // the projection bitwise idempotent: a second application hits the early
+  // return and touches nothing.
+  for (;;) {
+    double sum = 0.0;
+    for (const double v : x) sum += v;
+    if (sum <= cap) break;
+    std::size_t arg = 0;
+    for (std::size_t i = 1; i < x.size(); ++i) {
+      if (x[i] > x[arg]) arg = i;
+    }
+    double shaved = x[arg] - (sum - cap);
+    // Guarantee strict progress even when the excess rounds away.
+    if (!(shaved < x[arg])) shaved = std::nextafter(x[arg], 0.0);
+    x[arg] = std::max(shaved, 0.0);
+  }
 }
 
 void project_box(std::span<double> x, double lo, double hi) {

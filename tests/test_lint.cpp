@@ -438,12 +438,66 @@ TEST(ShippedConfig, ParsesAndCoversTheDeterminismCatalog) {
   for (const char* required :
        {"determinism-rng", "determinism-clock", "determinism-unordered",
         "determinism-build-stamp", "numeric-no-float", "numeric-float-eq",
-        "numeric-c-abs", "privacy-raw-data", "io-iostream",
+        "numeric-c-abs", "privacy-raw-data", "io-iostream", "cache-purity",
         "hygiene-pragma-once", "hygiene-include-order",
         "hygiene-using-namespace"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
         << "missing rule " << required;
   }
+}
+
+// ---- cache-purity rule ---------------------------------------------------
+//
+// The hot-path cache sources (gram_cache, warm_store) must stay pure
+// functions of solver inputs: no timers, no wall clocks, no pointer-derived
+// keys, no hash-seeded containers (DESIGN.md §13). The shipped rule is
+// path-scoped to exactly those files.
+
+std::size_t count_rule(const std::vector<Finding>& findings,
+                       const std::string& rule) {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+TEST(CachePurity, FlagsImpureStateInsideCacheSources) {
+  const std::string text =
+      read_file(std::string(PLOS_REPO_DIR) + "/tools/lint_rules.json");
+  const auto config = parse_config(text);
+  ASSERT_TRUE(config.has_value());
+
+  const std::string impure =
+      "int f() {\n"
+      "  common::Stopwatch timer;\n"
+      "  auto stamp = std::chrono::steady_clock::now();\n"
+      "  std::hash<int> hasher;\n"
+      "  auto key = reinterpret_cast<std::size_t>(nullptr);\n"
+      "  return 0;\n"
+      "}\n";
+  // Every impurity class fires, in both scoped cache files.
+  EXPECT_GE(count_rule(lint_source(*config, "src/core/gram_cache.cpp", impure),
+                       "cache-purity"),
+            4u);
+  EXPECT_GE(count_rule(lint_source(*config, "src/qp/warm_store.cpp", impure),
+                       "cache-purity"),
+            4u);
+}
+
+TEST(CachePurity, DoesNotApplyOutsideTheCacheSources) {
+  const std::string text =
+      read_file(std::string(PLOS_REPO_DIR) + "/tools/lint_rules.json");
+  const auto config = parse_config(text);
+  ASSERT_TRUE(config.has_value());
+
+  // Stopwatch is banned only by cache-purity; other solver files may use it
+  // (subject to their own rules), so the rule must not fire there.
+  const std::string source = "common::Stopwatch timer;\n";
+  EXPECT_EQ(count_rule(
+                lint_source(*config, "src/core/cutting_plane.cpp", source),
+                "cache-purity"),
+            0u);
 }
 
 TEST(SelfTest, AllEmbeddedFixturesPassAndReportNamesLocations) {

@@ -254,6 +254,42 @@ TEST(BenchCheck, SuiteNameAndCaseSetMustMatch) {
   EXPECT_FALSE(obs::bench_check(baseline, empty).ok());  // extra case
 }
 
+// A baseline that gates nothing must FAIL, not pass vacuously: a truncated
+// or mis-regenerated BENCH_*.json would otherwise disable the perf gate
+// while CI keeps reporting green. Both empty-vacuity shapes are covered:
+// zero cases, and cases present but carrying zero counters.
+TEST(BenchCheck, EmptyBaselineIsAViolationNotAVacuousPass) {
+  const auto empty = parse_or_die(
+      "{\"schema_version\":1,\"name\":\"demo\",\"cases\":{}}");
+  // Run == baseline, so every per-case rule is trivially satisfied — only
+  // the non-vacuity rule can (and must) reject this.
+  const auto result = obs::bench_check(empty, empty);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.counters_compared, 0u);
+  bool names_vacuity = false;
+  for (const auto& violation : result.violations) {
+    if (violation.find("no cases") != std::string::npos) names_vacuity = true;
+  }
+  EXPECT_TRUE(names_vacuity);
+}
+
+TEST(BenchCheck, CounterlessBaselineIsAViolation) {
+  const auto counterless = parse_or_die(
+      "{\"schema_version\":1,\"name\":\"demo\",\"cases\":{\"small\":"
+      "{\"counters\":{},\"timing\":{\"reps\":5,\"warmup\":1,"
+      "\"median_ms\":10.0,\"mad_ms\":0.5,\"min_ms\":9.0}}}}");
+  const auto result = obs::bench_check(counterless, counterless);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.counters_compared, 0u);
+  bool names_vacuity = false;
+  for (const auto& violation : result.violations) {
+    if (violation.find("no counters") != std::string::npos) {
+      names_vacuity = true;
+    }
+  }
+  EXPECT_TRUE(names_vacuity);
+}
+
 TEST(BenchCheck, BenchReportMentionsCasesAndCounters) {
   const auto suite = parse_or_die(bench_fixture(12, 10.0));
   const std::string report = obs::bench_report(suite);

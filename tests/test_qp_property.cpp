@@ -1,0 +1,181 @@
+// Property-test harness for the two FISTA QP solvers (DESIGN.md §13).
+//
+// Across ~200 seeded random instances per solver the suite checks the three
+// properties the hot-path engine leans on:
+//   1. correctness — the returned point satisfies the KKT conditions of its
+//      problem to 1e-8 (feasibility + unit-step projected-gradient norm);
+//   2. warm-start idempotence — re-solving with the cold solution as warm
+//      start returns after ZERO iterations with the bitwise-identical
+//      vector, which is what makes cross-round warm-start seeding safe;
+//   3. projection idempotence — projecting an already-projected point is a
+//      bitwise no-op, so the solver's "project the warm start before use"
+//      step cannot perturb an optimal seed.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "qp/box_qp.hpp"
+#include "qp/capped_simplex_qp.hpp"
+#include "qp/projection.hpp"
+#include "rng/engine.hpp"
+
+namespace plos::qp {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+constexpr int kInstancesPerSolver = 200;
+constexpr double kKktBound = 1e-8;
+
+void expect_bitwise_equal(const Vector& a, const Vector& b, int seed) {
+  ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << "seed " << seed << " component " << i;
+  }
+}
+
+// H = B Bᵀ + ½I: symmetric PSD with smallest eigenvalue >= 0.5, so every
+// instance is strongly convex and FISTA converges to tight tolerances fast.
+Matrix random_psd(std::size_t n, rng::Engine& engine) {
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = engine.gaussian();
+  }
+  Matrix h = b.row_gram();
+  for (std::size_t i = 0; i < n; ++i) h(i, i) += 0.5;
+  return h;
+}
+
+CappedSimplexQpProblem random_capped_simplex(int seed) {
+  rng::Engine engine(static_cast<std::uint64_t>(seed) * 7919 + 1);
+  const std::size_t n = 2 + static_cast<std::size_t>(seed % 12);
+  CappedSimplexQpProblem problem;
+  problem.hessian = random_psd(n, engine);
+  problem.linear = engine.gaussian_vector(n, 0.0, 2.0);
+
+  // Random partition of {0,…,n−1} into 1–4 shuffled groups, mimicking the
+  // per-user index groups of the centralized dual.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  engine.shuffle(order);
+  const std::size_t num_groups =
+      1 + static_cast<std::size_t>(engine.uniform_int(0, 3)) % n;
+  problem.groups.assign(num_groups, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    problem.groups[i % num_groups].push_back(order[i]);
+  }
+  problem.caps.resize(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    problem.caps[g] = engine.uniform(0.25, 2.0);
+  }
+  return problem;
+}
+
+BoxQpProblem random_box(int seed) {
+  rng::Engine engine(static_cast<std::uint64_t>(seed) * 6007 + 3);
+  const std::size_t n = 2 + static_cast<std::size_t>(seed % 12);
+  BoxQpProblem problem;
+  problem.hessian = random_psd(n, engine);
+  problem.linear = engine.gaussian_vector(n, 0.0, 2.0);
+  problem.lo = engine.uniform(-1.0, 0.0);
+  problem.hi = problem.lo + engine.uniform(0.5, 2.0);
+  return problem;
+}
+
+QpOptions tight_options() {
+  QpOptions options;
+  options.tolerance = 1e-11;
+  options.max_iterations = 50000;
+  return options;
+}
+
+TEST(QpProperty, CappedSimplexKktAndWarmIdempotence) {
+  for (int seed = 0; seed < kInstancesPerSolver; ++seed) {
+    const auto problem = random_capped_simplex(seed);
+    const auto cold = solve_capped_simplex_qp(problem, tight_options());
+    ASSERT_TRUE(cold.converged) << "seed " << seed;
+    EXPECT_LE(kkt_residual(problem, cold.solution), kKktBound)
+        << "seed " << seed;
+
+    // A warm start that IS the cold solution must be accepted by the
+    // iteration-0 probe and returned without a single FISTA step.
+    QpOptions warm_options = tight_options();
+    warm_options.warm_start = cold.solution;
+    const auto warm = solve_capped_simplex_qp(problem, warm_options);
+    ASSERT_TRUE(warm.converged) << "seed " << seed;
+    EXPECT_EQ(warm.iterations, 0) << "seed " << seed;
+    expect_bitwise_equal(cold.solution, warm.solution, seed);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(cold.objective),
+              std::bit_cast<std::uint64_t>(warm.objective))
+        << "seed " << seed;
+  }
+}
+
+TEST(QpProperty, CappedSimplexCachedLipschitzIsBitwiseNeutral) {
+  for (int seed = 0; seed < kInstancesPerSolver; ++seed) {
+    const auto problem = random_capped_simplex(seed);
+    const auto plain = solve_capped_simplex_qp(problem, tight_options());
+
+    // Passing the memoized Lipschitz estimate back through the option must
+    // reproduce the internal estimate's run bit for bit — this is the
+    // contract the Device-side Lipschitz cache relies on.
+    QpOptions cached = tight_options();
+    cached.lipschitz = lipschitz_estimate(problem.hessian);
+    const auto memoized = solve_capped_simplex_qp(problem, cached);
+    EXPECT_EQ(plain.iterations, memoized.iterations) << "seed " << seed;
+    expect_bitwise_equal(plain.solution, memoized.solution, seed);
+  }
+}
+
+TEST(QpProperty, BoxKktAndWarmIdempotence) {
+  for (int seed = 0; seed < kInstancesPerSolver; ++seed) {
+    const auto problem = random_box(seed);
+    const auto cold = solve_box_qp(problem, tight_options());
+    ASSERT_TRUE(cold.converged) << "seed " << seed;
+    EXPECT_LE(kkt_residual(problem, cold.solution), kKktBound)
+        << "seed " << seed;
+
+    QpOptions warm_options = tight_options();
+    warm_options.warm_start = cold.solution;
+    const auto warm = solve_box_qp(problem, warm_options);
+    ASSERT_TRUE(warm.converged) << "seed " << seed;
+    EXPECT_EQ(warm.iterations, 0) << "seed " << seed;
+    expect_bitwise_equal(cold.solution, warm.solution, seed);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(cold.objective),
+              std::bit_cast<std::uint64_t>(warm.objective))
+        << "seed " << seed;
+  }
+}
+
+TEST(QpProperty, ProjectionsAreBitwiseIdempotent) {
+  for (int seed = 0; seed < kInstancesPerSolver; ++seed) {
+    rng::Engine engine(static_cast<std::uint64_t>(seed) * 104729 + 17);
+    const std::size_t n = 1 + static_cast<std::size_t>(seed % 16);
+
+    Vector x = engine.gaussian_vector(n, 0.0, 3.0);
+    const double cap = engine.uniform(0.1, 2.0);
+    project_capped_simplex(x, cap);
+    Vector once = x;
+    project_capped_simplex(x, cap);
+    expect_bitwise_equal(once, x, seed);
+
+    Vector y = engine.gaussian_vector(n, 0.0, 3.0);
+    const double lo = engine.uniform(-1.0, 0.0);
+    const double hi = lo + engine.uniform(0.5, 2.0);
+    project_box(y, lo, hi);
+    Vector box_once = y;
+    project_box(y, lo, hi);
+    expect_bitwise_equal(box_once, y, seed);
+  }
+}
+
+}  // namespace
+}  // namespace plos::qp

@@ -5,15 +5,18 @@
 //       (either file may also be a bare journal; formats are detected)
 //
 //   plos_inspect diff a.json b.json [--tol EPS] [--field-tol PATH=EPS]
-//                [--timing]
+//                [--timing] [--ignore PREFIX]
 //       field-by-field manifest comparison; exits 1 on any difference.
 //       Timing fields are ignored unless --timing is given.
 //
 //   plos_inspect check run.json --against golden.json [--tol EPS]
-//                [--field-tol PATH=EPS]
+//                [--field-tol PATH=EPS] [--ignore PREFIX]
 //       regression gate for CI: like diff, but with cross-build defaults
 //       (tolerance 1e-6; timing, build info, and the raw dataset content
-//       hash ignored). Exits 1 on violation, 2 on usage/IO errors.
+//       hash ignored). --ignore (repeatable) skips additional dot-path
+//       prefixes — e.g. options.hotpath_cache when gating a cache-disabled
+//       run against the default golden. Exits 1 on violation, 2 on
+//       usage/IO errors.
 //
 //   plos_inspect bench-report BENCH.json
 //       human summary of one BENCH_*.json bench suite
@@ -48,13 +51,14 @@ void print_usage() {
       "      print a convergence report from a run manifest (run.json)\n"
       "      and/or a round journal (journal.jsonl); '-' reads stdin\n"
       "  plos_inspect diff A B [--tol EPS] [--field-tol PATH=EPS] [--timing]\n"
+      "               [--ignore PREFIX]\n"
       "      compare two manifests field by field (exit 1 on differences;\n"
       "      timing.* ignored unless --timing)\n"
       "  plos_inspect check RUN --against GOLDEN [--tol EPS]\n"
-      "               [--field-tol PATH=EPS]\n"
+      "               [--field-tol PATH=EPS] [--ignore PREFIX]\n"
       "      gate RUN against a golden manifest (default tolerance 1e-6;\n"
-      "      timing.*, build.*, dataset.content_hash ignored; exit 1 on\n"
-      "      violation)\n"
+      "      timing.*, build.*, dataset.content_hash ignored; --ignore\n"
+      "      skips extra dot-path prefixes; exit 1 on violation)\n"
       "  plos_inspect bench-report BENCH.json\n"
       "      print a human summary of one BENCH_*.json bench suite\n"
       "  plos_inspect bench-diff A B\n"
@@ -139,6 +143,7 @@ struct CompareArgs {
   std::optional<double> tolerance;
   std::optional<double> time_tolerance;
   std::map<std::string, double> field_tolerances;
+  std::vector<std::string> ignored_prefixes;
   bool include_timing = false;
 };
 
@@ -185,6 +190,13 @@ std::optional<CompareArgs> parse_compare_args(int argc, char** argv, int first) 
       args.field_tolerances[std::string(text, eq)] = tol;
     } else if (flag == "--timing") {
       args.include_timing = true;
+    } else if (flag == "--ignore") {
+      const char* text = value();
+      if (text == nullptr || text[0] == '\0') {
+        std::fprintf(stderr, "plos_inspect: --ignore expects a path prefix\n");
+        return std::nullopt;
+      }
+      args.ignored_prefixes.emplace_back(text);
     } else if (flag == "--against") {
       const char* text = value();
       if (text == nullptr) return std::nullopt;
@@ -237,6 +249,9 @@ int run_diff(const CompareArgs& args) {
   if (args.include_timing) options.ignored_prefixes.clear();
   if (args.tolerance) options.tolerance = *args.tolerance;
   options.field_tolerances = args.field_tolerances;
+  options.ignored_prefixes.insert(options.ignored_prefixes.end(),
+                                  args.ignored_prefixes.begin(),
+                                  args.ignored_prefixes.end());
   const obs::DiffResult result = obs::diff_values(left, right, options);
   if (result.identical()) {
     std::printf("manifests match (%zu field(s) compared)\n",
@@ -261,6 +276,9 @@ int run_check(const CompareArgs& args) {
   for (const auto& [path, tol] : args.field_tolerances) {
     options.field_tolerances[path] = tol;
   }
+  options.ignored_prefixes.insert(options.ignored_prefixes.end(),
+                                  args.ignored_prefixes.begin(),
+                                  args.ignored_prefixes.end());
   const obs::DiffResult result = obs::diff_values(run, golden, options);
   if (result.identical()) {
     std::printf("check passed: %s matches %s (%zu field(s), tol %g)\n",

@@ -59,6 +59,9 @@ struct Args {
   int threads = 1;  // 0 = hardware concurrency
   bool distributed = false;
   bool logistic = false;
+  // Bitwise-transparent hot-path caches (DESIGN.md §13); disabled by
+  // --no-hotpath-cache or PLOS_NO_HOTPATH_CACHE=1 for equivalence runs.
+  bool hotpath_cache = true;
   // Fault injection (distributed only; see net/fault.hpp for semantics).
   double fault_drop = 0.0;
   double fault_offline = 0.0;
@@ -100,6 +103,9 @@ void print_usage() {
       "  --round-deadline S         simulated seconds the server waits per\n"
       "                             round; stragglers past it are left behind\n"
       "                             (0 = wait). Fault flags need --distributed\n"
+      "  --no-hotpath-cache         disable the Gram/Lipschitz memoization\n"
+      "                             (PLOS_NO_HOTPATH_CACHE=1 does the same);\n"
+      "                             results are bitwise identical, only slower\n"
       "  --logistic                 use the logistic-loss PLOS variant\n"
       "  --save-model PATH          checkpoint the trained PLOS model\n"
       "  --log-level LEVEL          trace|debug|info|warn|error|off (stderr)\n"
@@ -239,6 +245,8 @@ std::optional<Args> parse(int argc, char** argv) {
       args.threads = static_cast<int>(threads);
     } else if (flag == "--distributed") {
       args.distributed = true;
+    } else if (flag == "--no-hotpath-cache") {
+      args.hotpath_cache = false;
     } else if (flag == "--fault-drop" || flag == "--fault-offline" ||
                flag == "--fault-straggler" || flag == "--fault-corrupt") {
       double* slot = flag == "--fault-drop"       ? &args.fault_drop
@@ -319,6 +327,13 @@ std::optional<Args> parse(int argc, char** argv) {
                  "plos_run: fault flags apply only to --distributed "
                  "(non-logistic) training\n");
     ok = false;
+  }
+  // Environment escape hatch so CI equivalence jobs can flip whole test
+  // matrices without threading a flag through every invocation. "0" and
+  // empty keep the cache on; anything else disables it.
+  if (const char* env = std::getenv("PLOS_NO_HOTPATH_CACHE");
+      env != nullptr && env[0] != '\0' && std::string(env) != "0") {
+    args.hotpath_cache = false;
   }
   if (!ok) {
     std::fprintf(stderr, "run 'plos_run --help' for usage\n");
@@ -500,6 +515,7 @@ int main(int argc, char** argv) {
       core::DistributedPlosOptions options;
       options.params = params;
       options.num_threads = args.threads;
+      options.hotpath_cache = args.hotpath_cache;
       options.journal = journal_ptr;
       options.watchdog = watchdog_ptr;
       net::SimNetwork network(dataset.num_users(), net::DeviceProfile{},
@@ -581,6 +597,7 @@ int main(int argc, char** argv) {
       core::CentralizedPlosOptions options;
       options.params = params;
       options.num_threads = args.threads;
+      options.hotpath_cache = args.hotpath_cache;
       options.journal = journal_ptr;
       options.watchdog = watchdog_ptr;
       const auto result = core::train_centralized_plos(dataset, options);
@@ -673,6 +690,7 @@ int main(int argc, char** argv) {
     if (args.dataset == "synth") {
       manifest.options["rotation"] = render_double(args.rotation);
     }
+    manifest.options["hotpath_cache"] = args.hotpath_cache ? "1" : "0";
     manifest.options["watchdog"] = args.watchdog;
     if (args.watchdog_stall_rounds > 0) {
       manifest.options["watchdog_stall_rounds"] =
