@@ -1,0 +1,246 @@
+#include "core/admm_device.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/stopwatch.hpp"
+#include "net/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "svm/linear_svm.hpp"
+
+namespace plos::core {
+
+namespace {
+
+// Accumulates wire-format serialization wall time so bench snapshots can
+// split solver time into QP vs separation vs serialization.
+void count_serialize_seconds(const Stopwatch& watch) {
+  static obs::Counter& seconds =
+      obs::metrics().counter("net.serialize.seconds");
+  seconds.add(watch.elapsed_seconds());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> admm_broadcast_payload(std::span<const double> w0,
+                                                 std::span<const double> u) {
+  const Stopwatch watch;
+  net::Serializer s;
+  s.write_u32(/*message type*/ 1);
+  s.write_vector(w0);
+  s.write_vector(u);
+  count_serialize_seconds(watch);
+  return s.take();
+}
+
+std::vector<std::uint8_t> admm_update_payload(std::span<const double> w,
+                                              std::span<const double> v,
+                                              double xi) {
+  const Stopwatch watch;
+  net::Serializer s;
+  s.write_u32(/*message type*/ 2);
+  s.write_vector(w);
+  s.write_vector(v);
+  s.write_f64(xi);
+  count_serialize_seconds(watch);
+  return s.take();
+}
+
+AdmmDevice::AdmmDevice(const data::UserData& user, std::size_t num_users,
+                       const DistributedPlosOptions& options,
+                       qp::WarmStore* warm, std::size_t slot)
+    : ctx_(PlosUserContext::from_user(user)),
+      options_(&options),
+      num_users_(static_cast<double>(num_users)),
+      kappa_(static_cast<double>(num_users) / (2.0 * options.params.lambda) +
+             1.0 / options.rho),
+      v_over_g_(static_cast<double>(num_users) /
+                (2.0 * options.params.lambda)),
+      gram_(options.hotpath_cache),
+      warm_(warm),
+      slot_(slot) {}
+
+linalg::Vector AdmmDevice::bootstrap_weights() const {
+  if (ctx_.labeled.empty()) return {};
+  std::vector<linalg::Vector> xs;
+  std::vector<int> ys;
+  for (std::size_t i : ctx_.labeled) {
+    xs.push_back(ctx_.user->samples[i]);
+    ys.push_back(ctx_.user->true_labels[i]);
+  }
+  svm::LinearSvmOptions svm_options;
+  svm_options.c = options_->init_svm_c;
+  return svm::train_linear_svm(xs, ys, svm_options).weights;
+}
+
+void AdmmDevice::begin_cccp_round(std::span<const double> current_weights,
+                                  bool first_round, std::uint64_t seed) {
+  // Persist the round's converged duals keyed by interned plane id before
+  // resetting: planes the next round re-derives bitwise resume from them.
+  if (!plane_ids_.empty() && previous_gamma_.size() == plane_ids_.size()) {
+    warm_->store(slot_, plane_ids_, previous_gamma_);
+  }
+  if (first_round && options_->cluster_sign_initialization &&
+      ctx_.labeled.empty()) {
+    signs_ = cluster_initial_signs(ctx_, current_weights,
+                                   options_->params.lambda / num_users_,
+                                   options_->params.cl, options_->params.cu,
+                                   seed, &gram_);
+  } else {
+    signs_ = cccp_signs(ctx_, current_weights);
+  }
+  working_set_.clear();
+  plane_ids_.clear();
+  hessian_ = linalg::Matrix();
+  linear_.clear();
+  lipschitz_ = 0.0;
+  previous_gamma_.clear();
+}
+
+AdmmDevice::LocalSolution AdmmDevice::solve(std::span<const double> w0,
+                                            std::span<const double> u) {
+  const std::size_t dim = w0.size();
+  linalg::Vector d(dim);
+  for (std::size_t j = 0; j < dim; ++j) d[j] = w0[j] - u[j];
+
+  LocalSolution sol;
+  sol.w = d;  // empty working set ⇒ g = 0 ⇒ w = d, v = 0
+  sol.v = linalg::zeros(dim);
+
+  if (ctx_.num_samples() == 0) return sol;
+
+  // The prox center moved: refresh the d-dependent linear coefficients
+  // once per ADMM iteration. They are loop-invariant across the plane
+  // additions below (each addition appends only its own entry), where
+  // the old code recomputed the full set on every dual solve.
+  for (std::size_t i = 0; i < working_set_.size(); ++i) {
+    linear_[i] =
+        working_set_[i].offset - linalg::dot(working_set_[i].s, d);
+  }
+
+  // The working set persists across ADMM iterations (the planes depend
+  // only on the CCCP signs), but the prox center d moved — re-solve over
+  // the existing set before looking for new violations.
+  if (!working_set_.empty()) solve_dual(d, sol);
+
+  for (int it = 0; it < options_->cutting_plane.max_iterations; ++it) {
+    sol.xi = optimal_slack(working_set_, sol.w);
+    CuttingPlane plane = most_violated_constraint(
+        ctx_, signs_, sol.w, options_->params.cl, options_->params.cu);
+    if (constraint_violation(plane, sol.w, sol.xi) <=
+        options_->cutting_plane.epsilon) {
+      break;
+    }
+    add_plane(std::move(plane), d);
+    solve_dual(d, sol);
+  }
+  sol.xi = optimal_slack(working_set_, sol.w);
+  return sol;
+}
+
+void AdmmDevice::add_plane(CuttingPlane plane, const linalg::Vector& d) {
+  const std::size_t a = working_set_.size();
+  const std::uint32_t id = gram_.intern(plane.s);
+  // Extend the prox-QP Hessian (already scaled by κ) by one border
+  // row/column through the Gram cache: a plane re-derived from an earlier
+  // round serves its whole border from memo.
+  linalg::Matrix h(a + 1, a + 1);
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < a; ++j) h(i, j) = hessian_(i, j);
+  }
+  for (std::size_t i = 0; i < a; ++i) {
+    const double entry = kappa_ * gram_.dot(plane_ids_[i], id);
+    h(i, a) = entry;
+    h(a, i) = entry;
+  }
+  h(a, a) = kappa_ * gram_.dot(id, id);
+  hessian_ = std::move(h);
+  lipschitz_ = 0.0;  // Hessian version changed
+  linear_.push_back(plane.offset - linalg::dot(plane.s, d));
+  // The new dual variable resumes from the γ this plane converged to in
+  // the previous CCCP round (0 if it was never in the working set).
+  previous_gamma_.push_back(warm_->seed(slot_, id));
+  plane_ids_.push_back(id);
+  working_set_.push_back(std::move(plane));
+  count_constraint_added();
+}
+
+void AdmmDevice::solve_dual(const linalg::Vector& d, LocalSolution& sol) {
+  const std::size_t n = working_set_.size();
+  qp::CappedSimplexQpProblem problem;
+  problem.hessian = hessian_;
+  problem.linear = linear_;
+  problem.groups.resize(1);
+  problem.groups[0].resize(n);
+  for (std::size_t i = 0; i < n; ++i) problem.groups[0][i] = i;
+  problem.caps = {1.0};
+
+  qp::QpOptions qp_options = options_->qp;
+  qp_options.warm_start = previous_gamma_;
+  qp_options.warm_start.resize(n, 0.0);
+  if (gram_.memoize()) {
+    // Lipschitz memo per working-set version: re-solves of an unchanged
+    // Hessian (every late ADMM iteration) skip the power iteration.
+    // Bitwise-neutral — lipschitz_estimate is a pure function of H, and
+    // checked builds re-derive and compare (see QpOptions::lipschitz).
+    if (lipschitz_ == 0.0) {
+      lipschitz_ = qp::lipschitz_estimate(problem.hessian);
+    }
+    qp_options.lipschitz = lipschitz_;
+  }
+  const qp::QpResult result = qp::solve_capped_simplex_qp(problem, qp_options);
+  ++qp_solves_;
+  qp_iterations_ += result.iterations;
+  previous_gamma_ = result.solution;
+
+  linalg::Vector g = linalg::zeros(d.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.solution[i] != 0.0) {
+      linalg::axpy(result.solution[i], working_set_[i].s, g);
+    }
+  }
+  sol.w = d;
+  linalg::axpy(kappa_, g, sol.w);
+  sol.v = linalg::scaled(g, v_over_g_);
+}
+
+StalenessLedger::StalenessLedger(std::size_t num_users)
+    : data_step_(num_users, 0) {}
+
+void StalenessLedger::refresh(std::size_t t, std::uint64_t step) {
+  PLOS_CHECK(t < data_step_.size(), "StalenessLedger: device out of range");
+  data_step_[t] = step + 1;
+}
+
+std::uint64_t StalenessLedger::age(std::size_t t, std::uint64_t step) const {
+  PLOS_CHECK(t < data_step_.size(), "StalenessLedger: device out of range");
+  // data_step_ stores step + 1, so a block refreshed this step has age 0
+  // and a bootstrap-era block (sentinel 0) has age step + 1.
+  PLOS_CHECK(data_step_[t] <= step + 1,
+             "StalenessLedger: block refreshed in the future");
+  return step + 1 - data_step_[t];
+}
+
+std::uint64_t StalenessLedger::max_age(std::uint64_t step) const {
+  std::uint64_t result = 0;
+  for (std::size_t t = 0; t < data_step_.size(); ++t) {
+    result = std::max(result, age(t, step));
+  }
+  return result;
+}
+
+void StalenessLedger::fill_record(obs::RoundRecord& record,
+                                  std::uint64_t step) const {
+  record.staleness_hist.assign(kHistogramBuckets, 0);
+  record.max_staleness = 0;
+  for (std::size_t t = 0; t < data_step_.size(); ++t) {
+    const std::uint64_t a = age(t, step);
+    record.max_staleness = std::max(record.max_staleness, a);
+    const std::size_t bucket = static_cast<std::size_t>(
+        std::min<std::uint64_t>(a, kHistogramBuckets - 1));
+    ++record.staleness_hist[bucket];
+  }
+}
+
+}  // namespace plos::core

@@ -5,8 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/stopwatch.hpp"
-#include "core/cutting_plane.hpp"
-#include "core/gram_cache.hpp"
+#include "core/admm_device.hpp"
 #include "net/serialize.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -14,270 +13,15 @@
 #include "parallel/thread_pool.hpp"
 #include "qp/warm_store.hpp"
 #include "rng/engine.hpp"
-#include "svm/linear_svm.hpp"
 
 namespace plos::core {
 
 namespace {
 
-// Accumulates wire-format serialization wall time so bench snapshots can
-// split solver time into QP vs separation vs serialization.
-void count_serialize_seconds(const Stopwatch& watch) {
-  static obs::Counter& seconds =
-      obs::metrics().counter("net.serialize.seconds");
-  seconds.add(watch.elapsed_seconds());
-}
-
-// Wire formats. Sizes are what the simulator charges, so they are real
-// serializations, not estimates. Fault-free paths transmit the bare
-// payload (sizes — and goldens pinning them — unchanged from the pre-fault
-// code); the fault path wraps payloads in CRC32 frames via
-// net::frame_message before handing them to SimNetwork::transmit_*.
-std::vector<std::uint8_t> broadcast_payload(std::span<const double> w0,
-                                            std::span<const double> u) {
-  const Stopwatch watch;
-  net::Serializer s;
-  s.write_u32(/*message type*/ 1);
-  s.write_vector(w0);
-  s.write_vector(u);
-  count_serialize_seconds(watch);
-  return s.take();
-}
-
-std::vector<std::uint8_t> update_payload(std::span<const double> w,
-                                         std::span<const double> v,
-                                         double xi) {
-  const Stopwatch watch;
-  net::Serializer s;
-  s.write_u32(/*message type*/ 2);
-  s.write_vector(w);
-  s.write_vector(v);
-  s.write_f64(xi);
-  count_serialize_seconds(watch);
-  return s.take();
-}
-
-// Why a device sat out a round (or didn't); tallied into the
-// graceful-degradation diagnostics after each ADMM iteration.
-enum DeviceRoundStatus : char {
-  kParticipated = 0,
-  kUnavailable = 1,     // async schedule said unavailable
-  kOffline = 2,         // fault schedule churn window
-  kDownlinkFailed = 3,  // broadcast lost after all retries
-  kDeadlineMissed = 4,  // straggler; server stopped waiting
-  kUplinkFailed = 5,    // update lost/corrupt after all retries
-};
-
-// One simulated device: owns its raw data, CCCP signs, and the cutting-plane
-// working set of the current CCCP round. Hot-path state (DESIGN.md §13):
-// the device-owned Gram cache persists across CCCP rounds so re-derived
-// planes serve their Hessian border from memo; the trainer-owned WarmStore
-// slot carries converged duals across rounds; and the Lipschitz estimate of
-// the prox-QP Hessian is cached per working-set version, which is what lets
-// late ADMM iterations (unchanged working set, barely-moved prox center)
-// skip the power iteration and often the whole FISTA loop.
-class Device {
- public:
-  Device(const data::UserData& user, std::size_t num_users,
-         const DistributedPlosOptions& options, qp::WarmStore* warm,
-         std::size_t slot)
-      : ctx_(PlosUserContext::from_user(user)),
-        options_(&options),
-        num_users_(static_cast<double>(num_users)),
-        kappa_(static_cast<double>(num_users) / (2.0 * options.params.lambda) +
-               1.0 / options.rho),
-        v_over_g_(static_cast<double>(num_users) /
-                  (2.0 * options.params.lambda)),
-        gram_(options.hotpath_cache),
-        warm_(warm),
-        slot_(slot) {}
-
-  /// Local SVM on revealed labels for the bootstrap round; empty when the
-  /// device has no labels.
-  linalg::Vector bootstrap_weights() const {
-    if (ctx_.labeled.empty()) return {};
-    std::vector<linalg::Vector> xs;
-    std::vector<int> ys;
-    for (std::size_t i : ctx_.labeled) {
-      xs.push_back(ctx_.user->samples[i]);
-      ys.push_back(ctx_.user->true_labels[i]);
-    }
-    svm::LinearSvmOptions svm_options;
-    svm_options.c = options_->init_svm_c;
-    return svm::train_linear_svm(xs, ys, svm_options).weights;
-  }
-
-  /// Starts a CCCP round: fix linearization signs at the current w_t and
-  /// reset the working set (the planes depend on the signs).
-  void begin_cccp_round(std::span<const double> current_weights,
-                        bool first_round, std::uint64_t seed) {
-    // Persist the round's converged duals keyed by interned plane id before
-    // resetting: planes the next round re-derives bitwise resume from them.
-    if (!plane_ids_.empty() && previous_gamma_.size() == plane_ids_.size()) {
-      warm_->store(slot_, plane_ids_, previous_gamma_);
-    }
-    if (first_round && options_->cluster_sign_initialization &&
-        ctx_.labeled.empty()) {
-      signs_ = cluster_initial_signs(ctx_, current_weights,
-                                     options_->params.lambda / num_users_,
-                                     options_->params.cl, options_->params.cu,
-                                     seed, &gram_);
-    } else {
-      signs_ = cccp_signs(ctx_, current_weights);
-    }
-    working_set_.clear();
-    plane_ids_.clear();
-    hessian_ = linalg::Matrix();
-    linear_.clear();
-    lipschitz_ = 0.0;
-    previous_gamma_.clear();
-  }
-
-  struct LocalSolution {
-    linalg::Vector w;
-    linalg::Vector v;
-    double xi = 0.0;
-  };
-
-  /// Solves the local problem (Eq. 22) for the received (w0, u_t).
-  LocalSolution solve(std::span<const double> w0, std::span<const double> u) {
-    const std::size_t dim = w0.size();
-    linalg::Vector d(dim);
-    for (std::size_t j = 0; j < dim; ++j) d[j] = w0[j] - u[j];
-
-    LocalSolution sol;
-    sol.w = d;  // empty working set ⇒ g = 0 ⇒ w = d, v = 0
-    sol.v = linalg::zeros(dim);
-
-    if (ctx_.num_samples() == 0) return sol;
-
-    // The prox center moved: refresh the d-dependent linear coefficients
-    // once per ADMM iteration. They are loop-invariant across the plane
-    // additions below (each addition appends only its own entry), where
-    // the old code recomputed the full set on every dual solve.
-    for (std::size_t i = 0; i < working_set_.size(); ++i) {
-      linear_[i] =
-          working_set_[i].offset - linalg::dot(working_set_[i].s, d);
-    }
-
-    // The working set persists across ADMM iterations (the planes depend
-    // only on the CCCP signs), but the prox center d moved — re-solve over
-    // the existing set before looking for new violations.
-    if (!working_set_.empty()) solve_dual(d, sol);
-
-    for (int it = 0; it < options_->cutting_plane.max_iterations; ++it) {
-      sol.xi = optimal_slack(working_set_, sol.w);
-      CuttingPlane plane = most_violated_constraint(
-          ctx_, signs_, sol.w, options_->params.cl, options_->params.cu);
-      if (constraint_violation(plane, sol.w, sol.xi) <=
-          options_->cutting_plane.epsilon) {
-        break;
-      }
-      add_plane(std::move(plane), d);
-      solve_dual(d, sol);
-    }
-    sol.xi = optimal_slack(working_set_, sol.w);
-    return sol;
-  }
-
-  /// Cumulative dual QP solves this device has performed.
-  int qp_solves() const { return qp_solves_; }
-
-  /// Cumulative QP inner iterations across those solves.
-  int qp_iterations() const { return qp_iterations_; }
-
-  /// Cutting planes currently in the device's working set.
-  std::size_t working_set_size() const { return working_set_.size(); }
-
- private:
-  void add_plane(CuttingPlane plane, const linalg::Vector& d) {
-    const std::size_t a = working_set_.size();
-    const std::uint32_t id = gram_.intern(plane.s);
-    // Extend the prox-QP Hessian (already scaled by κ) by one border
-    // row/column through the Gram cache: a plane re-derived from an earlier
-    // round serves its whole border from memo.
-    linalg::Matrix h(a + 1, a + 1);
-    for (std::size_t i = 0; i < a; ++i) {
-      for (std::size_t j = 0; j < a; ++j) h(i, j) = hessian_(i, j);
-    }
-    for (std::size_t i = 0; i < a; ++i) {
-      const double entry = kappa_ * gram_.dot(plane_ids_[i], id);
-      h(i, a) = entry;
-      h(a, i) = entry;
-    }
-    h(a, a) = kappa_ * gram_.dot(id, id);
-    hessian_ = std::move(h);
-    lipschitz_ = 0.0;  // Hessian version changed
-    linear_.push_back(plane.offset - linalg::dot(plane.s, d));
-    // The new dual variable resumes from the γ this plane converged to in
-    // the previous CCCP round (0 if it was never in the working set).
-    previous_gamma_.push_back(warm_->seed(slot_, id));
-    plane_ids_.push_back(id);
-    working_set_.push_back(std::move(plane));
-    count_constraint_added();
-  }
-
-  void solve_dual(const linalg::Vector& d, LocalSolution& sol) {
-    const std::size_t n = working_set_.size();
-    qp::CappedSimplexQpProblem problem;
-    problem.hessian = hessian_;
-    problem.linear = linear_;
-    problem.groups.resize(1);
-    problem.groups[0].resize(n);
-    for (std::size_t i = 0; i < n; ++i) problem.groups[0][i] = i;
-    problem.caps = {1.0};
-
-    qp::QpOptions qp_options = options_->qp;
-    qp_options.warm_start = previous_gamma_;
-    qp_options.warm_start.resize(n, 0.0);
-    if (gram_.memoize()) {
-      // Lipschitz memo per working-set version: re-solves of an unchanged
-      // Hessian (every late ADMM iteration) skip the power iteration.
-      // Bitwise-neutral — lipschitz_estimate is a pure function of H, and
-      // checked builds re-derive and compare (see QpOptions::lipschitz).
-      if (lipschitz_ == 0.0) {
-        lipschitz_ = qp::lipschitz_estimate(problem.hessian);
-      }
-      qp_options.lipschitz = lipschitz_;
-    }
-    const qp::QpResult result = qp::solve_capped_simplex_qp(problem, qp_options);
-    ++qp_solves_;
-    qp_iterations_ += result.iterations;
-    previous_gamma_ = result.solution;
-
-    linalg::Vector g = linalg::zeros(d.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      if (result.solution[i] != 0.0) {
-        linalg::axpy(result.solution[i], working_set_[i].s, g);
-      }
-    }
-    sol.w = d;
-    linalg::axpy(kappa_, g, sol.w);
-    sol.v = linalg::scaled(g, v_over_g_);
-  }
-
-  PlosUserContext ctx_;
-  const DistributedPlosOptions* options_;
-  double num_users_;
-  double kappa_;     ///< T/(2λ) + 1/ρ
-  double v_over_g_;  ///< T/(2λ)
-  std::vector<int> signs_;
-  std::vector<CuttingPlane> working_set_;
-  std::vector<std::uint32_t> plane_ids_;  ///< interned id per working-set slot
-  linalg::Matrix hessian_;   ///< κ ⟨s_i, s_j⟩ over the working set
-  linalg::Vector linear_;    ///< b_i − ⟨s_i, d⟩ at the current prox center
-  double lipschitz_ = 0.0;   ///< memoized λmax(hessian_); 0 = stale
-  linalg::Vector previous_gamma_;
-  PlaneGramCache gram_;      ///< persists across CCCP rounds
-  qp::WarmStore* warm_;      ///< trainer-owned; this device's slot is slot_
-  std::size_t slot_;
-  int qp_solves_ = 0;
-  int qp_iterations_ = 0;
-};
-
-}  // namespace
-
-namespace {
+// The per-device solver, the wire payload builders, and the round-status
+// vocabulary live in core/admm_device.* — shared with the asynchronous
+// quorum engine (src/async) so both engines run bitwise-identical device
+// code.
 
 // Shared implementation: participation = 1 is the synchronous algorithm
 // (the availability RNG is bypassed entirely so results are bit-identical
@@ -331,7 +75,7 @@ DistributedPlosResult train_distributed_impl(
   // rounds. Workers only ever touch their own device's slot, so the store
   // needs no locking under the pool's static chunking.
   qp::WarmStore warm_store(num_users);
-  std::vector<Device> devices;
+  std::vector<AdmmDevice> devices;
   devices.reserve(num_users);
   for (std::size_t t = 0; t < num_users; ++t) {
     devices.emplace_back(dataset.users[t], num_users, options, &warm_store, t);
@@ -402,17 +146,17 @@ DistributedPlosResult train_distributed_impl(
 
   const auto total_device_qp_solves = [&devices]() {
     int total = 0;
-    for (const Device& device : devices) total += device.qp_solves();
+    for (const AdmmDevice& device : devices) total += device.qp_solves();
     return total;
   };
   const auto total_device_qp_iterations = [&devices]() {
     int total = 0;
-    for (const Device& device : devices) total += device.qp_iterations();
+    for (const AdmmDevice& device : devices) total += device.qp_iterations();
     return total;
   };
   const auto total_working_set_size = [&devices]() {
     std::size_t total = 0;
-    for (const Device& device : devices) total += device.working_set_size();
+    for (const AdmmDevice& device : devices) total += device.working_set_size();
     return total;
   };
 
@@ -424,6 +168,14 @@ DistributedPlosResult train_distributed_impl(
   net::SimNetwork::TrafficSnapshot previous_traffic;
   if (network != nullptr) previous_traffic = network->traffic_snapshot();
   bool watchdog_aborted = false;
+
+  // Server-block freshness for the journal's staleness fields. The
+  // synchronous engine refreshes every participant at each aggregation
+  // step and never evicts; sharing the ledger vocabulary with the async
+  // quorum engine keeps degenerate-mode journals byte-identical. The step
+  // counter spans CCCP rounds (one tick per ADMM iteration).
+  StalenessLedger staleness(num_users);
+  std::uint64_t aggregation_step = 0;
 
   for (int cccp = 0; cccp < options.cccp.max_iterations; ++cccp) {
     PLOS_SPAN("plos.cccp_round", "round", cccp);
@@ -484,13 +236,13 @@ DistributedPlosResult train_distributed_impl(
         if (network != nullptr) {
           if (fault != nullptr) {
             const auto frame =
-                net::frame_message(broadcast_payload(w0, u[t]));
+                net::frame_message(admm_broadcast_payload(w0, u[t]));
             if (!network->transmit_to_device(t, frame).delivered) {
               status[t] = kDownlinkFailed;
               return;  // device never received (w0, u_t) this round
             }
           } else {
-            network->send_to_device(t, broadcast_payload(w0, u[t]).size());
+            network->send_to_device(t, admm_broadcast_payload(w0, u[t]).size());
           }
         }
         PLOS_SPAN("plos.device_solve", "device", static_cast<double>(t));
@@ -508,14 +260,14 @@ DistributedPlosResult train_distributed_impl(
         if (network != nullptr) {
           if (fault != nullptr) {
             const auto frame =
-                net::frame_message(update_payload(sol.w, sol.v, sol.xi));
+                net::frame_message(admm_update_payload(sol.w, sol.v, sol.xi));
             if (!network->transmit_to_server(t, frame).delivered) {
               status[t] = kUplinkFailed;
               return;
             }
           } else {
             network->send_to_server(t,
-                                    update_payload(sol.w, sol.v, sol.xi).size());
+                                    admm_update_payload(sol.w, sol.v, sol.xi).size());
           }
         }
         w[t] = std::move(sol.w);
@@ -594,6 +346,12 @@ DistributedPlosResult train_distributed_impl(
         network->end_round();
       }
 
+      // Participants' server blocks now hold this step's data; every other
+      // cached block aged by one step.
+      for (std::size_t t = 0; t < num_users; ++t) {
+        if (participated[t]) staleness.refresh(t, aggregation_step);
+      }
+
       result.diagnostics.objective_trace.push_back(objective);
       result.diagnostics.primal_residual_trace.push_back(primal_residual);
       result.diagnostics.dual_residual_trace.push_back(dual_residual);
@@ -630,6 +388,8 @@ DistributedPlosResult train_distributed_impl(
         record.qp_iterations =
             total_device_qp_iterations() - iteration_qp_iterations_before;
         record.participation_rate = participation_rate;
+        record.quorum_size = participants;
+        staleness.fill_record(record, aggregation_step);
         if (network != nullptr) {
           const auto traffic = network->traffic_snapshot();
           record.bytes_to_devices =
@@ -649,6 +409,7 @@ DistributedPlosResult train_distributed_impl(
           break;
         }
       }
+      ++aggregation_step;
 
       // Paper thresholds (Eq. 24) plus Boyd's relative terms.
       const double primal_threshold =

@@ -1,0 +1,36 @@
+#include "net/event_queue.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace plos::net {
+
+bool event_before(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.round != b.round) return a.round < b.round;
+  if (a.device != b.device) return a.device < b.device;
+  return static_cast<std::uint32_t>(a.kind) <
+         static_cast<std::uint32_t>(b.kind);
+}
+
+void EventQueue::push(const Event& event) {
+  PLOS_CHECK(std::isfinite(event.time) && event.time >= 0.0,
+             "EventQueue: event time must be finite and non-negative, got "
+                 << event.time);
+  heap_.push(event);
+}
+
+const Event& EventQueue::top() const {
+  PLOS_CHECK(!heap_.empty(), "EventQueue: top() on empty queue");
+  return heap_.top();
+}
+
+Event EventQueue::pop() {
+  PLOS_CHECK(!heap_.empty(), "EventQueue: pop() on empty queue");
+  const Event event = heap_.top();
+  heap_.pop();
+  return event;
+}
+
+}  // namespace plos::net

@@ -13,6 +13,7 @@ constexpr std::uint64_t kStragglerDraw = 0x02;
 constexpr std::uint64_t kDropDraw = 0x03;
 constexpr std::uint64_t kCorruptDraw = 0x04;
 constexpr std::uint64_t kCorruptBitDraw = 0x05;
+constexpr std::uint64_t kRetryJitterDraw = 0x06;
 
 // splitmix64 finalizer: full-avalanche 64-bit mix.
 std::uint64_t mix64(std::uint64_t x) {
@@ -57,16 +58,25 @@ FaultModel::FaultModel(const FaultSpec& spec)
   PLOS_CHECK(spec.max_retries >= 0, "FaultModel: max_retries must be >= 0");
   PLOS_CHECK(spec.retry_backoff_s >= 0.0,
              "FaultModel: retry_backoff_s must be >= 0");
+  PLOS_CHECK(spec.retry_jitter >= 0.0 && spec.retry_jitter <= 1.0,
+             "FaultModel: retry_jitter outside [0, 1]");
+}
+
+double counter_uniform(std::uint64_t seed, std::uint64_t kind,
+                       std::uint64_t round, std::uint64_t device,
+                       std::uint64_t direction, std::uint64_t attempt) {
+  const std::uint64_t h =
+      hash_key(seed, kind, round, device, direction, attempt);
+  // Top 53 bits -> [0, 1) with full double resolution.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
 double FaultModel::uniform(std::uint64_t kind, std::uint64_t round,
                            std::size_t device, std::uint64_t direction,
                            std::uint64_t attempt) const {
-  const std::uint64_t h = hash_key(spec_.seed, kind, round,
-                                   static_cast<std::uint64_t>(device),
-                                   direction, attempt);
-  // Top 53 bits -> [0, 1) with full double resolution.
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
+  return counter_uniform(spec_.seed, kind, round,
+                         static_cast<std::uint64_t>(device), direction,
+                         attempt);
 }
 
 bool FaultModel::offline(std::uint64_t round, std::size_t device) const {
@@ -118,6 +128,17 @@ std::size_t FaultModel::corrupt_bit(std::uint64_t round, std::size_t device,
                                    static_cast<std::uint64_t>(direction),
                                    static_cast<std::uint64_t>(attempt));
   return static_cast<std::size_t>(h % num_bits);
+}
+
+double FaultModel::retry_backoff_multiplier(std::uint64_t round,
+                                            std::size_t device,
+                                            Direction direction,
+                                            int attempt) const {
+  if (!enabled_ || spec_.retry_jitter <= 0.0) return 1.0;
+  const double u = uniform(kRetryJitterDraw, round, device,
+                           static_cast<std::uint64_t>(direction),
+                           static_cast<std::uint64_t>(attempt));
+  return 1.0 + spec_.retry_jitter * (2.0 * u - 1.0);
 }
 
 }  // namespace plos::net

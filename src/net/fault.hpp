@@ -56,6 +56,14 @@ struct FaultSpec {
   /// is charged to the ledgers and adds retry_backoff_s of device wait.
   int max_retries = 2;
   double retry_backoff_s = 0.05;
+  /// Seeded jitter on the retry backoff, as a fraction of retry_backoff_s:
+  /// attempt `a` waits retry_backoff_s * (1 + retry_jitter * (2u - 1))
+  /// where u in [0, 1) is a pure counter-based draw keyed by the attempt.
+  /// Desynchronizes retry storms (a burst of drops would otherwise make
+  /// every device re-fire on the same simulated tick and land together on
+  /// a round deadline). 0 disables jitter exactly (multiplier == 1.0);
+  /// must be in [0, 1] so the backoff never goes negative.
+  double retry_jitter = 0.0;
   std::uint64_t seed = 0;
 
   /// True when any fault can actually fire (deadline/slowdown alone do
@@ -107,6 +115,13 @@ class FaultModel {
                           Direction direction, int attempt,
                           std::size_t num_bits) const;
 
+  /// Seeded multiplicative jitter on the retry backoff of message attempt
+  /// `attempt` (>= 1): uniform in [1 - retry_jitter, 1 + retry_jitter),
+  /// exactly 1.0 when retry_jitter == 0 or the model is disabled — so the
+  /// jitter-free timing path is bitwise unchanged.
+  double retry_backoff_multiplier(std::uint64_t round, std::size_t device,
+                                  Direction direction, int attempt) const;
+
  private:
   /// Uniform in [0, 1) from the counter-based key; `kind` separates the
   /// independent draw families (offline, straggler, drop, ...).
@@ -116,6 +131,16 @@ class FaultModel {
   FaultSpec spec_;
   bool enabled_ = false;
 };
+
+/// The counter-based uniform draw underlying every FaultModel decision,
+/// exposed for other deterministic timing models (the async engine's
+/// latency jitter). Chains (seed, kind, round, device, direction, attempt)
+/// through a splitmix64 finalizer and returns a uniform in [0, 1) with
+/// full 53-bit resolution. Draw kinds 0x01-0x06 are reserved by FaultModel;
+/// external callers should key their families from 0x10 upward.
+double counter_uniform(std::uint64_t seed, std::uint64_t kind,
+                       std::uint64_t round, std::uint64_t device,
+                       std::uint64_t direction, std::uint64_t attempt);
 
 /// Accumulated fault/retry counters (one struct per SimNetwork; aggregate,
 /// order-independent integer totals so they meet the determinism contract).

@@ -48,6 +48,7 @@ SimNetwork::SimNetwork(std::size_t num_devices, DeviceProfile device_profile,
                        LinkProfile link_profile)
     : device_profile_(device_profile),
       link_profile_(link_profile),
+      device_profiles_(num_devices, device_profile),
       device_links_(num_devices, link_profile),
       devices_(num_devices),
       round_device_seconds_(num_devices, 0.0) {
@@ -56,6 +57,20 @@ SimNetwork::SimNetwork(std::size_t num_devices, DeviceProfile device_profile,
              "SimNetwork: cpu_slowdown must be positive");
   PLOS_CHECK(link_profile.bandwidth_kbps > 0.0,
              "SimNetwork: bandwidth must be positive");
+}
+
+void SimNetwork::set_device_profile(std::size_t device,
+                                    DeviceProfile profile) {
+  PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
+  PLOS_CHECK(profile.cpu_slowdown > 0.0,
+             "SimNetwork: cpu_slowdown must be positive");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  device_profiles_[device] = profile;
+}
+
+const DeviceProfile& SimNetwork::device_profile(std::size_t device) const {
+  PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
+  return device_profiles_[device];
 }
 
 void SimNetwork::set_device_link(std::size_t device, LinkProfile profile) {
@@ -78,6 +93,13 @@ double SimNetwork::transfer_seconds(std::size_t device,
   return link.latency_s + kb * 8.0 / link.bandwidth_kbps;
 }
 
+double SimNetwork::transfer_seconds_for(std::size_t device,
+                                        std::size_t bytes) const {
+  PLOS_CHECK(device < devices_.size(), "SimNetwork: device out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return transfer_seconds(device, bytes);
+}
+
 void SimNetwork::charge_message(std::size_t device, Direction direction,
                                 std::size_t bytes, double multiplier) {
   const double kb = static_cast<double>(bytes) / 1024.0;
@@ -85,20 +107,20 @@ void SimNetwork::charge_message(std::size_t device, Direction direction,
     server_.bytes_sent += bytes;
     devices_[device].bytes_received += bytes;
     devices_[device].messages_received += 1;
-    devices_[device].energy_joules += kb * device_profile_.rx_energy_j_per_kb;
+    devices_[device].energy_joules += kb * device_profiles_[device].rx_energy_j_per_kb;
     simnet_instruments().bytes_to_device.add(static_cast<double>(bytes));
     simnet_instruments().messages_to_device.increment();
     simnet_instruments().device_energy_joules.add(
-        kb * device_profile_.rx_energy_j_per_kb);
+        kb * device_profiles_[device].rx_energy_j_per_kb);
   } else {
     server_.bytes_received += bytes;
     devices_[device].bytes_sent += bytes;
     devices_[device].messages_sent += 1;
-    devices_[device].energy_joules += kb * device_profile_.tx_energy_j_per_kb;
+    devices_[device].energy_joules += kb * device_profiles_[device].tx_energy_j_per_kb;
     simnet_instruments().bytes_to_server.add(static_cast<double>(bytes));
     simnet_instruments().messages_to_server.increment();
     simnet_instruments().device_energy_joules.add(
-        kb * device_profile_.tx_energy_j_per_kb);
+        kb * device_profiles_[device].tx_energy_j_per_kb);
   }
   round_device_seconds_[device] += transfer_seconds(device, bytes) * multiplier;
 }
@@ -133,8 +155,13 @@ SimNetwork::TransmitOutcome SimNetwork::transmit(
     outcome.attempts = attempt + 1;
     if (attempt > 0) {
       ++fault_counters_.retries;
-      round_device_seconds_[device] +=
-          fault_.spec().retry_backoff_s * multiplier;
+      // Seeded jitter (exactly 1.0 when retry_jitter == 0) desynchronizes
+      // retry storms; pure counter draw, so the wait is deterministic.
+      const double backoff =
+          fault_.spec().retry_backoff_s * multiplier *
+          fault_.retry_backoff_multiplier(round, device, direction, attempt);
+      round_device_seconds_[device] += backoff;
+      outcome.seconds += backoff;
       simnet_instruments().retries.increment();
     }
 
@@ -148,18 +175,20 @@ SimNetwork::TransmitOutcome SimNetwork::transmit(
         devices_[device].bytes_sent += bytes;
         devices_[device].messages_sent += 1;
         devices_[device].energy_joules +=
-            kb * device_profile_.tx_energy_j_per_kb;
+            kb * device_profiles_[device].tx_energy_j_per_kb;
         simnet_instruments().device_energy_joules.add(
-            kb * device_profile_.tx_energy_j_per_kb);
+            kb * device_profiles_[device].tx_energy_j_per_kb);
         ++fault_counters_.uplink_dropped;
       }
       round_device_seconds_[device] +=
           transfer_seconds(device, bytes) * multiplier;
+      outcome.seconds += transfer_seconds(device, bytes) * multiplier;
       simnet_instruments().messages_dropped.increment();
       continue;
     }
 
     charge_message(device, direction, bytes, multiplier);
+    outcome.seconds += transfer_seconds(device, bytes) * multiplier;
 
     if (fault_.corrupt(round, device, direction, attempt)) {
       // Flip the schedule-chosen bit in a copy and run the real CRC check:
@@ -227,14 +256,14 @@ void SimNetwork::account_device_compute(std::size_t device,
   // Straggler multiplier is exactly 1.0 without faults, so the fault-free
   // ledger is bitwise unchanged.
   const double device_seconds = measured_seconds *
-                                device_profile_.cpu_slowdown *
+                                device_profiles_[device].cpu_slowdown *
                                 fault_.time_multiplier(rounds_, device);
   devices_[device].compute_seconds += device_seconds;
   devices_[device].energy_joules +=
-      device_seconds * device_profile_.compute_power_watts;
+      device_seconds * device_profiles_[device].compute_power_watts;
   round_device_seconds_[device] += device_seconds;
   simnet_instruments().device_energy_joules.add(
-      device_seconds * device_profile_.compute_power_watts);
+      device_seconds * device_profiles_[device].compute_power_watts);
 }
 
 void SimNetwork::account_server_compute(double measured_seconds) {

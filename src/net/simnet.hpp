@@ -90,6 +90,16 @@ class SimNetwork {
 
   const LinkProfile& device_link(std::size_t device) const;
 
+  /// Overrides the device profile of one device (default: the
+  /// constructor's profile for every device). Chronic stragglers — devices
+  /// that are persistently slower than the fleet, not just unlucky in one
+  /// round — are modeled as per-device cpu_slowdown overrides; compute and
+  /// energy ledger charges use the override too. Set before training
+  /// starts.
+  void set_device_profile(std::size_t device, DeviceProfile profile);
+
+  const DeviceProfile& device_profile(std::size_t device) const;
+
   // -- fault injection -----------------------------------------------------
 
   /// Attaches a fault model; transmit_* consult it and the distributed
@@ -121,6 +131,12 @@ class SimNetwork {
   struct TransmitOutcome {
     bool delivered = true;
     int attempts = 1;
+    /// Deterministic virtual seconds the exchange occupied on the device's
+    /// clock: per-attempt transfer windows plus (jittered) retry backoff,
+    /// exactly what the round ledger was charged. Pure function of
+    /// (frame size, round, device, direction) through the fault schedule,
+    /// so the async engine can build event times from it.
+    double seconds = 0.0;
   };
 
   /// Fault-aware server -> device transmission of a CRC32 frame: retries up
@@ -159,6 +175,15 @@ class SimNetwork {
   /// is capped at the deadline (the server stops waiting for stragglers).
   void end_round();
 
+  /// Deterministic one-way link time for `bytes` over the device's link:
+  /// latency + serialization delay. Public so the async engine's virtual
+  /// completion-time model charges exactly what the ledger charges.
+  double transfer_seconds_for(std::size_t device, std::size_t bytes) const;
+
+  /// Fleet-wide device hardware profile (CPU slowdown, energy model).
+  /// The constructor's fleet-wide profile (per-device overrides excluded).
+  const DeviceProfile& device_profile() const { return device_profile_; }
+
   // -- results -------------------------------------------------------------
 
   double total_simulated_seconds() const { return simulated_seconds_; }
@@ -188,7 +213,8 @@ class SimNetwork {
   mutable std::mutex mutex_;
   DeviceProfile device_profile_;
   LinkProfile link_profile_;
-  std::vector<LinkProfile> device_links_;  ///< per-device overrides
+  std::vector<DeviceProfile> device_profiles_;  ///< per-device overrides
+  std::vector<LinkProfile> device_links_;       ///< per-device overrides
   FaultModel fault_;
   FaultCounters fault_counters_;
   std::vector<DeviceMetrics> devices_;

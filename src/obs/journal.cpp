@@ -72,7 +72,24 @@ std::string record_to_json(const RoundRecord& record) {
   append_u64(out, "messages_dropped", record.messages_dropped);
   out += ',';
   append_u64(out, "retries", record.retries);
-  out += '}';
+  out += ',';
+  append_u64(out, "quorum_size", record.quorum_size);
+  out += ',';
+  append_u64(out, "late_uploads", record.late_uploads);
+  out += ',';
+  append_u64(out, "evictions_offline", record.evictions_offline);
+  out += ',';
+  append_u64(out, "evictions_late", record.evictions_late);
+  out += ',';
+  append_u64(out, "evictions_failed", record.evictions_failed);
+  out += ',';
+  append_u64(out, "max_staleness", record.max_staleness);
+  out += ",\"staleness_hist\":[";
+  for (std::size_t i = 0; i < record.staleness_hist.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(record.staleness_hist[i]);
+  }
+  out += "]}";
   return out;
 }
 
@@ -175,6 +192,21 @@ bool parse_journal_jsonl(std::string_view text, std::vector<RoundRecord>& out,
     record.bytes_to_server = u64_field(*value, "bytes_to_server");
     record.messages_dropped = u64_field(*value, "messages_dropped");
     record.retries = u64_field(*value, "retries");
+    record.quorum_size = u64_field(*value, "quorum_size");
+    record.late_uploads = u64_field(*value, "late_uploads");
+    record.evictions_offline = u64_field(*value, "evictions_offline");
+    record.evictions_late = u64_field(*value, "evictions_late");
+    record.evictions_failed = u64_field(*value, "evictions_failed");
+    record.max_staleness = u64_field(*value, "max_staleness");
+    record.staleness_hist.clear();
+    if (const json::Value* hist = value->find("staleness_hist");
+        hist != nullptr && hist->is_array()) {
+      for (const json::Value& entry : hist->as_array()) {
+        if (!entry.is_number()) continue;
+        record.staleness_hist.push_back(
+            static_cast<std::uint64_t>(entry.as_number()));
+      }
+    }
     out.push_back(std::move(record));
   }
   return true;

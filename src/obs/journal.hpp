@@ -49,6 +49,19 @@ struct RoundRecord {
   std::uint64_t messages_dropped = 0;  ///< fault-injected losses this step
   std::uint64_t retries = 0;           ///< retransmissions this step
 
+  // Aggregation freshness (distributed trainers; zeros for centralized).
+  // The synchronous engine reports quorum_size == participants and never
+  // evicts; the async quorum engine (src/async) fills all of them.
+  std::uint64_t quorum_size = 0;   ///< fresh uploads aggregated this step
+  std::uint64_t late_uploads = 0;  ///< cached late uploads folded this step
+  std::uint64_t evictions_offline = 0;  ///< stale blocks reset: device offline
+  std::uint64_t evictions_late = 0;     ///< stale blocks reset: straggling/busy
+  std::uint64_t evictions_failed = 0;   ///< stale blocks reset: link failures
+  std::uint64_t max_staleness = 0;      ///< oldest server block age (rounds)
+  /// Per-block age histogram at aggregation time (last bucket open-ended);
+  /// empty for trainers without server-side caching (centralized).
+  std::vector<std::uint64_t> staleness_hist;
+
   /// True when the optional double fields were actually produced but came
   /// out non-finite (they serialize as null either way; this flag keeps
   /// the distinction).  Maintained by record_to_json/parse.

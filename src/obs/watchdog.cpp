@@ -20,6 +20,8 @@ Counter& kind_counter(ViolationKind kind) {
       return metrics().counter("plos.watchdog.divergence");
     case ViolationKind::kParticipation:
       return metrics().counter("plos.watchdog.participation");
+    case ViolationKind::kStaleness:
+      return metrics().counter("plos.watchdog.staleness");
   }
   return metrics().counter("plos.watchdog.unknown");  // unreachable
 }
@@ -36,6 +38,8 @@ const char* violation_kind_name(ViolationKind kind) {
       return "divergence";
     case ViolationKind::kParticipation:
       return "participation";
+    case ViolationKind::kStaleness:
+      return "staleness";
   }
   return "unknown";
 }
@@ -162,6 +166,25 @@ WatchdogAction Watchdog::observe(const RoundRecord& record) {
       }
     } else {
       low_participation_streak_ = 0;
+    }
+  }
+
+  // -- staleness collapse ----------------------------------------------------
+  if (config_.staleness_ceiling > 0) {
+    if (record.max_staleness >= config_.staleness_ceiling) {
+      ++high_staleness_streak_;
+      if (high_staleness_streak_ >= config_.staleness_rounds) {
+        escalate(report(
+            ViolationKind::kStaleness,
+            "max staleness " + std::to_string(record.max_staleness) +
+                " at or above ceiling " +
+                std::to_string(config_.staleness_ceiling) + " for " +
+                std::to_string(high_staleness_streak_) +
+                " consecutive records"));
+        high_staleness_streak_ = 0;  // re-arm
+      }
+    } else {
+      high_staleness_streak_ = 0;
     }
   }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,7 @@ enum class ViolationKind {
   kStall,          ///< no objective improvement over stall_rounds records
   kDivergence,     ///< objective or residual growth beyond tolerance
   kParticipation,  ///< participation rate below floor for too many rounds
+  kStaleness,      ///< max server-block staleness at/above ceiling too long
 };
 
 const char* violation_kind_name(ViolationKind kind);
@@ -69,6 +71,15 @@ struct WatchdogConfig {
   /// participation_rounds consecutive records. Floor <= 0 disables.
   double participation_floor = 0.0;
   int participation_rounds = 3;
+
+  /// Staleness collapse (async quorum engine): max_staleness at or above
+  /// this ceiling for staleness_rounds consecutive records means the
+  /// server keeps aggregating around the same dead blocks — the quorum is
+  /// met by a fast subset while the rest of the fleet never lands an
+  /// upload. 0 disables (the synchronous engine never evicts, so stale
+  /// blocks there are ordinary non-participation).
+  std::uint64_t staleness_ceiling = 0;
+  int staleness_rounds = 3;
 };
 
 class Watchdog {
@@ -109,6 +120,7 @@ class Watchdog {
   double best_primal_residual_ = 0.0;
 
   int low_participation_streak_ = 0;
+  int high_staleness_streak_ = 0;
 
   std::vector<WatchdogViolation> violations_;
 };

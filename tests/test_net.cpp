@@ -1,7 +1,11 @@
 // Tests for binary serialization and the network/device simulator.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "common/assert.hpp"
+#include "net/event_queue.hpp"
 #include "net/serialize.hpp"
 #include "net/simnet.hpp"
 
@@ -198,6 +202,58 @@ TEST(SimNetwork, InvalidUsageThrows) {
   EXPECT_THROW(net.account_device_compute(0, -1.0), PreconditionError);
   EXPECT_THROW(SimNetwork(0, DeviceProfile{}, LinkProfile{}),
                PreconditionError);
+}
+
+// ---- EventQueue -----------------------------------------------------------
+
+TEST(EventQueue, PopOrderIsIndependentOfInsertionOrder) {
+  const std::vector<Event> events{
+      {2.0, 0, 3, EventKind::kUpload},   {1.0, 0, 1, EventKind::kDeadline},
+      {1.0, 0, 1, EventKind::kUpload},   {1.0, 0, 0, EventKind::kDeadline},
+      {2.0, 1, 0, EventKind::kUpload},   {0.5, 2, 7, EventKind::kDeadline},
+  };
+  // Drain once in the given order, once reversed: identical sequences.
+  std::vector<Event> forward_popped;
+  std::vector<Event> reverse_popped;
+  {
+    EventQueue queue;
+    for (const Event& event : events) queue.push(event);
+    while (!queue.empty()) forward_popped.push_back(queue.pop());
+  }
+  {
+    EventQueue queue;
+    for (auto it = events.rbegin(); it != events.rend(); ++it) queue.push(*it);
+    while (!queue.empty()) reverse_popped.push_back(queue.pop());
+  }
+  ASSERT_EQ(forward_popped.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(forward_popped[i].time, reverse_popped[i].time);
+    EXPECT_EQ(forward_popped[i].round, reverse_popped[i].round);
+    EXPECT_EQ(forward_popped[i].device, reverse_popped[i].device);
+    EXPECT_EQ(forward_popped[i].kind, reverse_popped[i].kind);
+    if (i > 0) {
+      EXPECT_TRUE(event_before(forward_popped[i - 1], forward_popped[i]));
+    }
+  }
+  // Ties on time break by (round, device, kind), upload before deadline.
+  EXPECT_EQ(forward_popped[0].device, 7u);               // t=0.5
+  EXPECT_EQ(forward_popped[1].device, 0u);               // t=1.0, device 0
+  EXPECT_EQ(forward_popped[2].kind, EventKind::kUpload); // t=1.0, device 1
+  EXPECT_EQ(forward_popped[3].kind, EventKind::kDeadline);
+  EXPECT_EQ(forward_popped[4].round, 0u);                // t=2.0, round 0
+  EXPECT_EQ(forward_popped[5].round, 1u);
+}
+
+TEST(EventQueue, RejectsNonFiniteOrNegativeTimes) {
+  EventQueue queue;
+  Event event;
+  event.time = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(queue.push(event), PreconditionError);
+  event.time = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(queue.push(event), PreconditionError);
+  event.time = -1.0;
+  EXPECT_THROW(queue.push(event), PreconditionError);
+  EXPECT_TRUE(queue.empty());
 }
 
 }  // namespace

@@ -160,6 +160,47 @@ TEST(Journal, RecordRoundTripsThroughJsonl) {
   EXPECT_EQ(parsed[1].retries, 4u);
 }
 
+TEST(Journal, AsyncQuorumFieldsRoundTrip) {
+  obs::Journal journal;
+  obs::RoundRecord record;
+  record.trainer = "distributed";
+  record.cccp_round = 1;
+  record.admm_iteration = 7;
+  record.quorum_size = 12;
+  record.late_uploads = 3;
+  record.evictions_offline = 1;
+  record.evictions_late = 2;
+  record.evictions_failed = 4;
+  record.max_staleness = 5;
+  record.staleness_hist = {6, 3, 2, 1, 0, 1, 0, 0};
+  journal.append(record);
+
+  std::vector<obs::RoundRecord> parsed;
+  std::string error;
+  ASSERT_TRUE(obs::parse_journal_jsonl(journal.to_jsonl(), parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].quorum_size, 12u);
+  EXPECT_EQ(parsed[0].late_uploads, 3u);
+  EXPECT_EQ(parsed[0].evictions_offline, 1u);
+  EXPECT_EQ(parsed[0].evictions_late, 2u);
+  EXPECT_EQ(parsed[0].evictions_failed, 4u);
+  EXPECT_EQ(parsed[0].max_staleness, 5u);
+  EXPECT_EQ(parsed[0].staleness_hist,
+            (std::vector<std::uint64_t>{6, 3, 2, 1, 0, 1, 0, 0}));
+  // Records from trainers that predate the async fields parse with the
+  // defaults intact.
+  std::vector<obs::RoundRecord> legacy;
+  ASSERT_TRUE(obs::parse_journal_jsonl(
+      "{\"trainer\":\"distributed\",\"cccp_round\":0,\"admm_iteration\":0}",
+      legacy, &error))
+      << error;
+  ASSERT_EQ(legacy.size(), 1u);
+  EXPECT_EQ(legacy[0].quorum_size, 0u);
+  EXPECT_EQ(legacy[0].max_staleness, 0u);
+  EXPECT_TRUE(legacy[0].staleness_hist.empty());
+}
+
 TEST(Journal, ParseReportsMalformedLine) {
   std::vector<obs::RoundRecord> parsed;
   std::string error;
@@ -358,6 +399,34 @@ TEST(Watchdog, FlagsParticipationCollapse) {
   ok.participation_rate = 0.9;
   EXPECT_EQ(watchdog.observe(ok), obs::WatchdogAction::kNone);
   EXPECT_EQ(watchdog.observe(low), obs::WatchdogAction::kNone);
+}
+
+TEST(Watchdog, FlagsStalenessCollapse) {
+  obs::WatchdogConfig config;
+  config.staleness_ceiling = 3;
+  config.staleness_rounds = 2;
+  obs::Watchdog watchdog(config);
+  obs::RoundRecord stale = healthy_record(1.0);
+  stale.max_staleness = 3;
+  EXPECT_EQ(watchdog.observe(stale), obs::WatchdogAction::kNone);
+  EXPECT_EQ(watchdog.observe(stale), obs::WatchdogAction::kWarn);
+  ASSERT_EQ(watchdog.violations().size(), 1u);
+  EXPECT_EQ(watchdog.violations()[0].kind, obs::ViolationKind::kStaleness);
+  // A fresh aggregate resets the streak.
+  obs::RoundRecord fresh = healthy_record(1.0);
+  fresh.max_staleness = 1;
+  EXPECT_EQ(watchdog.observe(fresh), obs::WatchdogAction::kNone);
+  EXPECT_EQ(watchdog.observe(stale), obs::WatchdogAction::kNone);
+}
+
+TEST(Watchdog, StalenessPolicyDisabledByDefault) {
+  obs::Watchdog watchdog{obs::WatchdogConfig{}};  // ceiling 0 = off
+  obs::RoundRecord stale = healthy_record(1.0);
+  stale.max_staleness = 1000;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(watchdog.observe(stale), obs::WatchdogAction::kNone);
+  }
+  EXPECT_FALSE(watchdog.triggered());
 }
 
 TEST(Watchdog, AbortPolicyEscalates) {

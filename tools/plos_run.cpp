@@ -10,6 +10,7 @@
 //
 // Run `plos_run --help` for the full flag list.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <cstdlib>
@@ -20,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "async/async_admm.hpp"
 #include "core/baselines.hpp"
 #include "core/centralized_plos.hpp"
 #include "core/distributed_plos.hpp"
@@ -68,6 +70,11 @@ struct Args {
   double fault_straggler = 0.0;
   double fault_corrupt = 0.0;
   double round_deadline = 0.0;  // simulated seconds; 0 = wait for stragglers
+  // Asynchronous quorum engine (src/async); implies --distributed.
+  bool async_mode = false;
+  double quorum = 0.6;
+  std::uint64_t staleness_bound = 3;
+  bool adaptive_deadline = true;
   std::string save_model_path;
   std::string log_level;    // empty = logging stays off
   std::string trace_out;    // empty = no trace collection
@@ -103,6 +110,18 @@ void print_usage() {
       "  --round-deadline S         simulated seconds the server waits per\n"
       "                             round; stragglers past it are left behind\n"
       "                             (0 = wait). Fault flags need --distributed\n"
+      "  --async                    asynchronous bounded-staleness quorum\n"
+      "                             engine instead of the round barrier\n"
+      "                             (implies --distributed; --quorum 1.0 with\n"
+      "                             --adaptive-deadline off reproduces the\n"
+      "                             synchronous run bit for bit)\n"
+      "  --quorum Q                 fraction of on-time uploads that closes a\n"
+      "                             round, in (0, 1] (default 0.6)\n"
+      "  --staleness-bound N        max aggregation steps a device update may\n"
+      "                             lag before its server block is evicted;\n"
+      "                             positive integer (default 3)\n"
+      "  --adaptive-deadline on|off per-device deadlines from the latency\n"
+      "                             EWMA (default on)\n"
       "  --no-hotpath-cache         disable the Gram/Lipschitz memoization\n"
       "                             (PLOS_NO_HOTPATH_CACHE=1 does the same);\n"
       "                             results are bitwise identical, only slower\n"
@@ -142,7 +161,9 @@ void print_usage() {
 bool parse_double_value(const char* text, double& out) {
   char* end = nullptr;
   out = std::strtod(text, &end);
-  return end != text && *end == '\0';
+  // strtod happily parses "nan" and "inf"; a non-finite probability or
+  // bound silently corrupts every downstream comparison, so refuse it here.
+  return end != text && *end == '\0' && std::isfinite(out);
 }
 
 bool parse_u64_value(const char* text, std::uint64_t& out) {
@@ -266,6 +287,34 @@ std::optional<Args> parse(int argc, char** argv) {
                      args.round_deadline);
         ok = false;
       }
+    } else if (flag == "--async") {
+      args.async_mode = true;
+      args.distributed = true;
+    } else if (flag == "--quorum") {
+      double_value(args.quorum);
+      if (ok && (args.quorum <= 0.0 || args.quorum > 1.0)) {
+        std::fprintf(stderr, "plos_run: --quorum must be in (0, 1], got %g\n",
+                     args.quorum);
+        ok = false;
+      }
+    } else if (flag == "--staleness-bound") {
+      u64_value(args.staleness_bound);
+      if (ok && args.staleness_bound == 0) {
+        std::fprintf(stderr,
+                     "plos_run: --staleness-bound must be a positive "
+                     "integer\n");
+        ok = false;
+      }
+    } else if (flag == "--adaptive-deadline") {
+      const std::string mode = value();
+      if (ok && mode != "on" && mode != "off") {
+        std::fprintf(stderr,
+                     "plos_run: --adaptive-deadline expects on or off, "
+                     "got '%s'\n",
+                     mode.c_str());
+        ok = false;
+      }
+      args.adaptive_deadline = mode == "on";
     } else if (flag == "--logistic") {
       args.logistic = true;
     } else if (flag == "--save-model") {
@@ -328,6 +377,18 @@ std::optional<Args> parse(int argc, char** argv) {
                  "(non-logistic) training\n");
     ok = false;
   }
+  if (ok && args.async_mode && args.logistic) {
+    std::fprintf(stderr,
+                 "plos_run: --async is the distributed hinge-loss engine; "
+                 "it cannot combine with --logistic\n");
+    ok = false;
+  }
+  if (ok && args.async_mode && args.round_deadline > 0.0) {
+    std::fprintf(stderr,
+                 "plos_run: --round-deadline is the synchronous barrier's "
+                 "deadline; under --async use --adaptive-deadline\n");
+    ok = false;
+  }
   // Environment escape hatch so CI equivalence jobs can flip whole test
   // matrices without threading a flag through every invocation. "0" and
   // empty keep the cache on; anything else disables it.
@@ -371,6 +432,7 @@ void register_standard_instruments() {
   obs::metrics().counter("plos.watchdog.stall");
   obs::metrics().counter("plos.watchdog.divergence");
   obs::metrics().counter("plos.watchdog.participation");
+  obs::metrics().counter("plos.watchdog.staleness");
   obs::metrics().counter("plos.watchdog.violations");
   obs::metrics().gauge("plos.watchdog.violations_total");
 }
@@ -473,6 +535,12 @@ int main(int argc, char** argv) {
   // rounds where most of the fleet stops reaching the server.
   watchdog_config.participation_floor = 0.5;
   watchdog_config.participation_rounds = 3;
+  // Under the async engine, aggregates that ride the eviction boundary for
+  // several consecutive rounds mean the staleness bound is doing all the
+  // work — flag that as a staleness collapse.
+  if (args.async_mode) {
+    watchdog_config.staleness_ceiling = args.staleness_bound;
+  }
   obs::Watchdog watchdog(watchdog_config);
   const bool watchdog_on = args.watchdog != "off";
   const bool journal_wanted =
@@ -530,33 +598,77 @@ int main(int argc, char** argv) {
       if (fault_spec.any_faults()) {
         network.set_fault_model(net::FaultModel(fault_spec));
       }
-      const auto result =
-          core::train_distributed_plos(dataset, options, &network);
-      model = result.model;
-      std::printf(
-          "distributed PLOS: %d ADMM iterations, %.2f simulated s, "
-          "%.2f KB/device\n",
-          result.diagnostics.admm_iterations_total,
-          network.total_simulated_seconds(),
-          network.mean_bytes_per_device() / 1024.0);
-      if (result.diagnostics.watchdog_aborted) {
+      core::DistributedPlosDiagnostics diagnostics;
+      if (args.async_mode) {
+        async::AsyncQuorumOptions async_options;
+        async_options.base = options;
+        async_options.quorum = args.quorum;
+        async_options.staleness_bound = args.staleness_bound;
+        async_options.adaptive_deadline = args.adaptive_deadline;
+        const auto result =
+            async::train_async_quorum_plos(dataset, async_options, &network);
+        model = result.model;
+        diagnostics = result.diagnostics;
+        const auto& a = result.async;
+        double mean_quorum = 0.0;
+        for (const std::uint64_t q : a.quorum_trace) {
+          mean_quorum += static_cast<double>(q);
+        }
+        if (!a.quorum_trace.empty()) {
+          mean_quorum /= static_cast<double>(a.quorum_trace.size());
+        }
+        const std::uint64_t evictions = a.evictions_offline_total +
+                                        a.evictions_late_total +
+                                        a.evictions_failed_total;
+        std::printf(
+            "async PLOS: %d ADMM iterations, %.4f virtual s, mean quorum "
+            "%.2f/%zu, late uploads %llu, evictions %llu, max staleness "
+            "%llu\n",
+            diagnostics.admm_iterations_total, a.virtual_seconds, mean_quorum,
+            dataset.num_users(),
+            static_cast<unsigned long long>(a.late_uploads_total),
+            static_cast<unsigned long long>(evictions),
+            static_cast<unsigned long long>(a.max_staleness_seen));
+        results["async_mean_quorum"] = mean_quorum;
+        results["async_late_uploads"] =
+            static_cast<double>(a.late_uploads_total);
+        results["async_evictions"] = static_cast<double>(evictions);
+        results["async_virtual_seconds"] = a.virtual_seconds;
+        results["async_max_staleness"] =
+            static_cast<double>(a.max_staleness_seen);
+        // The async engine's wall clock is the deterministic virtual one.
+        timing_map["simulated_seconds"] = a.virtual_seconds;
+      } else {
+        const auto result =
+            core::train_distributed_plos(dataset, options, &network);
+        model = result.model;
+        diagnostics = result.diagnostics;
+        std::printf(
+            "distributed PLOS: %d ADMM iterations, %.2f simulated s, "
+            "%.2f KB/device\n",
+            diagnostics.admm_iterations_total,
+            network.total_simulated_seconds(),
+            network.mean_bytes_per_device() / 1024.0);
+        timing_map["simulated_seconds"] = network.total_simulated_seconds();
+      }
+      if (diagnostics.watchdog_aborted) {
         std::printf("watchdog aborted training after %d ADMM iterations\n",
-                    result.diagnostics.admm_iterations_total);
+                    diagnostics.admm_iterations_total);
       }
-      rounds_completed = result.diagnostics.admm_iterations_total;
+      rounds_completed = diagnostics.admm_iterations_total;
       results["cccp_rounds"] =
-          static_cast<double>(result.diagnostics.cccp_iterations);
+          static_cast<double>(diagnostics.cccp_iterations);
       results["admm_iterations"] =
-          static_cast<double>(result.diagnostics.admm_iterations_total);
-      results["qp_solves"] = static_cast<double>(result.diagnostics.qp_solves);
-      if (!result.diagnostics.objective_trace.empty()) {
-        results["final_objective"] = result.diagnostics.objective_trace.back();
+          static_cast<double>(diagnostics.admm_iterations_total);
+      results["qp_solves"] = static_cast<double>(diagnostics.qp_solves);
+      if (!diagnostics.objective_trace.empty()) {
+        results["final_objective"] = diagnostics.objective_trace.back();
       }
-      if (!result.diagnostics.primal_residual_trace.empty()) {
+      if (!diagnostics.primal_residual_trace.empty()) {
         results["final_primal_residual"] =
-            result.diagnostics.primal_residual_trace.back();
+            diagnostics.primal_residual_trace.back();
         results["final_dual_residual"] =
-            result.diagnostics.dual_residual_trace.back();
+            diagnostics.dual_residual_trace.back();
       }
       const auto traffic = network.traffic_snapshot();
       results["bytes_to_devices"] =
@@ -565,16 +677,15 @@ int main(int argc, char** argv) {
       results["messages_dropped"] =
           static_cast<double>(traffic.messages_dropped);
       results["retries"] = static_cast<double>(traffic.retries);
-      if (!result.diagnostics.participation_trace.empty()) {
+      if (!diagnostics.participation_trace.empty()) {
         double mean = 0.0;
-        for (double p : result.diagnostics.participation_trace) mean += p;
+        for (double p : diagnostics.participation_trace) mean += p;
         results["mean_participation"] =
             mean /
-            static_cast<double>(result.diagnostics.participation_trace.size());
+            static_cast<double>(diagnostics.participation_trace.size());
       }
-      timing_map["simulated_seconds"] = network.total_simulated_seconds();
       if (fault_spec.any_faults()) {
-        const auto& d = result.diagnostics;
+        const auto& d = diagnostics;
         double mean_participation = 0.0;
         for (double p : d.participation_trace) mean_participation += p;
         if (!d.participation_trace.empty()) {
@@ -691,6 +802,17 @@ int main(int argc, char** argv) {
       manifest.options["rotation"] = render_double(args.rotation);
     }
     manifest.options["hotpath_cache"] = args.hotpath_cache ? "1" : "0";
+    // Async keys ride under the "async" prefix so a degenerate-equivalence
+    // diff can exclude them wholesale (--ignore options.async); synchronous
+    // manifests gain no new keys at all.
+    if (args.async_mode) {
+      manifest.options["async"] = "1";
+      manifest.options["async_quorum"] = render_double(args.quorum);
+      manifest.options["async_staleness_bound"] =
+          std::to_string(args.staleness_bound);
+      manifest.options["async_adaptive_deadline"] =
+          args.adaptive_deadline ? "on" : "off";
+    }
     manifest.options["watchdog"] = args.watchdog;
     if (args.watchdog_stall_rounds > 0) {
       manifest.options["watchdog_stall_rounds"] =
