@@ -109,6 +109,14 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
       }
       linalg::axpy(1.0, locals[t], w0);
       ++contributors;
+      if (options.flight != nullptr) {
+        obs::FlightEvent event;
+        event.round = 0;
+        event.device = static_cast<std::uint32_t>(t);
+        event.kind = obs::FlightEventKind::kBootstrap;
+        event.cause = static_cast<int>(core::kParticipated);
+        options.flight->record(event);
+      }
     }
     if (contributors > 0) {
       linalg::scale(w0, 1.0 / static_cast<double>(contributors));
@@ -153,7 +161,20 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
   const bool telemetry = base.journal != nullptr || base.watchdog != nullptr;
   net::SimNetwork::TrafficSnapshot previous_traffic =
       network->traffic_snapshot();
+  obs::QuantileSketch previous_latency = network->latency_sketch();
   bool watchdog_aborted = false;
+
+  // Observability loop closure: the controller walks the quorum and the
+  // staleness bound from the journal's staleness sketch; when disabled the
+  // CLI values stay in force verbatim. The flight recorder needs the
+  // network's per-attempt transmit logs.
+  const bool tuning = options.autotune.enabled;
+  AutoTuner tuner(options.autotune, options.quorum, options.staleness_bound);
+  double quorum_now = tuning ? tuner.quorum() : options.quorum;
+  std::uint64_t staleness_bound_now =
+      tuning ? tuner.staleness_bound() : options.staleness_bound;
+  obs::FlightRecorder* const flight = options.flight;
+  if (flight != nullptr) network->set_attempt_log(true);
 
   // Async scheduling state. The staleness ledger and the step counter are
   // maintained exactly as in the synchronous engine (one tick per ADMM
@@ -193,9 +214,9 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
       PLOS_SPAN("plos.admm_round", "iteration", admm);
       ++result.diagnostics.admm_iterations_total;
       const int iteration_qp_solves_before =
-          telemetry ? total_device_qp_solves() : 0;
+          (telemetry || tuning) ? total_device_qp_solves() : 0;
       const int iteration_qp_iterations_before =
-          telemetry ? total_device_qp_iterations() : 0;
+          (telemetry || tuning) ? total_device_qp_iterations() : 0;
       const linalg::Vector w0_old = w0;
       std::vector<linalg::Vector> u_old = u;
       const std::uint64_t round = network->current_round();
@@ -210,6 +231,17 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
       // v_t = 0, ξ_t = 0) with a cleared dual. u_old must be zeroed too —
       // the server accumulation below reads it.
       const auto evict = [&](std::size_t t, char cause) {
+        if (flight != nullptr) {
+          obs::FlightEvent event;
+          event.round = aggregation_step;
+          event.device = static_cast<std::uint32_t>(t);
+          event.kind = obs::FlightEventKind::kEviction;
+          event.cause = static_cast<int>(cause);
+          event.t_start = virtual_seconds;
+          event.t_end = virtual_seconds;
+          event.staleness = staleness.age(t, aggregation_step);
+          flight->record(event);
+        }
         w[t] = w0_old;
         v[t] = linalg::zeros(dim);
         xi[t] = 0.0;
@@ -239,7 +271,7 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
         }
         pending[t].active = false;
         const std::uint64_t age = aggregation_step - pending[t].data_step;
-        if (age > options.staleness_bound) {
+        if (age > staleness_bound_now) {
           // The cached upload is older than the bound: discard it and
           // evict the block outright — applying it would let data older
           // than S steps into the aggregate.
@@ -256,6 +288,17 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
         staleness.refresh(t, pending[t].data_step);
         ++late_count;
         status[t] = pending[t].cause;
+        if (flight != nullptr) {
+          obs::FlightEvent event;
+          event.round = aggregation_step;
+          event.device = static_cast<std::uint32_t>(t);
+          event.kind = obs::FlightEventKind::kLateFold;
+          event.cause = static_cast<int>(pending[t].cause);
+          event.t_start = pending[t].arrival;
+          event.t_end = virtual_seconds;
+          event.staleness = age;
+          flight->record(event);
+        }
       }
 
       // -- dispatch: scatter, local solves, gather (buffered) --------------
@@ -269,6 +312,12 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
       std::vector<char> dispatched(num_users, 0);
       std::vector<char> delivered(num_users, 0);
       std::vector<double> completion(num_users, 0.0);
+      // Per-device uplink attempt logs for the flight recorder. Workers
+      // fill their own slot; the aggregation thread replays them in
+      // ascending device order, so the log order never depends on worker
+      // interleaving.
+      std::vector<std::vector<net::SimNetwork::TransmitAttempt>>
+          uplink_attempts(flight != nullptr ? num_users : 0);
       pool.parallel_for(num_users, [&](std::size_t t) {
         const double cpu_slowdown = network->device_profile(t).cpu_slowdown;
         if (pending[t].active) return;  // busy
@@ -306,11 +355,17 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
           upload_delivered = outcome.delivered;
           link_seconds += outcome.seconds;
           if (!upload_delivered) status[t] = core::kUplinkFailed;
+          if (flight != nullptr) uplink_attempts[t] = outcome.attempt_log;
         } else {
           const auto payload =
               core::admm_update_payload(sol.w, sol.v, sol.xi);
           network->send_to_server(t, payload.size());
-          link_seconds += network->transfer_seconds_for(t, payload.size());
+          const double upload_seconds =
+              network->transfer_seconds_for(t, payload.size());
+          link_seconds += upload_seconds;
+          if (flight != nullptr) {
+            uplink_attempts[t].push_back({0, upload_seconds});
+          }
         }
         const double multiplier =
             fault != nullptr ? fault->time_multiplier(round, t) : 1.0;
@@ -351,7 +406,7 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
       }
       const std::size_t round_quorum = std::max<std::size_t>(
           1, static_cast<std::size_t>(std::ceil(
-                 options.quorum * static_cast<double>(num_users))));
+                 quorum_now * static_cast<double>(num_users))));
       double t_cut = 0.0;
       std::size_t uploads_seen = 0;
       while (!queue.empty()) {
@@ -407,6 +462,57 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
         // Undelivered uploads keep the failure status the worker set.
       }
 
+      // -- flight recorder: replay this step's device lifecycles -----------
+      // Aggregation thread only, ascending device order: attempt slices are
+      // laid back to back so the last one ends at the device's completion
+      // time on the virtual clock (start clamped to the round start — the
+      // completion jitter can undercut the raw attempt windows).
+      if (flight != nullptr) {
+        const double round_start = virtual_seconds;
+        for (std::size_t t = 0; t < num_users; ++t) {
+          if (dispatched[t] == 0) continue;
+          const auto& attempts = uplink_attempts[t];
+          double attempt_total = 0.0;
+          for (const auto& attempt : attempts) {
+            attempt_total += attempt.seconds;
+          }
+          double slice_start = std::max(
+              round_start, round_start + completion[t] - attempt_total);
+          for (std::size_t k = 0; k < attempts.size(); ++k) {
+            obs::FlightEvent event;
+            event.round = aggregation_step;
+            event.device = static_cast<std::uint32_t>(t);
+            event.attempt = static_cast<std::uint32_t>(k + 1);
+            event.kind = obs::FlightEventKind::kUploadAttempt;
+            event.cause = attempts[k].result;
+            event.t_start = slice_start;
+            event.t_end = slice_start + attempts[k].seconds;
+            flight->record(event);
+            slice_start = event.t_end;
+          }
+          const double device_deadline = deadlines.deadline(t);
+          if (delivered[t] != 0 && completion[t] > device_deadline &&
+              std::isfinite(device_deadline)) {
+            obs::FlightEvent event;
+            event.round = aggregation_step;
+            event.device = static_cast<std::uint32_t>(t);
+            event.kind = obs::FlightEventKind::kDeadlineMiss;
+            event.cause = static_cast<int>(core::kDeadlineMissed);
+            event.t_start = round_start + device_deadline;
+            event.t_end = round_start + completion[t];
+            flight->record(event);
+          }
+        }
+        obs::FlightEvent cut;
+        cut.round = aggregation_step;
+        cut.device = obs::kFlightServerDevice;
+        cut.kind = obs::FlightEventKind::kQuorumCut;
+        cut.t_start = round_start;
+        cut.t_end = round_start + t_cut;
+        cut.staleness = fresh_count;
+        flight->record(cut);
+      }
+
       // Feed the deadline tracker after classification, ascending (the
       // EWMA influences the *next* dispatch, never the current cut).
       for (std::size_t t = 0; t < num_users; ++t) {
@@ -420,7 +526,7 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
       // Runs before the server update, so no block older than S steps ever
       // enters an aggregate.
       for (std::size_t t = 0; t < num_users; ++t) {
-        if (staleness.age(t, aggregation_step) > options.staleness_bound) {
+        if (staleness.age(t, aggregation_step) > staleness_bound_now) {
           evict(t, last_miss_cause[t]);
         }
       }
@@ -508,6 +614,16 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
       const double primal_residual = std::sqrt(primal_sq);
       network->account_server_compute(server_watch.elapsed_seconds());
       network->end_round();
+      if (flight != nullptr) {
+        obs::FlightEvent event;
+        event.round = aggregation_step;
+        event.device = obs::kFlightServerDevice;
+        event.kind = obs::FlightEventKind::kAggregate;
+        event.t_start = virtual_seconds;
+        event.t_end = virtual_seconds;
+        event.staleness = fresh_count;
+        flight->record(event);
+      }
 
       result.diagnostics.objective_trace.push_back(objective);
       result.diagnostics.primal_residual_trace.push_back(primal_residual);
@@ -534,7 +650,7 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
                      obs::F("round_quorum", round_quorum),
                      obs::F("t_cut", t_cut));
 
-      if (telemetry) {
+      if (telemetry || tuning) {
         obs::RoundRecord record;
         record.trainer = "distributed";
         record.cccp_round = cccp;
@@ -555,6 +671,11 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
         record.evictions_late = ev_late;
         record.evictions_failed = ev_failed;
         staleness.fill_record(record, aggregation_step);
+        obs::CauseCounters causes(core::kDeviceRoundStatusCount);
+        for (std::size_t t = 0; t < num_users; ++t) {
+          causes.add(static_cast<std::size_t>(status[t]));
+        }
+        record.cause_counts = causes.counts();
         const auto traffic = network->traffic_snapshot();
         record.bytes_to_devices =
             traffic.bytes_to_devices - previous_traffic.bytes_to_devices;
@@ -564,6 +685,31 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
             traffic.messages_dropped - previous_traffic.messages_dropped;
         record.retries = traffic.retries - previous_traffic.retries;
         previous_traffic = traffic;
+        const obs::QuantileSketch latency = network->latency_sketch();
+        const obs::QuantileSketch step_latency =
+            latency.diff(previous_latency);
+        record.lat_count = step_latency.count();
+        if (!step_latency.empty()) {
+          record.lat_p50 = step_latency.quantile(0.50);
+          record.lat_p90 = step_latency.quantile(0.90);
+          record.lat_p99 = step_latency.quantile(0.99);
+        }
+        previous_latency = latency;
+        if (tuning) {
+          // Journal the knobs in force for THIS step, then let the
+          // controller read the very record it will be journaled in — the
+          // decision and its trigger land beside the evidence.
+          record.tuned_quorum = quorum_now;
+          record.tuned_staleness_bound = staleness_bound_now;
+          const AutoTuneDecision decision = tuner.observe(record);
+          record.tune_event = decision.event;
+          record.tune_trigger = decision.trigger;
+          if (record.tune_event[0] != '\0' && record.tune_event != "hold") {
+            ++result.async.tune_actions;
+          }
+          quorum_now = tuner.quorum();
+          staleness_bound_now = tuner.staleness_bound();
+        }
         if (base.journal != nullptr) base.journal->append(record);
         if (base.watchdog != nullptr &&
             base.watchdog->observe(record) == obs::WatchdogAction::kAbort) {
@@ -623,6 +769,8 @@ AsyncQuorumResult train_async_quorum_plos(const data::MultiUserDataset& dataset,
   result.diagnostics.train_seconds = total_watch.elapsed_seconds();
   result.diagnostics.fault_counters = network->fault_counters();
   result.async.virtual_seconds = virtual_seconds;
+  result.async.final_quorum = quorum_now;
+  result.async.final_staleness_bound = staleness_bound_now;
 
   PLOS_LOG_INFO(
       "async quorum train done",

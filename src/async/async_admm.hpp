@@ -39,10 +39,12 @@
 #include <functional>
 #include <vector>
 
+#include "async/autotune.hpp"
 #include "async/latency.hpp"
 #include "core/distributed_plos.hpp"
 #include "data/dataset.hpp"
 #include "net/simnet.hpp"
+#include "obs/flight.hpp"
 
 namespace plos::async {
 
@@ -72,6 +74,22 @@ struct AsyncQuorumOptions {
   double ewma_alpha = 0.3;      ///< EWMA smoothing of observed latency
   double fixed_deadline_s = 0.0;  ///< fallback/static deadline; 0 = none
   LatencyModelSpec latency;
+  /// Observability-driven controller (async/autotune.hpp): when enabled,
+  /// `quorum` and `staleness_bound` above are only the starting point — the
+  /// hysteresis rule walks both knobs per aggregation step from the
+  /// journal's staleness sketch, and every decision lands in the journal's
+  /// tuned_*/tune_* fields. Disabled by default: the CLI values stay fixed
+  /// and the journal's tune fields keep their defaults (which preserves
+  /// degenerate-mode byte equality).
+  AutoTuneConfig autotune;
+  /// Borrowed flight recorder (obs/flight.hpp): when set, the engine logs
+  /// the causal per-device lifecycle — upload attempt k with its
+  /// retry/drop/corruption outcome, deadline misses, late folds with the
+  /// staleness at fold, evictions with their cause, quorum cuts and
+  /// aggregates — on the virtual clock, recorded on the aggregation thread
+  /// so the log is byte-identical at any thread count. Null disables all
+  /// recording (and the per-attempt transmit logs it needs).
+  obs::FlightRecorder* flight = nullptr;
   /// Observer called on the aggregation thread after every server update
   /// (benches use it to track accuracy against the virtual clock). It must
   /// not feed anything back into training: the engine's FP sequence — and
@@ -89,6 +107,12 @@ struct AsyncQuorumDiagnostics {
   std::uint64_t evictions_late_total = 0;
   std::uint64_t evictions_failed_total = 0;
   std::uint64_t max_staleness_seen = 0;  ///< max block age at any aggregate
+  /// Auto-tune outcome (meaningful when options.autotune.enabled): knob
+  /// values in force at the end of the run and the number of journaled
+  /// controller actions (holds excluded).
+  double final_quorum = 0.0;
+  std::uint64_t final_staleness_bound = 0;
+  std::uint64_t tune_actions = 0;
   /// Simulated wall-clock of the whole ADMM phase: the sum of round cut
   /// times. In degenerate mode this is the synchronous schedule (every
   /// round waits for its slowest device), so the quorum speedup is the

@@ -234,13 +234,23 @@ void StalenessLedger::fill_record(obs::RoundRecord& record,
                                   std::uint64_t step) const {
   record.staleness_hist.assign(kHistogramBuckets, 0);
   record.max_staleness = 0;
+  // Fleet staleness distribution as a bounded sketch (DESIGN.md §15): the
+  // journal carries its p50/p90/p99 instead of any O(users) row, and the
+  // async auto-tuner reads those percentiles back as its control signal.
+  // Ages are integers, so the sketch is exact up to its relative bucket
+  // width; one pass on the aggregation thread keeps it deterministic.
+  obs::QuantileSketch ages(staleness_sketch_spec());
   for (std::size_t t = 0; t < data_step_.size(); ++t) {
     const std::uint64_t a = age(t, step);
     record.max_staleness = std::max(record.max_staleness, a);
     const std::size_t bucket = static_cast<std::size_t>(
         std::min<std::uint64_t>(a, kHistogramBuckets - 1));
     ++record.staleness_hist[bucket];
+    ages.record(static_cast<double>(a));
   }
+  record.stale_p50 = ages.quantile(0.50);
+  record.stale_p90 = ages.quantile(0.90);
+  record.stale_p99 = ages.quantile(0.99);
 }
 
 }  // namespace plos::core

@@ -26,6 +26,7 @@
 #include "core/distributed_plos.hpp"
 #include "core/gram_cache.hpp"
 #include "obs/journal.hpp"
+#include "obs/sketch.hpp"
 #include "qp/warm_store.hpp"
 
 namespace plos::core {
@@ -53,6 +54,10 @@ enum DeviceRoundStatus : char {
   kLateUpload = 6,      // async: arrived after the quorum cut, folded later
   kBusy = 7,            // async: previous upload still in flight
 };
+
+/// Size of the DeviceRoundStatus vocabulary — the journal's cause_counts
+/// vector has exactly this many slots in enum order.
+inline constexpr std::size_t kDeviceRoundStatusCount = 8;
 
 /// One simulated device (see file comment).
 class AdmmDevice {
@@ -134,8 +139,17 @@ class StalenessLedger {
   /// Max age over all blocks at step `step`.
   std::uint64_t max_age(std::uint64_t step) const;
 
-  /// Fills record.max_staleness and record.staleness_hist (one count per
-  /// block, bucket = min(age, kHistogramBuckets - 1)).
+  /// Bucket layout of the fleet staleness sketch both engines journal
+  /// (sub-integer resolution up to 16 rounds, ~12% relative beyond).
+  static obs::QuantileSketch::Spec staleness_sketch_spec() {
+    return obs::QuantileSketch::Spec{/*min_value=*/1.0,
+                                     /*max_value=*/65536.0,
+                                     /*sub_buckets=*/8};
+  }
+
+  /// Fills record.max_staleness, record.staleness_hist (one count per
+  /// block, bucket = min(age, kHistogramBuckets - 1)), and the sketch
+  /// quantiles record.stale_p50/p90/p99.
   void fill_record(obs::RoundRecord& record, std::uint64_t step) const;
 
  private:

@@ -167,6 +167,10 @@ DistributedPlosResult train_distributed_impl(
       options.journal != nullptr || options.watchdog != nullptr;
   net::SimNetwork::TrafficSnapshot previous_traffic;
   if (network != nullptr) previous_traffic = network->traffic_snapshot();
+  // Cumulative link-latency sketch baseline: the journal carries per-step
+  // quantiles of the delta between consecutive snapshots (DESIGN.md §15).
+  obs::QuantileSketch previous_latency =
+      network != nullptr ? network->latency_sketch() : obs::QuantileSketch();
   bool watchdog_aborted = false;
 
   // Server-block freshness for the journal's staleness fields. The
@@ -390,6 +394,14 @@ DistributedPlosResult train_distributed_impl(
         record.participation_rate = participation_rate;
         record.quorum_size = participants;
         staleness.fill_record(record, aggregation_step);
+        // Participation breakdown as per-cause counters — identical code
+        // to the async engine's, which keeps degenerate-mode journals
+        // byte-identical (DESIGN.md §14).
+        obs::CauseCounters causes(kDeviceRoundStatusCount);
+        for (std::size_t t = 0; t < num_users; ++t) {
+          causes.add(static_cast<std::size_t>(status[t]));
+        }
+        record.cause_counts = causes.counts();
         if (network != nullptr) {
           const auto traffic = network->traffic_snapshot();
           record.bytes_to_devices =
@@ -400,6 +412,16 @@ DistributedPlosResult train_distributed_impl(
               traffic.messages_dropped - previous_traffic.messages_dropped;
           record.retries = traffic.retries - previous_traffic.retries;
           previous_traffic = traffic;
+          const obs::QuantileSketch latency = network->latency_sketch();
+          const obs::QuantileSketch step_latency =
+              latency.diff(previous_latency);
+          record.lat_count = step_latency.count();
+          if (!step_latency.empty()) {
+            record.lat_p50 = step_latency.quantile(0.50);
+            record.lat_p90 = step_latency.quantile(0.90);
+            record.lat_p99 = step_latency.quantile(0.99);
+          }
+          previous_latency = latency;
         }
         if (options.journal != nullptr) options.journal->append(record);
         if (options.watchdog != nullptr &&

@@ -122,7 +122,17 @@ void SimNetwork::charge_message(std::size_t device, Direction direction,
     simnet_instruments().device_energy_joules.add(
         kb * device_profiles_[device].tx_energy_j_per_kb);
   }
-  round_device_seconds_[device] += transfer_seconds(device, bytes) * multiplier;
+  const double window = transfer_seconds(device, bytes) * multiplier;
+  round_device_seconds_[device] += window;
+  // One latency sample per on-air message, straggler-scaled exactly like
+  // the round clock. Counts-only, so concurrent workers' recordings merge
+  // to the same sketch in any interleaving.
+  latency_sketch_.record(window);
+}
+
+obs::QuantileSketch SimNetwork::latency_sketch() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return latency_sketch_;
 }
 
 void SimNetwork::send_to_device(std::size_t device, std::size_t bytes) {
@@ -151,8 +161,15 @@ SimNetwork::TransmitOutcome SimNetwork::transmit(
       fault_.enabled() ? fault_.spec().max_retries + 1 : 1;
 
   TransmitOutcome outcome;
+  // Flight-recorder detail: per-attempt windows and outcomes, appended as
+  // each attempt resolves. Bounded by max_attempts; derived from the same
+  // deterministic quantities as the ledgers.
+  const auto log_attempt = [&](int result, double seconds) {
+    if (attempt_log_) outcome.attempt_log.push_back({result, seconds});
+  };
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     outcome.attempts = attempt + 1;
+    double attempt_seconds = 0.0;
     if (attempt > 0) {
       ++fault_counters_.retries;
       // Seeded jitter (exactly 1.0 when retry_jitter == 0) desynchronizes
@@ -162,6 +179,7 @@ SimNetwork::TransmitOutcome SimNetwork::transmit(
           fault_.retry_backoff_multiplier(round, device, direction, attempt);
       round_device_seconds_[device] += backoff;
       outcome.seconds += backoff;
+      attempt_seconds += backoff;
       simnet_instruments().retries.increment();
     }
 
@@ -183,12 +201,15 @@ SimNetwork::TransmitOutcome SimNetwork::transmit(
       round_device_seconds_[device] +=
           transfer_seconds(device, bytes) * multiplier;
       outcome.seconds += transfer_seconds(device, bytes) * multiplier;
+      attempt_seconds += transfer_seconds(device, bytes) * multiplier;
       simnet_instruments().messages_dropped.increment();
+      log_attempt(/*result=*/1, attempt_seconds);
       continue;
     }
 
     charge_message(device, direction, bytes, multiplier);
     outcome.seconds += transfer_seconds(device, bytes) * multiplier;
+    attempt_seconds += transfer_seconds(device, bytes) * multiplier;
 
     if (fault_.corrupt(round, device, direction, attempt)) {
       // Flip the schedule-chosen bit in a copy and run the real CRC check:
@@ -205,6 +226,7 @@ SimNetwork::TransmitOutcome SimNetwork::transmit(
           ++fault_counters_.uplink_corrupted;
         }
         simnet_instruments().messages_corrupted.increment();
+        log_attempt(/*result=*/2, attempt_seconds);
         continue;  // receiver rejects the frame; sender retries
       }
       // CRC32 catches every single-bit flip on a well-formed frame, so
@@ -213,6 +235,7 @@ SimNetwork::TransmitOutcome SimNetwork::transmit(
     }
 
     outcome.delivered = true;
+    log_attempt(/*result=*/0, attempt_seconds);
     return outcome;
   }
 

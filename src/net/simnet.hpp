@@ -40,6 +40,7 @@
 
 #include "common/assert.hpp"
 #include "net/fault.hpp"
+#include "obs/sketch.hpp"
 
 namespace plos::net {
 
@@ -128,6 +129,22 @@ class SimNetwork {
   };
   TrafficSnapshot traffic_snapshot() const;
 
+  /// Copy of the cumulative per-message link-latency sketch (one sample —
+  /// the straggler-scaled transfer window — per on-air message charged to
+  /// the ledgers; lost-in-transit attempts are not samples). Counts-only
+  /// and guarded by the same lock as the byte ledgers, so snapshots at
+  /// round boundaries are bitwise thread-count-independent; the journal
+  /// diffs consecutive snapshots for per-round latency quantiles.
+  obs::QuantileSketch latency_sketch() const;
+
+  /// Per-attempt detail for the flight recorder (see set_attempt_log).
+  /// `result` matches obs::AttemptResult: 0 delivered, 1 dropped in
+  /// transit, 2 CRC-rejected at the receiver.
+  struct TransmitAttempt {
+    int result = 0;
+    double seconds = 0.0;  ///< backoff + transfer window of this attempt
+  };
+
   struct TransmitOutcome {
     bool delivered = true;
     int attempts = 1;
@@ -137,7 +154,16 @@ class SimNetwork {
     /// (frame size, round, device, direction) through the fault schedule,
     /// so the async engine can build event times from it.
     double seconds = 0.0;
+    /// One entry per attempt when attempt logging is on (bounded by the
+    /// fault spec's max_retries + 1); empty otherwise.
+    std::vector<TransmitAttempt> attempt_log;
   };
+
+  /// Enables per-attempt logs on transmit outcomes (the flight recorder's
+  /// retry/drop/corruption causes). Off by default: the log allocates per
+  /// message, and only `plos_run --flight-out` consumes it. Never affects
+  /// ledgers or outcome seconds.
+  void set_attempt_log(bool enabled) { attempt_log_ = enabled; }
 
   /// Fault-aware server -> device transmission of a CRC32 frame: retries up
   /// to the fault spec's max_retries on drop or CRC rejection, charging
@@ -219,6 +245,8 @@ class SimNetwork {
   FaultCounters fault_counters_;
   std::vector<DeviceMetrics> devices_;
   ServerMetrics server_;
+  obs::QuantileSketch latency_sketch_;
+  bool attempt_log_ = false;
 
   // Per-round scratch: compute + comm time accrued by each device and the
   // server within the open round.

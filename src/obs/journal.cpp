@@ -89,12 +89,61 @@ std::string record_to_json(const RoundRecord& record) {
     if (i > 0) out += ',';
     out += std::to_string(record.staleness_hist[i]);
   }
-  out += "]}";
+  out += "],";
+  append_optional(out, "stale_p50", record.stale_p50);
+  out += ',';
+  append_optional(out, "stale_p90", record.stale_p90);
+  out += ',';
+  append_optional(out, "stale_p99", record.stale_p99);
+  out += ',';
+  append_u64(out, "lat_count", record.lat_count);
+  out += ',';
+  append_optional(out, "lat_p50", record.lat_p50);
+  out += ',';
+  append_optional(out, "lat_p90", record.lat_p90);
+  out += ',';
+  append_optional(out, "lat_p99", record.lat_p99);
+  out += ",\"cause_counts\":[";
+  for (std::size_t i = 0; i < record.cause_counts.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(record.cause_counts[i]);
+  }
+  out += "],";
+  append_optional(out, "tuned_quorum", record.tuned_quorum);
+  out += ',';
+  append_u64(out, "tuned_staleness_bound", record.tuned_staleness_bound);
+  out += ",\"tune_event\":";
+  out += json::escape(record.tune_event);
+  out += ',';
+  append_optional(out, "tune_trigger", record.tune_trigger);
+  out += '}';
   return out;
+}
+
+void Journal::set_every(std::uint64_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PLOS_CHECK(n >= 1, "Journal: --journal-every must be >= 1");
+  every_ = n;
+}
+
+std::uint64_t Journal::every() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return every_;
+}
+
+std::uint64_t Journal::offered() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return offered_;
 }
 
 void Journal::append(const RoundRecord& record) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  // Downsampling keeps the 1st, (n+1)th, ... offered record: whole
+  // aggregation-boundary records are dropped, never partial fields, so a
+  // kept line is byte-identical to the same line of an every=1 run.
+  const bool keep = (offered_ % every_) == 0;
+  ++offered_;
+  if (!keep) return;
   // Monotonic-round ordering: within one trainer's stream, records arrive
   // in strictly increasing (cccp_round, admm_iteration) order — the byte-
   // identity contract (§8) depends on append order being loop order, so an
@@ -207,6 +256,30 @@ bool parse_journal_jsonl(std::string_view text, std::vector<RoundRecord>& out,
             static_cast<std::uint64_t>(entry.as_number()));
       }
     }
+    record.stale_p50 = optional_number(*value, "stale_p50");
+    record.stale_p90 = optional_number(*value, "stale_p90");
+    record.stale_p99 = optional_number(*value, "stale_p99");
+    record.lat_count = u64_field(*value, "lat_count");
+    record.lat_p50 = optional_number(*value, "lat_p50");
+    record.lat_p90 = optional_number(*value, "lat_p90");
+    record.lat_p99 = optional_number(*value, "lat_p99");
+    record.cause_counts.clear();
+    if (const json::Value* causes = value->find("cause_counts");
+        causes != nullptr && causes->is_array()) {
+      for (const json::Value& entry : causes->as_array()) {
+        if (!entry.is_number()) continue;
+        record.cause_counts.push_back(
+            static_cast<std::uint64_t>(entry.as_number()));
+      }
+    }
+    record.tuned_quorum = optional_number(*value, "tuned_quorum");
+    record.tuned_staleness_bound =
+        u64_field(*value, "tuned_staleness_bound");
+    if (const json::Value* tune = value->find("tune_event");
+        tune != nullptr && tune->is_string()) {
+      record.tune_event = tune->as_string();
+    }
+    record.tune_trigger = optional_number(*value, "tune_trigger");
     out.push_back(std::move(record));
   }
   return true;

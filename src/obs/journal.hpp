@@ -62,6 +62,39 @@ struct RoundRecord {
   /// empty for trainers without server-side caching (centralized).
   std::vector<std::uint64_t> staleness_hist;
 
+  // Fleet distribution summaries (obs::QuantileSketch, DESIGN.md §15):
+  // O(buckets) aggregates replacing any O(users) journal rows, filled on
+  // the aggregation thread so they are byte-identical at any thread count.
+  /// Staleness quantiles over all server blocks at aggregation time, from
+  /// the same ledger pass that fills staleness_hist (unset when the
+  /// trainer has no server-side caching).
+  double stale_p50 = kUnset;
+  double stale_p90 = kUnset;
+  double stale_p99 = kUnset;
+  /// On-air messages charged this step (the latency sample count).
+  std::uint64_t lat_count = 0;
+  /// Per-message link-latency quantiles this step, from SimNetwork's
+  /// cumulative sketch delta (unset when no network or no messages).
+  double lat_p50 = kUnset;
+  double lat_p90 = kUnset;
+  double lat_p99 = kUnset;
+  /// Device-outcome tally for the step, indexed by core::DeviceRoundStatus
+  /// (participated, unavailable, offline, ...). One count per device —
+  /// the fleet participation distribution. Empty for centralized runs.
+  std::vector<std::uint64_t> cause_counts;
+
+  // Auto-tune decision trail (async engine with --auto-tune; defaults
+  // elsewhere, which keeps degenerate-mode journals byte-identical).
+  /// Quorum fraction in force for the step (unset without auto-tune).
+  double tuned_quorum = kUnset;
+  /// Staleness bound in force for the step (0 without auto-tune).
+  std::uint64_t tuned_staleness_bound = 0;
+  /// Controller action this step: "" (none), "hold", "quorum_down",
+  /// "quorum_up", "bound_widen", "bound_tighten".
+  std::string tune_event;
+  /// The percentile value that triggered the action (unset when none).
+  double tune_trigger = kUnset;
+
   /// True when the optional double fields were actually produced but came
   /// out non-finite (they serialize as null either way; this flag keeps
   /// the distinction).  Maintained by record_to_json/parse.
@@ -75,6 +108,16 @@ std::string record_to_json(const RoundRecord& record);
 /// Thread-safe append-only record collector with JSONL export.
 class Journal {
  public:
+  /// Round-downsampling for long runs (`plos_run --journal-every N`):
+  /// keep every n-th offered record, starting with the first. Only whole
+  /// aggregation-boundary records are dropped — kept records are byte-
+  /// identical to an undownsampled run's. Default 1 keeps everything.
+  void set_every(std::uint64_t n);
+  std::uint64_t every() const;
+
+  /// Records offered to append(), including downsampled-away ones.
+  std::uint64_t offered() const;
+
   void append(const RoundRecord& record);
 
   std::size_t size() const;
@@ -90,6 +133,8 @@ class Journal {
 
  private:
   mutable std::mutex mutex_;
+  std::uint64_t every_ = 1;
+  std::uint64_t offered_ = 0;
   std::vector<RoundRecord> records_;
 };
 

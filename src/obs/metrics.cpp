@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <set>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -310,25 +311,39 @@ std::string prometheus_number(double value) {
 std::string Registry::to_prometheus() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
+  // The exposition format demands exactly one # HELP / # TYPE header per
+  // metric family. Distinct dotted registry names can collapse onto the
+  // same family after sanitization (every non-admitted character becomes
+  // '_'), so headers are deduplicated across the whole dump.
+  std::set<std::string> headered;
+  const auto header = [&](const std::string& family, const char* type,
+                          const std::string& help) {
+    if (!headered.insert(family).second) return;
+    out += "# HELP " + family + " " + help + "\n";
+    out += "# TYPE " + family + " ";
+    out += type;
+    out += "\n";
+  };
   for (const auto& [name, counter] : counters_) {
     const std::string metric = prometheus_name(name);
-    out += "# TYPE " + metric + " counter\n";
+    header(metric, "counter", "Registry counter " + name + ".");
     out += metric + " " + prometheus_number(counter->value()) + "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
     const std::string metric = prometheus_name(name);
-    out += "# TYPE " + metric + " gauge\n";
+    header(metric, "gauge", "Registry gauge " + name + ".");
     out += metric + " " + prometheus_number(gauge->value()) + "\n";
     const std::size_t dropped = gauge->dropped_samples();
     if (dropped > 0) {
-      out += "# TYPE " + metric + "_dropped_samples gauge\n";
+      header(metric + "_dropped_samples", "gauge",
+             "Samples dropped by gauge " + name + ".");
       out += metric + "_dropped_samples " +
              prometheus_number(static_cast<double>(dropped)) + "\n";
     }
   }
   for (const auto& [name, histogram] : histograms_) {
     const std::string metric = prometheus_name(name);
-    out += "# TYPE " + metric + " histogram\n";
+    header(metric, "histogram", "Registry histogram " + name + ".");
     const auto& bounds = histogram->bounds();
     const auto counts = histogram->bucket_counts();
     std::size_t cumulative = 0;
@@ -342,12 +357,14 @@ std::string Registry::to_prometheus() const {
     out += metric + "_sum " + prometheus_number(histogram->sum()) + "\n";
     out += metric + "_count " + std::to_string(histogram->count()) + "\n";
     // Prometheus histograms carry no server-side quantiles; export the
-    // bucket-interpolated summaries as companion gauges.
+    // bucket-interpolated summaries as one labeled companion gauge family
+    // (a single # TYPE for all three series, per the format).
     const std::pair<const char*, double> kQuantiles[] = {
-        {"_p50", 0.50}, {"_p90", 0.90}, {"_p99", 0.99}};
-    for (const auto& [suffix, q] : kQuantiles) {
-      out += "# TYPE " + metric + suffix + " gauge\n";
-      out += metric + suffix + " " +
+        {"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}};
+    header(metric + "_quantile", "gauge",
+           "Bucket-interpolated quantiles of histogram " + name + ".");
+    for (const auto& [label, q] : kQuantiles) {
+      out += metric + "_quantile{q=\"" + label + "\"} " +
              prometheus_number(histogram->quantile(q)) + "\n";
     }
   }

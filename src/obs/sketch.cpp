@@ -1,0 +1,148 @@
+#include "obs/sketch.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace plos::obs {
+
+namespace {
+
+// frexp exponent of a positive finite value: v = m * 2^e with m in
+// [0.5, 1). Pure bit extraction — no rounding, no libm log.
+int frexp_exponent(double value) {
+  int exponent = 0;
+  (void)std::frexp(value, &exponent);
+  return exponent;
+}
+
+}  // namespace
+
+QuantileSketch::QuantileSketch() : QuantileSketch(Spec{}) {}
+
+QuantileSketch::QuantileSketch(const Spec& spec) : spec_(spec) {
+  PLOS_CHECK(std::isfinite(spec.min_value) && spec.min_value > 0.0,
+             "QuantileSketch: min_value must be positive and finite");
+  PLOS_CHECK(std::isfinite(spec.max_value) &&
+                 spec.max_value > spec.min_value,
+             "QuantileSketch: max_value must exceed min_value");
+  PLOS_CHECK(spec.sub_buckets >= 1 && spec.sub_buckets <= 256,
+             "QuantileSketch: sub_buckets outside [1, 256]");
+  exp_min_ = frexp_exponent(spec.min_value);
+  const int exp_max = frexp_exponent(spec.max_value);
+  octaves_ = exp_max - exp_min_ + 1;
+  // zero + underflow + octave slices + overflow.
+  counts_.assign(2 + static_cast<std::size_t>(octaves_) *
+                         static_cast<std::size_t>(spec.sub_buckets) +
+                     1,
+                 0);
+}
+
+std::size_t QuantileSketch::bucket_index(double value) const {
+  if (value == 0.0) return 0;
+  if (value < spec_.min_value) return 1;
+  if (value >= spec_.max_value) return counts_.size() - 1;
+  int exponent = 0;
+  const double mantissa = std::frexp(value, &exponent);
+  // min <= value < max bounds the exponent to the constructed octaves.
+  PLOS_DCHECK(exponent >= exp_min_ && exponent < exp_min_ + octaves_,
+              "QuantileSketch: exponent escaped the octave range");
+  // mantissa in [0.5, 1): (mantissa - 0.5) * 2 in [0, 1), scaled to the
+  // per-octave slice index. All operations are exact or correctly rounded
+  // the same way on every platform — no transcendental calls.
+  const int slice = static_cast<int>((mantissa - 0.5) * 2.0 *
+                                     static_cast<double>(spec_.sub_buckets));
+  const std::size_t octave = static_cast<std::size_t>(exponent - exp_min_);
+  return 2 + octave * static_cast<std::size_t>(spec_.sub_buckets) +
+         static_cast<std::size_t>(slice);
+}
+
+double QuantileSketch::bucket_lower_edge(std::size_t index) const {
+  if (index == 0) return 0.0;
+  if (index == 1) return spec_.min_value * 0.5;  // deterministic stand-in
+  if (index == counts_.size() - 1) return spec_.max_value;
+  const std::size_t flat = index - 2;
+  const std::size_t sub = static_cast<std::size_t>(spec_.sub_buckets);
+  const int exponent = exp_min_ + static_cast<int>(flat / sub);
+  const double slice = static_cast<double>(flat % sub);
+  const double mantissa =
+      0.5 + slice / (2.0 * static_cast<double>(spec_.sub_buckets));
+  return std::ldexp(mantissa, exponent);
+}
+
+void QuantileSketch::record(double value, std::uint64_t weight) {
+  PLOS_CHECK(std::isfinite(value) && value >= 0.0,
+             "QuantileSketch: value must be finite and non-negative, got "
+                 << value);
+  counts_[bucket_index(value)] += weight;
+  total_ += weight;
+}
+
+bool QuantileSketch::same_spec(const QuantileSketch& other) const {
+  return spec_.min_value == other.spec_.min_value &&
+         spec_.max_value == other.spec_.max_value &&
+         spec_.sub_buckets == other.spec_.sub_buckets;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  PLOS_CHECK(same_spec(other), "QuantileSketch: merging mismatched specs");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+QuantileSketch QuantileSketch::diff(const QuantileSketch& earlier) const {
+  PLOS_CHECK(same_spec(earlier), "QuantileSketch: diffing mismatched specs");
+  QuantileSketch out(spec_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    PLOS_CHECK(counts_[i] >= earlier.counts_[i],
+               "QuantileSketch: diff against a non-prefix sketch");
+    out.counts_[i] = counts_[i] - earlier.counts_[i];
+  }
+  out.total_ = total_ - earlier.total_;
+  return out;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested order statistic among count() samples; floor
+  // keeps the choice integral and order-independent.
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative > rank) return bucket_lower_edge(i);
+  }
+  return bucket_lower_edge(counts_.size() - 1);
+}
+
+CauseCounters::CauseCounters(std::size_t num_causes)
+    : counts_(num_causes, 0) {
+  PLOS_CHECK(num_causes > 0, "CauseCounters: need at least one cause");
+}
+
+void CauseCounters::add(std::size_t cause, std::uint64_t weight) {
+  PLOS_CHECK(cause < counts_.size(),
+             "CauseCounters: cause " << cause << " out of range");
+  counts_[cause] += weight;
+}
+
+void CauseCounters::merge(const CauseCounters& other) {
+  PLOS_CHECK(counts_.size() == other.counts_.size(),
+             "CauseCounters: merging mismatched cause sets");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+std::uint64_t CauseCounters::total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts_) total += c;
+  return total;
+}
+
+}  // namespace plos::obs

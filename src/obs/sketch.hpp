@@ -1,0 +1,120 @@
+// Deterministic, mergeable, bounded-memory distribution aggregates.
+//
+// ROADMAP item 1 demands telemetry whose memory does not grow with fleet
+// size: a million-user round cannot journal a million staleness ages. The
+// sketch replaces any O(users) row with an O(buckets) histogram that still
+// answers quantile queries (p50/p90/p99) deterministically.
+//
+// Determinism contract (DESIGN.md §15):
+//   * Bucketing is exact bit arithmetic — std::frexp/std::ldexp decompose
+//     a value into (mantissa, exponent) without touching libm's log, so
+//     the same value lands in the same bucket on every platform and every
+//     compiler flag set this repo builds with.
+//   * merge() is element-wise integer addition, which commutes: any
+//     merge order, any partition of the samples across threads, and any
+//     thread count produce the same counts, hence byte-identical journal
+//     lines. diff() inverts merge for per-round deltas of a cumulative
+//     sketch.
+//   * quantile() walks the counts and returns the bucket's lower edge
+//     (reconstructed with std::ldexp) — a pure function of the counts,
+//     never of insertion order.
+//
+// Memory is fixed at construction: O(octaves * sub_buckets), independent
+// of how many values are recorded (each bucket is a saturating-free
+// uint64 count). This file is inside the plos_lint cache-purity scope:
+// no clocks, no std::hash, no unordered containers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace plos::obs {
+
+/// Fixed-log-bucket quantile sketch over non-negative values.
+///
+/// Layout: [exact zero][underflow (0, min)) [octave buckets) [overflow].
+/// Each power-of-two octave in [min, max) is split into `sub_buckets`
+/// equal mantissa slices, giving a relative bucket width of
+/// 1 / sub_buckets (≤ 12.5% at the default 8).
+class QuantileSketch {
+ public:
+  struct Spec {
+    double min_value = 1e-4;  ///< smallest resolved value (power of 2 ideal)
+    double max_value = 1e4;   ///< values >= this land in the overflow bucket
+    int sub_buckets = 8;      ///< mantissa slices per octave
+  };
+
+  /// Default spec ({1e-4, 1e4, 8}); defined out of line because a nested
+  /// Spec{} default argument is ill-formed before the class is complete.
+  QuantileSketch();
+  explicit QuantileSketch(const Spec& spec);
+
+  const Spec& spec() const { return spec_; }
+
+  /// Records one sample. `value` must be finite and >= 0.
+  void record(double value, std::uint64_t weight = 1);
+
+  /// Element-wise count addition; specs must match. Commutative and
+  /// associative, so any merge tree over any partition of the samples
+  /// yields identical counts.
+  void merge(const QuantileSketch& other);
+
+  /// Element-wise count subtraction (inverse of merge): the per-round
+  /// delta of a cumulative sketch. `earlier` must be a prefix — every
+  /// bucket count of `earlier` must be <= this sketch's.
+  QuantileSketch diff(const QuantileSketch& earlier) const;
+
+  /// Total recorded weight.
+  std::uint64_t count() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  /// Deterministic quantile estimate for q in [0, 1]: the lower edge of
+  /// the bucket containing the rank-floor(q * (count - 1)) sample
+  /// (0 for the zero bucket, min/2 for the underflow bucket, max for the
+  /// overflow bucket). Returns 0 when the sketch is empty.
+  double quantile(double q) const;
+
+  /// Raw bucket counts (zero, underflow, octave slices..., overflow).
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Bytes held by the counts array — fixed at construction, independent
+  /// of count(); the O(buckets) memory claim, testable.
+  std::size_t memory_bytes() const {
+    return counts_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// True when the two sketches share a bucket layout (merge/diff
+  /// compatible).
+  bool same_spec(const QuantileSketch& other) const;
+
+ private:
+  std::size_t bucket_index(double value) const;
+  double bucket_lower_edge(std::size_t index) const;
+
+  Spec spec_;
+  int exp_min_ = 0;  ///< frexp exponent of the first octave
+  int octaves_ = 0;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Per-cause event counters keyed by a small dense enum (the journal uses
+/// core::DeviceRoundStatus). Merge is element-wise addition — the same
+/// order/thread-count invariance argument as QuantileSketch — and memory
+/// is O(causes), independent of fleet size.
+class CauseCounters {
+ public:
+  explicit CauseCounters(std::size_t num_causes);
+
+  void add(std::size_t cause, std::uint64_t weight = 1);
+  void merge(const CauseCounters& other);
+
+  std::uint64_t total() const;
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace plos::obs

@@ -171,14 +171,20 @@ WatchdogAction Watchdog::observe(const RoundRecord& record) {
 
   // -- staleness collapse ----------------------------------------------------
   if (config_.staleness_ceiling > 0) {
-    if (record.max_staleness >= config_.staleness_ceiling) {
+    // Under --auto-tune the controller may legitimately widen the staleness
+    // bound past a statically configured ceiling; the journaled tuned bound
+    // overrides the static value so the watchdog tracks the knob that is
+    // actually in force instead of false-firing mid-widen.
+    const std::uint64_t ceiling = record.tuned_staleness_bound > 0
+                                      ? record.tuned_staleness_bound
+                                      : config_.staleness_ceiling;
+    if (record.max_staleness >= ceiling) {
       ++high_staleness_streak_;
       if (high_staleness_streak_ >= config_.staleness_rounds) {
         escalate(report(
             ViolationKind::kStaleness,
             "max staleness " + std::to_string(record.max_staleness) +
-                " at or above ceiling " +
-                std::to_string(config_.staleness_ceiling) + " for " +
+                " at or above ceiling " + std::to_string(ceiling) + " for " +
                 std::to_string(high_staleness_streak_) +
                 " consecutive records"));
         high_staleness_streak_ = 0;  // re-arm

@@ -77,7 +77,10 @@ struct WatchdogConfig {
   /// server keeps aggregating around the same dead blocks — the quorum is
   /// met by a fast subset while the rest of the fleet never lands an
   /// upload. 0 disables (the synchronous engine never evicts, so stale
-  /// blocks there are ordinary non-participation).
+  /// blocks there are ordinary non-participation). When a record carries a
+  /// tuned_staleness_bound (> 0, from the --auto-tune controller), that
+  /// per-record bound replaces this static ceiling — the watchdog follows
+  /// the knob in force instead of false-firing while the bound widens.
   std::uint64_t staleness_ceiling = 0;
   int staleness_rounds = 3;
 };

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "async/async_admm.hpp"
+#include "async/autotune.hpp"
 #include "async/latency.hpp"
 #include "common/assert.hpp"
 #include "core/distributed_plos.hpp"
@@ -286,6 +287,114 @@ TEST(AsyncQuorum, RejectsInvalidQuorum) {
   options.quorum = 0.5;
   EXPECT_THROW(train_async_quorum_plos(dataset, options, nullptr),
                PreconditionError);
+}
+
+// ---- AutoTuner ------------------------------------------------------------
+
+obs::RoundRecord record_with_tail(double stale_p99) {
+  obs::RoundRecord record;
+  record.stale_p99 = stale_p99;
+  return record;
+}
+
+AutoTuneConfig small_config() {
+  AutoTuneConfig config;
+  config.enabled = true;
+  config.min_quorum = 0.5;
+  config.max_quorum = 1.0;
+  config.quorum_step = 0.1;
+  config.min_bound = 2;
+  config.max_bound = 16;
+  config.patience = 2;
+  config.cooldown = 2;
+  return config;
+}
+
+TEST(AutoTuner, WidensBoundAfterPatienceThenHoldsThroughCooldown) {
+  AutoTuner tuner(small_config(), 0.6, 4);
+  // p99 at 3.5 >= 0.75 * 4: widen signal, but patience = 2 means the first
+  // sighting produces no action.
+  AutoTuneDecision d = tuner.observe(record_with_tail(3.5));
+  EXPECT_STREQ(d.event, "");
+  EXPECT_EQ(tuner.staleness_bound(), 4u);
+  d = tuner.observe(record_with_tail(3.5));
+  EXPECT_STREQ(d.event, "bound_widen");
+  EXPECT_EQ(d.trigger, 3.5);
+  EXPECT_EQ(tuner.staleness_bound(), 8u);
+  EXPECT_EQ(d.staleness_bound, 8u);
+  // Two cooldown steps hold even though the signal persists at the new
+  // bound (7 >= 0.75 * 8)...
+  d = tuner.observe(record_with_tail(7.0));
+  EXPECT_STREQ(d.event, "hold");
+  d = tuner.observe(record_with_tail(7.0));
+  EXPECT_STREQ(d.event, "hold");
+  EXPECT_EQ(tuner.staleness_bound(), 8u);
+  // ...and the streak carried through the hold, so the next step acts.
+  d = tuner.observe(record_with_tail(7.0));
+  EXPECT_STREQ(d.event, "bound_widen");
+  EXPECT_EQ(tuner.staleness_bound(), 16u);
+}
+
+TEST(AutoTuner, RaisesQuorumOnceBoundIsMaxed) {
+  AutoTuneConfig config = small_config();
+  config.cooldown = 0;
+  AutoTuner tuner(config, 0.6, 16);
+  tuner.observe(record_with_tail(15.0));
+  const AutoTuneDecision d = tuner.observe(record_with_tail(15.0));
+  EXPECT_STREQ(d.event, "quorum_up");
+  EXPECT_EQ(tuner.staleness_bound(), 16u);
+  EXPECT_NEAR(tuner.quorum(), 0.7, 1e-12);
+}
+
+TEST(AutoTuner, LowersQuorumWhenTailIsComfortablyInsideTheBound) {
+  AutoTuneConfig config = small_config();
+  config.cooldown = 0;
+  AutoTuner tuner(config, 0.8, 16);
+  tuner.observe(record_with_tail(2.0));  // 2 * 2 <= 16: lower signal
+  const AutoTuneDecision d = tuner.observe(record_with_tail(2.0));
+  EXPECT_STREQ(d.event, "quorum_down");
+  EXPECT_NEAR(tuner.quorum(), 0.7, 1e-12);
+  EXPECT_EQ(tuner.staleness_bound(), 16u);  // tighten deferred to the floor
+}
+
+TEST(AutoTuner, TightensBoundOnlyAfterQuorumReachesTheFloor) {
+  AutoTuneConfig config = small_config();
+  config.cooldown = 0;
+  AutoTuner tuner(config, 0.5, 16);  // quorum already at min_quorum
+  tuner.observe(record_with_tail(1.0));  // 4 * 1 <= 16: tighten signal
+  const AutoTuneDecision d = tuner.observe(record_with_tail(1.0));
+  EXPECT_STREQ(d.event, "bound_tighten");
+  EXPECT_EQ(tuner.staleness_bound(), 8u);
+  EXPECT_NEAR(tuner.quorum(), 0.5, 1e-12);
+}
+
+TEST(AutoTuner, NoisyRoundDoesNotFlipAKnob) {
+  AutoTuner tuner(small_config(), 0.6, 4);
+  // Alternate widen / quiet: the streak resets each quiet step, so with
+  // patience = 2 nothing ever fires.
+  for (int i = 0; i < 10; ++i) {
+    const double p99 = (i % 2 == 0) ? 3.9 : 0.0;
+    const AutoTuneDecision d = tuner.observe(record_with_tail(p99));
+    EXPECT_TRUE(d.event[0] == '\0' || std::string(d.event) == "hold") << i;
+  }
+  EXPECT_EQ(tuner.staleness_bound(), 4u);
+  EXPECT_NEAR(tuner.quorum(), 0.6, 1e-12);
+}
+
+TEST(AutoTuner, UnsetSketchMeansNoDecision) {
+  AutoTuner tuner(small_config(), 0.6, 4);
+  const AutoTuneDecision d = tuner.observe(obs::RoundRecord{});
+  EXPECT_STREQ(d.event, "");
+  EXPECT_TRUE(std::isnan(d.trigger));
+}
+
+TEST(AutoTuner, ClampsInitialKnobsAndRejectsBadConfig) {
+  AutoTuner tuner(small_config(), 1.5, 1000);
+  EXPECT_NEAR(tuner.quorum(), 1.0, 1e-12);
+  EXPECT_EQ(tuner.staleness_bound(), 16u);
+  AutoTuneConfig bad = small_config();
+  bad.patience = 0;
+  EXPECT_THROW(AutoTuner(bad, 0.6, 4), PreconditionError);
 }
 
 TEST(LatencyModel, CompletionSecondsIsDeterministicAndJitterBounded) {

@@ -1,0 +1,178 @@
+// Tests for the flight recorder (obs/flight.hpp): bounded ring buffer,
+// deterministic event ids, Chrome-trace export with upload -> cut ->
+// aggregate flows, and the exact JSON round trip.
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace plos {
+namespace {
+
+using obs::AttemptResult;
+using obs::FlightEvent;
+using obs::FlightEventKind;
+using obs::FlightRecorder;
+
+FlightEvent make_event(std::uint64_t round, std::uint32_t device,
+                       std::uint32_t attempt, FlightEventKind kind,
+                       double t_start, double t_end) {
+  FlightEvent event;
+  event.round = round;
+  event.device = device;
+  event.attempt = attempt;
+  event.kind = kind;
+  event.t_start = t_start;
+  event.t_end = t_end;
+  return event;
+}
+
+TEST(FlightRecorder, IdIsAPureFunctionOfRoundDeviceAttempt) {
+  const FlightEvent a =
+      make_event(3, 7, 2, FlightEventKind::kUploadAttempt, 0.0, 1.0);
+  const FlightEvent b =
+      make_event(3, 7, 2, FlightEventKind::kDeadlineMiss, 5.0, 6.0);
+  EXPECT_EQ(a.id(), b.id());  // same key, kind/time do not matter
+  const FlightEvent c =
+      make_event(3, 7, 3, FlightEventKind::kUploadAttempt, 0.0, 1.0);
+  EXPECT_NE(a.id(), c.id());
+  EXPECT_EQ(a.id(), (3ull << 32) | (7ull << 8) | 2ull);
+}
+
+TEST(FlightRecorder, RingBufferBoundsMemoryAndKeepsNewest) {
+  FlightRecorder recorder(/*capacity=*/4);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    recorder.record(make_event(i, i, 1, FlightEventKind::kUploadAttempt,
+                               static_cast<double>(i),
+                               static_cast<double>(i) + 0.5));
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first among the survivors: rounds 6, 7, 8, 9.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].round, 6u + i);
+  }
+}
+
+TEST(FlightRecorder, ChromeJsonRoundTripsEventsExactly) {
+  FlightRecorder recorder;
+  recorder.record(
+      make_event(0, 2, 1, FlightEventKind::kBootstrap, 0.0, 0.0));
+  FlightEvent upload =
+      make_event(1, 3, 2, FlightEventKind::kUploadAttempt, 0.125, 0.25);
+  upload.cause = static_cast<int>(AttemptResult::kCorrupted);
+  recorder.record(upload);
+  FlightEvent fold =
+      make_event(2, 5, 0, FlightEventKind::kLateFold, 1.0, 2.5);
+  fold.staleness = 3;
+  fold.cause = 6;  // core::kLateUpload
+  recorder.record(fold);
+  FlightEvent cut = make_event(2, obs::kFlightServerDevice, 0,
+                               FlightEventKind::kQuorumCut, 2.0, 2.75);
+  cut.staleness = 9;
+  recorder.record(cut);
+
+  const std::string json = recorder.to_chrome_json();
+  std::vector<FlightEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(obs::parse_flight_json(json, parsed, &error)) << error;
+  const auto originals = recorder.events();
+  ASSERT_EQ(parsed.size(), originals.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].round, originals[i].round);
+    EXPECT_EQ(parsed[i].device, originals[i].device);
+    EXPECT_EQ(parsed[i].attempt, originals[i].attempt);
+    EXPECT_EQ(parsed[i].kind, originals[i].kind);
+    EXPECT_EQ(parsed[i].cause, originals[i].cause);
+    EXPECT_EQ(parsed[i].staleness, originals[i].staleness);
+    // args carry the raw seconds, so the trip is exact, not µs-rounded.
+    EXPECT_EQ(parsed[i].t_start, originals[i].t_start);
+    EXPECT_EQ(parsed[i].t_end, originals[i].t_end);
+  }
+}
+
+TEST(FlightRecorder, ChromeJsonIsValidJsonWithMetadata) {
+  FlightRecorder recorder;
+  recorder.record(
+      make_event(0, 1, 1, FlightEventKind::kUploadAttempt, 0.0, 1.0));
+  const std::string json = recorder.to_chrome_json();
+  std::string error;
+  const auto value = obs::json::parse(json, &error);
+  ASSERT_TRUE(value.has_value()) << error;
+  const auto* events = value->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // Process + server thread metadata lead the stream.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"plos flight\""), std::string::npos);
+}
+
+TEST(FlightRecorder, DeliveredUploadsGetFlowsToCutAndAggregate) {
+  FlightRecorder recorder;
+  FlightEvent upload =
+      make_event(4, 2, 1, FlightEventKind::kUploadAttempt, 0.5, 1.5);
+  upload.cause = static_cast<int>(AttemptResult::kDelivered);
+  recorder.record(upload);
+  recorder.record(make_event(4, obs::kFlightServerDevice, 0,
+                             FlightEventKind::kQuorumCut, 0.0, 2.0));
+  recorder.record(make_event(4, obs::kFlightServerDevice, 0,
+                             FlightEventKind::kAggregate, 2.0, 2.0));
+  const std::string json = recorder.to_chrome_json();
+  // One flow triplet (s -> t -> f) sharing the upload's id.
+  const std::string id = std::to_string(upload.id());
+  EXPECT_NE(json.find("\"ph\":\"s\",\"id\":" + id), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ph\":\"t\",\"id\":" + id), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"id\":" + id), std::string::npos);
+  // Binding point "e" pins the finish phase to the enclosing slice.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
+
+TEST(FlightRecorder, FailedUploadsAndAnchorlessRoundsGetNoFlows) {
+  FlightRecorder recorder;
+  FlightEvent dropped =
+      make_event(1, 2, 1, FlightEventKind::kUploadAttempt, 0.0, 1.0);
+  dropped.cause = static_cast<int>(AttemptResult::kDropped);
+  recorder.record(dropped);
+  recorder.record(make_event(1, obs::kFlightServerDevice, 0,
+                             FlightEventKind::kQuorumCut, 0.0, 2.0));
+  recorder.record(make_event(1, obs::kFlightServerDevice, 0,
+                             FlightEventKind::kAggregate, 2.0, 2.0));
+  // Delivered, but its round has no server anchors (ring overwrote them).
+  FlightEvent orphan =
+      make_event(9, 3, 1, FlightEventKind::kUploadAttempt, 5.0, 6.0);
+  orphan.cause = static_cast<int>(AttemptResult::kDelivered);
+  recorder.record(orphan);
+  const std::string json = recorder.to_chrome_json();
+  EXPECT_EQ(json.find("\"ph\":\"s\""), std::string::npos) << json;
+}
+
+TEST(FlightRecorder, ParseRejectsMalformedInput) {
+  std::vector<FlightEvent> events;
+  std::string error;
+  EXPECT_FALSE(obs::parse_flight_json("not json", events, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(obs::parse_flight_json("{\"foo\":1}", events, &error));
+  EXPECT_FALSE(
+      obs::parse_flight_json("{\"traceEvents\":[{\"ph\":\"X\"}]}", events,
+                             &error));
+}
+
+TEST(FlightRecorder, KindNamesCoverTheVocabulary) {
+  EXPECT_EQ(obs::flight_kind_name(FlightEventKind::kBootstrap), "bootstrap");
+  EXPECT_EQ(obs::flight_kind_name(FlightEventKind::kUploadAttempt),
+            "upload_attempt");
+  EXPECT_EQ(obs::flight_kind_name(FlightEventKind::kQuorumCut), "quorum_cut");
+  EXPECT_EQ(obs::flight_kind_name(FlightEventKind::kEviction), "eviction");
+}
+
+}  // namespace
+}  // namespace plos

@@ -500,6 +500,35 @@ TEST(CachePurity, DoesNotApplyOutsideTheCacheSources) {
             0u);
 }
 
+TEST(CachePurity, CoversSketchAndFlightRecorderSources) {
+  const std::string text =
+      read_file(std::string(PLOS_REPO_DIR) + "/tools/lint_rules.json");
+  const auto config = parse_config(text);
+  ASSERT_TRUE(config.has_value());
+
+  // The mergeable sketches and the flight recorder promise byte-identical
+  // output at any thread count (DESIGN.md §15), which the same purity
+  // classes protect: no clocks, no std::hash, no unordered containers.
+  const std::string impure =
+      "void g() {\n"
+      "  auto stamp = std::chrono::steady_clock::now();\n"
+      "  std::hash<std::string> hasher;\n"
+      "  std::unordered_map<int, int> buckets;\n"
+      "}\n";
+  for (const char* path :
+       {"src/obs/sketch.cpp", "src/obs/sketch.hpp", "src/obs/flight.cpp",
+        "src/obs/flight.hpp"}) {
+    EXPECT_GE(count_rule(lint_source(*config, path, impure), "cache-purity"),
+              3u)
+        << path;
+  }
+  // The scope is those files exactly: sibling obs sources (journal,
+  // metrics) legitimately quarantine wall time and stay out of the rule.
+  EXPECT_EQ(count_rule(lint_source(*config, "src/obs/metrics.cpp", impure),
+                       "cache-purity"),
+            0u);
+}
+
 TEST(SelfTest, AllEmbeddedFixturesPassAndReportNamesLocations) {
   const std::string text =
       read_file(std::string(PLOS_REPO_DIR) + "/tools/lint_rules.json");

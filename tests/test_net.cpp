@@ -8,6 +8,7 @@
 #include "net/event_queue.hpp"
 #include "net/serialize.hpp"
 #include "net/simnet.hpp"
+#include "rng/engine.hpp"
 
 namespace plos::net {
 namespace {
@@ -254,6 +255,50 @@ TEST(EventQueue, RejectsNonFiniteOrNegativeTimes) {
   event.time = -1.0;
   EXPECT_THROW(queue.push(event), PreconditionError);
   EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, TieOrderSurvivesRandomizedInsertion) {
+  // Property test for the total-order claim: build a fleet of events with
+  // heavy time ties (coarse grid), then push them in many shuffled orders.
+  // Every drain must yield the same sequence, sorted under event_before.
+  std::vector<Event> events;
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    for (std::uint64_t device = 0; device < 8; ++device) {
+      // A device emits at most one upload and one deadline per round, so
+      // (round, device, kind) keys are unique and the order is total.
+      events.push_back({0.25 * static_cast<double>((round + device) % 3),
+                        round, device, EventKind::kUpload});
+      events.push_back({0.25 * static_cast<double>((round + device) % 3),
+                        round, device, EventKind::kDeadline});
+    }
+  }
+
+  const auto drain = [](const std::vector<Event>& order) {
+    EventQueue queue;
+    for (const Event& event : order) queue.push(event);
+    std::vector<Event> popped;
+    while (!queue.empty()) popped.push_back(queue.pop());
+    return popped;
+  };
+  const std::vector<Event> reference = drain(events);
+  ASSERT_EQ(reference.size(), events.size());
+  for (std::size_t i = 1; i < reference.size(); ++i) {
+    EXPECT_TRUE(event_before(reference[i - 1], reference[i]))
+        << "pop sequence not strictly increasing at " << i;
+  }
+
+  rng::Engine engine(2024);
+  std::vector<Event> shuffled = events;
+  for (int trial = 0; trial < 32; ++trial) {
+    engine.shuffle(shuffled);
+    const std::vector<Event> popped = drain(shuffled);
+    for (std::size_t i = 0; i < popped.size(); ++i) {
+      EXPECT_EQ(popped[i].time, reference[i].time) << "trial " << trial;
+      EXPECT_EQ(popped[i].round, reference[i].round) << "trial " << trial;
+      EXPECT_EQ(popped[i].device, reference[i].device) << "trial " << trial;
+      EXPECT_EQ(popped[i].kind, reference[i].kind) << "trial " << trial;
+    }
+  }
 }
 
 }  // namespace

@@ -390,10 +390,64 @@ TEST(Metrics, SnapshotsCarryQuantileSummaries) {
   EXPECT_NE(json.find("\"p90\":9"), std::string::npos) << json;
   EXPECT_NE(json.find("\"p99\":"), std::string::npos) << json;
   const std::string prom = registry.to_prometheus();
-  EXPECT_NE(prom.find("# TYPE q_hist_p50 gauge"), std::string::npos) << prom;
-  EXPECT_NE(prom.find("q_hist_p50 5"), std::string::npos) << prom;
-  EXPECT_NE(prom.find("q_hist_p90 9"), std::string::npos) << prom;
-  EXPECT_NE(prom.find("q_hist_p99 "), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE q_hist_quantile gauge"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("q_hist_quantile{q=\"0.5\"} 5"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("q_hist_quantile{q=\"0.9\"} 9"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("q_hist_quantile{q=\"0.99\"} "), std::string::npos)
+      << prom;
+}
+
+namespace {
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+}  // namespace
+
+TEST(Metrics, PrometheusEmitsHelpAndTypeOncePerFamily) {
+  Registry registry;
+  registry.counter("fmt.count").add(1.0);
+  registry.gauge("fmt.gauge").set(2.0);
+  const double bounds[] = {1.0, 10.0};
+  Histogram& histogram = registry.histogram("fmt.hist", bounds);
+  histogram.record(3.0);
+  const std::string prom = registry.to_prometheus();
+  // Exactly one HELP and one TYPE per family — including the single
+  // labeled quantile gauge family (three series, one header).
+  for (const std::string family :
+       {"fmt_count", "fmt_gauge", "fmt_hist", "fmt_hist_quantile"}) {
+    EXPECT_EQ(count_occurrences(prom, "# HELP " + family + " "), 1u)
+        << family << "\n" << prom;
+    EXPECT_EQ(count_occurrences(prom, "# TYPE " + family + " "), 1u)
+        << family << "\n" << prom;
+  }
+  EXPECT_EQ(count_occurrences(prom, "fmt_hist_quantile{q="), 3u) << prom;
+  // HELP precedes TYPE precedes the samples of the family.
+  const std::size_t help_pos = prom.find("# HELP fmt_count ");
+  const std::size_t type_pos = prom.find("# TYPE fmt_count ");
+  const std::size_t sample_pos = prom.find("fmt_count 1");
+  EXPECT_LT(help_pos, type_pos);
+  EXPECT_LT(type_pos, sample_pos);
+}
+
+TEST(Metrics, PrometheusDeduplicatesCollidingFamilies) {
+  Registry registry;
+  // Distinct dotted names that sanitize onto the same Prometheus family
+  // must not repeat the family's headers.
+  registry.gauge("col.lide").set(1.0);
+  registry.gauge("col/lide").set(2.0);
+  const std::string prom = registry.to_prometheus();
+  EXPECT_EQ(count_occurrences(prom, "# TYPE col_lide gauge"), 1u) << prom;
+  EXPECT_EQ(count_occurrences(prom, "# HELP col_lide "), 1u) << prom;
+  EXPECT_EQ(count_occurrences(prom, "\ncol_lide "), 2u) << prom;
 }
 
 // ---- trace spans ---------------------------------------------------------

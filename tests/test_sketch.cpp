@@ -1,0 +1,158 @@
+// Tests for the deterministic mergeable aggregates (obs/sketch.hpp):
+// merge order/partition invariance (the thread-count-independence
+// argument), diff as merge's inverse, quantile determinism, and the
+// O(buckets) memory bound.
+#include "obs/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/engine.hpp"
+
+namespace plos {
+namespace {
+
+using obs::CauseCounters;
+using obs::QuantileSketch;
+
+std::vector<double> sample_values(std::uint64_t seed, std::size_t n) {
+  rng::Engine engine(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Spread across the sketch's whole dynamic range, including exact
+    // zeros, underflow, and overflow samples.
+    const double pick = engine.uniform(0.0, 1.0);
+    if (pick < 0.05) {
+      values.push_back(0.0);
+    } else if (pick < 0.10) {
+      values.push_back(engine.uniform(0.0, 1e-5));
+    } else if (pick < 0.15) {
+      values.push_back(engine.uniform(1e4, 1e6));
+    } else {
+      values.push_back(engine.uniform(1e-4, 1e3));
+    }
+  }
+  return values;
+}
+
+TEST(QuantileSketch, MergeIsOrderInvariant) {
+  const auto values = sample_values(7, 500);
+  QuantileSketch forward, backward;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    forward.record(values[i]);
+    backward.record(values[values.size() - 1 - i]);
+  }
+  EXPECT_EQ(forward.counts(), backward.counts());
+  EXPECT_EQ(forward.count(), backward.count());
+  EXPECT_EQ(forward.quantile(0.5), backward.quantile(0.5));
+}
+
+TEST(QuantileSketch, MergeIsPartitionInvariant) {
+  // Any split of the samples across "threads" and any merge order must
+  // produce identical counts — the byte-identical-journal argument.
+  const auto values = sample_values(11, 600);
+  QuantileSketch serial;
+  for (const double v : values) serial.record(v);
+
+  for (const std::size_t parts : {2u, 3u, 8u}) {
+    std::vector<QuantileSketch> shards(parts);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      shards[i % parts].record(values[i]);
+    }
+    // Merge in descending shard order to stress commutativity too.
+    QuantileSketch merged;
+    for (std::size_t s = parts; s-- > 0;) merged.merge(shards[s]);
+    EXPECT_EQ(merged.counts(), serial.counts()) << parts << " shards";
+    EXPECT_EQ(merged.count(), serial.count());
+  }
+}
+
+TEST(QuantileSketch, DiffInvertsMerge) {
+  const auto values = sample_values(13, 300);
+  QuantileSketch cumulative;
+  QuantileSketch first_half;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cumulative.record(values[i]);
+    if (i < values.size() / 2) first_half.record(values[i]);
+  }
+  const QuantileSketch delta = cumulative.diff(first_half);
+  EXPECT_EQ(delta.count(), cumulative.count() - first_half.count());
+  QuantileSketch rebuilt = first_half;
+  rebuilt.merge(delta);
+  EXPECT_EQ(rebuilt.counts(), cumulative.counts());
+}
+
+TEST(QuantileSketch, QuantilesBracketTheSamples) {
+  QuantileSketch sketch;
+  for (int i = 1; i <= 100; ++i) sketch.record(static_cast<double>(i));
+  // Log buckets have relative width 1/8: the reported lower edge sits
+  // within one bucket below the true order statistic.
+  EXPECT_GE(sketch.quantile(0.50), 50.0 * (1.0 - 0.125 - 1e-12));
+  EXPECT_LE(sketch.quantile(0.50), 51.0);
+  EXPECT_GE(sketch.quantile(0.99), 99.0 * (1.0 - 0.125 - 1e-12));
+  EXPECT_LE(sketch.quantile(0.99), 100.0);
+  EXPECT_EQ(sketch.quantile(0.0), sketch.quantile(0.0));  // deterministic
+}
+
+TEST(QuantileSketch, EdgeBucketsResolveDeterministically) {
+  QuantileSketch sketch;
+  sketch.record(0.0);
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);
+  sketch.record(1e-9);  // underflow bucket reports min/2
+  sketch.record(1e9);   // overflow bucket reports max
+  EXPECT_EQ(sketch.quantile(1.0), sketch.spec().max_value);
+  EXPECT_EQ(sketch.count(), 3u);
+}
+
+TEST(QuantileSketch, EmptySketchAnswersZero) {
+  const QuantileSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, MemoryIsBoundedByBucketsNotSamples) {
+  QuantileSketch sketch;
+  const std::size_t before = sketch.memory_bytes();
+  for (int i = 0; i < 100000; ++i) {
+    sketch.record(static_cast<double>(i % 997) + 0.5);
+  }
+  EXPECT_EQ(sketch.memory_bytes(), before);
+  EXPECT_EQ(sketch.count(), 100000u);
+  // Default spec: [1e-4, 1e4) spans 27 octaves of 8 slices plus the three
+  // edge buckets — a few KB, independent of the hundred thousand samples.
+  EXPECT_LT(sketch.memory_bytes(), 4096u);
+}
+
+TEST(QuantileSketch, WeightedRecordMatchesRepeatedRecord) {
+  QuantileSketch weighted, repeated;
+  weighted.record(3.0, 5);
+  for (int i = 0; i < 5; ++i) repeated.record(3.0);
+  EXPECT_EQ(weighted.counts(), repeated.counts());
+}
+
+TEST(QuantileSketch, SameSpecGatesMergeCompatibility) {
+  const QuantileSketch a;
+  QuantileSketch::Spec other;
+  other.sub_buckets = 4;
+  const QuantileSketch b(other);
+  EXPECT_TRUE(a.same_spec(QuantileSketch()));
+  EXPECT_FALSE(a.same_spec(b));
+}
+
+TEST(CauseCounters, MergeAddsElementwise) {
+  CauseCounters a(4), b(4);
+  a.add(0);
+  a.add(2, 3);
+  b.add(2);
+  b.add(3);
+  a.merge(b);
+  const std::vector<std::uint64_t> expected = {1, 0, 4, 1};
+  EXPECT_EQ(a.counts(), expected);
+  EXPECT_EQ(a.total(), 6u);
+}
+
+}  // namespace
+}  // namespace plos

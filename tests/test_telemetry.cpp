@@ -7,9 +7,11 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "core/centralized_plos.hpp"
 #include "core/distributed_plos.hpp"
 #include "data/dataset.hpp"
@@ -199,6 +201,99 @@ TEST(Journal, AsyncQuorumFieldsRoundTrip) {
   EXPECT_EQ(legacy[0].quorum_size, 0u);
   EXPECT_EQ(legacy[0].max_staleness, 0u);
   EXPECT_TRUE(legacy[0].staleness_hist.empty());
+}
+
+TEST(Journal, ObservabilityFieldsRoundTrip) {
+  obs::Journal journal;
+  obs::RoundRecord record;
+  record.trainer = "async";
+  record.cccp_round = 0;
+  record.admm_iteration = 3;
+  record.stale_p50 = 1.0;
+  record.stale_p90 = 4.0;
+  record.stale_p99 = 7.5;
+  record.lat_count = 24;
+  record.lat_p50 = 0.012;
+  record.lat_p90 = 0.031;
+  record.lat_p99 = 0.0625;
+  record.cause_counts = {9, 1, 2, 0, 1, 0, 3, 0};
+  record.tuned_quorum = 0.7;
+  record.tuned_staleness_bound = 8;
+  record.tune_event = "bound_widen";
+  record.tune_trigger = 7.5;
+  journal.append(record);
+
+  std::vector<obs::RoundRecord> parsed;
+  std::string error;
+  ASSERT_TRUE(obs::parse_journal_jsonl(journal.to_jsonl(), parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].stale_p50, 1.0);
+  EXPECT_EQ(parsed[0].stale_p90, 4.0);
+  EXPECT_EQ(parsed[0].stale_p99, 7.5);
+  EXPECT_EQ(parsed[0].lat_count, 24u);
+  EXPECT_EQ(parsed[0].lat_p50, 0.012);
+  EXPECT_EQ(parsed[0].lat_p90, 0.031);
+  EXPECT_EQ(parsed[0].lat_p99, 0.0625);
+  EXPECT_EQ(parsed[0].cause_counts,
+            (std::vector<std::uint64_t>{9, 1, 2, 0, 1, 0, 3, 0}));
+  EXPECT_EQ(parsed[0].tuned_quorum, 0.7);
+  EXPECT_EQ(parsed[0].tuned_staleness_bound, 8u);
+  EXPECT_EQ(parsed[0].tune_event, "bound_widen");
+  EXPECT_EQ(parsed[0].tune_trigger, 7.5);
+  // Legacy records without the observability fields parse with defaults.
+  std::vector<obs::RoundRecord> legacy;
+  ASSERT_TRUE(obs::parse_journal_jsonl(
+      "{\"trainer\":\"async\",\"cccp_round\":0,\"admm_iteration\":0}",
+      legacy, &error))
+      << error;
+  ASSERT_EQ(legacy.size(), 1u);
+  EXPECT_TRUE(std::isnan(legacy[0].stale_p99));
+  EXPECT_EQ(legacy[0].lat_count, 0u);
+  EXPECT_TRUE(legacy[0].cause_counts.empty());
+  EXPECT_TRUE(legacy[0].tune_event.empty());
+  EXPECT_EQ(legacy[0].tuned_staleness_bound, 0u);
+}
+
+TEST(Journal, DownsamplingKeepsEveryNthFromTheFirst) {
+  obs::Journal full;
+  obs::Journal sampled;
+  sampled.set_every(3);
+  EXPECT_EQ(sampled.every(), 3u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    obs::RoundRecord record;
+    record.trainer = "async";
+    record.admm_iteration = i;
+    full.append(record);
+    sampled.append(record);
+  }
+  EXPECT_EQ(sampled.offered(), 10u);
+  EXPECT_EQ(sampled.size(), 4u);  // iterations 0, 3, 6, 9
+  const std::vector<obs::RoundRecord> kept = sampled.records();
+  ASSERT_EQ(kept.size(), 4u);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].admm_iteration, 3 * i);
+  }
+  // The sampled stream is exactly the full stream's every-3rd line:
+  // downsampling drops whole records, never changes what a record says.
+  std::istringstream full_lines(full.to_jsonl());
+  std::istringstream sampled_lines(sampled.to_jsonl());
+  std::string full_line;
+  std::string sampled_line;
+  std::size_t row = 0;
+  while (std::getline(full_lines, full_line)) {
+    if (row % 3 == 0) {
+      ASSERT_TRUE(std::getline(sampled_lines, sampled_line));
+      EXPECT_EQ(sampled_line, full_line) << "row " << row;
+    }
+    ++row;
+  }
+  EXPECT_FALSE(std::getline(sampled_lines, sampled_line));
+}
+
+TEST(Journal, DownsamplingRejectsZero) {
+  obs::Journal journal;
+  EXPECT_THROW(journal.set_every(0), PreconditionError);
 }
 
 TEST(Journal, ParseReportsMalformedLine) {
@@ -417,6 +512,31 @@ TEST(Watchdog, FlagsStalenessCollapse) {
   fresh.max_staleness = 1;
   EXPECT_EQ(watchdog.observe(fresh), obs::WatchdogAction::kNone);
   EXPECT_EQ(watchdog.observe(stale), obs::WatchdogAction::kNone);
+}
+
+TEST(Watchdog, StalenessCollapseDefersToTheTunedBound) {
+  // Under --auto-tune the controller may widen the bound past the static
+  // ceiling; the watchdog must track the journaled tuned bound instead of
+  // false-firing on staleness the tuner deliberately allowed.
+  obs::WatchdogConfig config;
+  config.staleness_ceiling = 3;
+  config.staleness_rounds = 2;
+  obs::Watchdog watchdog(config);
+  obs::RoundRecord widened = healthy_record(1.0);
+  widened.max_staleness = 6;          // over the static ceiling...
+  widened.tuned_staleness_bound = 8;  // ...but inside the tuned bound
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(watchdog.observe(widened), obs::WatchdogAction::kNone) << i;
+  }
+  EXPECT_FALSE(watchdog.triggered());
+  // Once the fleet pins the tuned bound itself, the policy still fires.
+  obs::RoundRecord pinned = healthy_record(1.0);
+  pinned.max_staleness = 8;
+  pinned.tuned_staleness_bound = 8;
+  EXPECT_EQ(watchdog.observe(pinned), obs::WatchdogAction::kNone);
+  EXPECT_EQ(watchdog.observe(pinned), obs::WatchdogAction::kWarn);
+  ASSERT_EQ(watchdog.violations().size(), 1u);
+  EXPECT_EQ(watchdog.violations()[0].kind, obs::ViolationKind::kStaleness);
 }
 
 TEST(Watchdog, StalenessPolicyDisabledByDefault) {
@@ -705,9 +825,15 @@ TEST(Metrics, PrometheusExposesCountersGaugesHistograms) {
   EXPECT_NE(prom.find("# TYPE telemetry_test_counter counter"),
             std::string::npos);
   EXPECT_NE(prom.find("telemetry_test_counter 3"), std::string::npos);
-  // '/' is not a legal Prometheus name character; it must be sanitized.
+  // '/' is not a legal Prometheus name character; it must be sanitized in
+  // every sample and header name. Only # HELP free text may carry the
+  // original dotted/slashed registry name.
   EXPECT_NE(prom.find("telemetry_test_gauge 1.5"), std::string::npos);
-  EXPECT_EQ(prom.find('/'), std::string::npos);
+  std::istringstream lines(prom);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    EXPECT_EQ(line.find('/'), std::string::npos) << line;
+  }
   EXPECT_NE(prom.find("telemetry_test_hist_bucket{le=\"1\"} 1"),
             std::string::npos);
   EXPECT_NE(prom.find("telemetry_test_hist_bucket{le=\"10\"} 2"),

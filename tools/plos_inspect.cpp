@@ -30,12 +30,19 @@
 //       CI perf gate: counters exact, median wall time allowed to exceed
 //       the baseline by at most FACTOR (default 3.0 = 4x). Exits 1 on
 //       violation.
+//
+//   plos_inspect timeline flight.json
+//       causal per-round view of a flight log written by
+//       `plos_run --async --flight-out`: upload attempts with their
+//       retry/drop/corruption outcomes, deadline misses, quorum cuts,
+//       late folds, evictions, and aggregates on the virtual clock.
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/inspect.hpp"
 #include "obs/journal.hpp"
 #include "obs/json.hpp"
@@ -66,7 +73,10 @@ void print_usage() {
       "      exit 1 on drift)\n"
       "  plos_inspect bench-check RUN --against BASELINE [--time-tol F]\n"
       "      perf gate: counters exact, median wall time may exceed the\n"
-      "      baseline by at most F (default 3.0 = 4x); exit 1 on violation\n");
+      "      baseline by at most F (default 3.0 = 4x); exit 1 on violation\n"
+      "  plos_inspect timeline FLIGHT.json\n"
+      "      causal per-round device-lifecycle view of a flight log\n"
+      "      (plos_run --async --flight-out)\n");
 }
 
 int usage_error(const char* message) {
@@ -344,6 +354,102 @@ int run_bench_compare(const CompareArgs& args, bool check_time) {
   return 1;
 }
 
+// DeviceRoundStatus vocabulary (core/admm_device.hpp enum order) for
+// rendering fold/eviction causes without pulling the core library in.
+const char* device_status_name(int status) {
+  switch (status) {
+    case 0: return "participated";
+    case 1: return "unavailable";
+    case 2: return "offline";
+    case 3: return "downlink_failed";
+    case 4: return "deadline_missed";
+    case 5: return "uplink_failed";
+    case 6: return "late_upload";
+    case 7: return "busy";
+    default: return "unknown";
+  }
+}
+
+const char* attempt_result_name(int result) {
+  switch (result) {
+    case 0: return "delivered";
+    case 1: return "dropped";
+    case 2: return "corrupted";
+    default: return "unknown";
+  }
+}
+
+int run_timeline(const std::vector<std::string>& files) {
+  if (files.size() != 1) {
+    return usage_error("timeline expects one flight-log file");
+  }
+  std::string text;
+  if (!obs::read_file(files[0], text)) {
+    std::fprintf(stderr, "plos_inspect: cannot read %s\n", files[0].c_str());
+    return 2;
+  }
+  std::vector<obs::FlightEvent> events;
+  std::string error;
+  if (!obs::parse_flight_json(text, events, &error)) {
+    std::fprintf(stderr, "plos_inspect: %s: %s\n", files[0].c_str(),
+                 error.c_str());
+    return 2;
+  }
+  std::printf("flight timeline: %zu event(s) from %s\n", events.size(),
+              files[0].c_str());
+  std::uint64_t current_round = 0;
+  bool have_round = false;
+  for (const obs::FlightEvent& e : events) {
+    if (!have_round || e.round != current_round) {
+      current_round = e.round;
+      have_round = true;
+      std::printf("round %llu\n",
+                  static_cast<unsigned long long>(e.round));
+    }
+    switch (e.kind) {
+      case obs::FlightEventKind::kBootstrap:
+        std::printf("  device %-4u bootstrap contribution\n", e.device);
+        break;
+      case obs::FlightEventKind::kUploadAttempt:
+        std::printf("  device %-4u upload attempt %u %-9s [%.6f, %.6f]s\n",
+                    e.device, e.attempt, attempt_result_name(e.cause),
+                    e.t_start, e.t_end);
+        break;
+      case obs::FlightEventKind::kDeadlineMiss:
+        std::printf(
+            "  device %-4u deadline miss          (deadline %.6fs, "
+            "completion %.6fs)\n",
+            e.device, e.t_start, e.t_end);
+        break;
+      case obs::FlightEventKind::kQuorumCut:
+        std::printf("  server      quorum cut  [%.6f, %.6f]s  (%llu fresh)\n",
+                    e.t_start, e.t_end,
+                    static_cast<unsigned long long>(e.staleness));
+        break;
+      case obs::FlightEventKind::kLateFold:
+        std::printf(
+            "  device %-4u late fold   (arrived %.6fs, folded %.6fs, "
+            "staleness %llu, cause %s)\n",
+            e.device, e.t_start, e.t_end,
+            static_cast<unsigned long long>(e.staleness),
+            device_status_name(e.cause));
+        break;
+      case obs::FlightEventKind::kEviction:
+        std::printf(
+            "  device %-4u evicted     at %.6fs (staleness %llu, cause %s)\n",
+            e.device, e.t_start,
+            static_cast<unsigned long long>(e.staleness),
+            device_status_name(e.cause));
+        break;
+      case obs::FlightEventKind::kAggregate:
+        std::printf("  server      aggregate   at %.6fs (%llu fresh)\n",
+                    e.t_start, static_cast<unsigned long long>(e.staleness));
+        break;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -367,5 +473,6 @@ int main(int argc, char** argv) {
   if (command == "bench-report") return run_bench_report(args->files);
   if (command == "bench-diff") return run_bench_compare(*args, false);
   if (command == "bench-check") return run_bench_compare(*args, true);
+  if (command == "timeline") return run_timeline(args->files);
   return usage_error(("unknown command '" + command + "'").c_str());
 }

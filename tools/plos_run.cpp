@@ -32,6 +32,7 @@
 #include "data/labeling.hpp"
 #include "data/synthetic.hpp"
 #include "net/simnet.hpp"
+#include "obs/flight.hpp"
 #include "obs/journal.hpp"
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
@@ -75,6 +76,9 @@ struct Args {
   double quorum = 0.6;
   std::uint64_t staleness_bound = 3;
   bool adaptive_deadline = true;
+  bool auto_tune = false;      // --auto-tune on: journal-driven knob walk
+  std::string flight_out;      // empty = no flight recorder; "-" = stdout
+  std::uint64_t journal_every = 1;  // keep every Nth journal record
   std::string save_model_path;
   std::string log_level;    // empty = logging stays off
   std::string trace_out;    // empty = no trace collection
@@ -122,6 +126,16 @@ void print_usage() {
       "                             positive integer (default 3)\n"
       "  --adaptive-deadline on|off per-device deadlines from the latency\n"
       "                             EWMA (default on)\n"
+      "  --auto-tune on|off         walk --quorum / --staleness-bound per\n"
+      "                             round from the journal's staleness sketch\n"
+      "                             (deterministic hysteresis; every decision\n"
+      "                             is journaled; needs --async; default off)\n"
+      "  --flight-out FILE          write the flight recorder's Chrome-trace\n"
+      "                             JSON of per-device lifecycle events\n"
+      "                             (upload attempts, deadline misses, late\n"
+      "                             folds, evictions, quorum cuts; needs\n"
+      "                             --async; '-' = stdout; explore with\n"
+      "                             'plos_inspect timeline')\n"
       "  --no-hotpath-cache         disable the Gram/Lipschitz memoization\n"
       "                             (PLOS_NO_HOTPATH_CACHE=1 does the same);\n"
       "                             results are bitwise identical, only slower\n"
@@ -139,6 +153,8 @@ void print_usage() {
       "                             and final metrics ('-' = stdout)\n"
       "  --journal-out FILE         write the per-round JSONL journal of the\n"
       "                             PLOS training loop ('-' = stdout)\n"
+      "  --journal-every N          keep every Nth journal record (counted at\n"
+      "                             aggregation boundaries; default 1 = all)\n"
       "  --profile-out FILE         write the hierarchical phase-profile tree\n"
       "                             (per-phase call counts + exact solver\n"
       "                             counters; wall times and peak RSS live in\n"
@@ -315,6 +331,24 @@ std::optional<Args> parse(int argc, char** argv) {
         ok = false;
       }
       args.adaptive_deadline = mode == "on";
+    } else if (flag == "--auto-tune") {
+      const std::string mode = value();
+      if (ok && mode != "on" && mode != "off") {
+        std::fprintf(stderr,
+                     "plos_run: --auto-tune expects on or off, got '%s'\n",
+                     mode.c_str());
+        ok = false;
+      }
+      args.auto_tune = mode == "on";
+    } else if (flag == "--flight-out") {
+      args.flight_out = value();
+    } else if (flag == "--journal-every") {
+      u64_value(args.journal_every);
+      if (ok && args.journal_every == 0) {
+        std::fprintf(stderr,
+                     "plos_run: --journal-every must be a positive integer\n");
+        ok = false;
+      }
     } else if (flag == "--logistic") {
       args.logistic = true;
     } else if (flag == "--save-model") {
@@ -387,6 +421,18 @@ std::optional<Args> parse(int argc, char** argv) {
     std::fprintf(stderr,
                  "plos_run: --round-deadline is the synchronous barrier's "
                  "deadline; under --async use --adaptive-deadline\n");
+    ok = false;
+  }
+  if (ok && args.auto_tune && !args.async_mode) {
+    std::fprintf(stderr,
+                 "plos_run: --auto-tune drives the async engine's quorum and "
+                 "staleness bound; it needs --async\n");
+    ok = false;
+  }
+  if (ok && !args.flight_out.empty() && !args.async_mode) {
+    std::fprintf(stderr,
+                 "plos_run: --flight-out records the async engine's device "
+                 "lifecycle; it needs --async\n");
     ok = false;
   }
   // Environment escape hatch so CI equivalence jobs can flip whole test
@@ -526,6 +572,7 @@ int main(int argc, char** argv) {
   // the watchdog classifies each record online. Both are wired into the
   // trainer options below only when requested.
   obs::Journal journal;
+  journal.set_every(args.journal_every);
   obs::WatchdogConfig watchdog_config;
   watchdog_config.on_violation = args.watchdog == "abort"
                                      ? obs::WatchdogConfig::OnViolation::kAbort
@@ -605,8 +652,27 @@ int main(int argc, char** argv) {
         async_options.quorum = args.quorum;
         async_options.staleness_bound = args.staleness_bound;
         async_options.adaptive_deadline = args.adaptive_deadline;
+        async_options.autotune.enabled = args.auto_tune;
+        obs::FlightRecorder flight_recorder;
+        if (!args.flight_out.empty()) {
+          async_options.flight = &flight_recorder;
+        }
         const auto result =
             async::train_async_quorum_plos(dataset, async_options, &network);
+        if (!args.flight_out.empty()) {
+          if (!flight_recorder.write(args.flight_out)) {
+            std::fprintf(stderr, "failed to write flight log to %s\n",
+                         args.flight_out.c_str());
+            return 1;
+          }
+          if (args.flight_out != "-") {
+            std::printf("flight log written to %s (%zu events, %llu "
+                        "overwritten)\n",
+                        args.flight_out.c_str(), flight_recorder.size(),
+                        static_cast<unsigned long long>(
+                            flight_recorder.dropped()));
+          }
+        }
         model = result.model;
         diagnostics = result.diagnostics;
         const auto& a = result.async;
@@ -636,6 +702,18 @@ int main(int argc, char** argv) {
         results["async_virtual_seconds"] = a.virtual_seconds;
         results["async_max_staleness"] =
             static_cast<double>(a.max_staleness_seen);
+        if (args.auto_tune) {
+          std::printf(
+              "auto-tune: %llu actions, final quorum %.2f, final staleness "
+              "bound %llu\n",
+              static_cast<unsigned long long>(a.tune_actions), a.final_quorum,
+              static_cast<unsigned long long>(a.final_staleness_bound));
+          results["async_tune_actions"] =
+              static_cast<double>(a.tune_actions);
+          results["async_final_quorum"] = a.final_quorum;
+          results["async_final_staleness_bound"] =
+              static_cast<double>(a.final_staleness_bound);
+        }
         // The async engine's wall clock is the deterministic virtual one.
         timing_map["simulated_seconds"] = a.virtual_seconds;
       } else {
@@ -812,6 +890,12 @@ int main(int argc, char** argv) {
           std::to_string(args.staleness_bound);
       manifest.options["async_adaptive_deadline"] =
           args.adaptive_deadline ? "on" : "off";
+      if (args.auto_tune) manifest.options["async_auto_tune"] = "on";
+    }
+    // Only non-default downsampling lands in the manifest: default-1 runs
+    // keep byte-identical manifests with pre-flag builds (golden files).
+    if (args.journal_every > 1) {
+      manifest.options["journal_every"] = std::to_string(args.journal_every);
     }
     manifest.options["watchdog"] = args.watchdog;
     if (args.watchdog_stall_rounds > 0) {
