@@ -192,8 +192,8 @@ double plos_objective(const data::MultiUserDataset& dataset,
     for (std::size_t i = 0; i < user.num_samples(); ++i) {
       const double value = linalg::dot(w, user.samples[i]);
       if (user.revealed[i]) {
-        labeled_loss += std::max(
-            0.0, 1.0 - static_cast<double>(user.true_labels[i]) * value);
+        const double label = static_cast<double>(user.true_labels[i]);
+        labeled_loss += std::max(0.0, 1.0 - label * value);
       } else {
         unlabeled_loss += std::max(0.0, 1.0 - std::abs(value));
       }

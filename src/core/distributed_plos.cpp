@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "common/stopwatch.hpp"
 #include "core/admm_device.hpp"
+#include "linalg/vector.hpp"
 #include "net/serialize.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -481,8 +482,7 @@ DistributedPlosResult train_distributed_impl(
   }
   if (fault != nullptr) {
     const auto& d = result.diagnostics;
-    double mean_participation = 0.0;
-    for (double p : d.participation_trace) mean_participation += p;
+    double mean_participation = linalg::sum(d.participation_trace);
     if (!d.participation_trace.empty()) {
       mean_participation /= static_cast<double>(d.participation_trace.size());
     }

@@ -59,8 +59,8 @@ double logistic_plos_objective(const data::MultiUserDataset& dataset,
     for (std::size_t i = 0; i < user.num_samples(); ++i) {
       const double value = linalg::dot(w, user.samples[i]);
       if (user.revealed[i]) {
-        labeled_loss +=
-            log1p_exp_neg(static_cast<double>(user.true_labels[i]) * value);
+        const double label = static_cast<double>(user.true_labels[i]);
+        labeled_loss += log1p_exp_neg(label * value);
       } else {
         unlabeled_loss += log1p_exp_neg(std::abs(value));
       }

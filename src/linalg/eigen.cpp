@@ -5,19 +5,15 @@
 #include <numeric>
 
 #include "common/assert.hpp"
+#include "linalg/kernels.hpp"
 
 namespace plos::linalg {
 
 namespace {
 
 double off_diagonal_norm(const Matrix& a) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j < a.cols(); ++j) {
-      if (i != j) s += a(i, j) * a(i, j);
-    }
-  }
-  return std::sqrt(s);
+  return std::sqrt(kernels::serial_off_diagonal_squared_sum(
+      a.data(), a.rows(), a.cols()));
 }
 
 }  // namespace

@@ -88,4 +88,33 @@ void blocked_rank1_update(std::span<double> a, std::size_t rows,
   }
 }
 
+double serial_sum(std::span<const double> a) {
+  double s = 0.0;
+  for (const double v : a) s += v;
+  return s;
+}
+
+double serial_gather_sum(std::span<const double> values,
+                         std::span<const std::size_t> indices) {
+  double s = 0.0;
+  for (const std::size_t idx : indices) {
+    PLOS_DCHECK(idx < values.size(), "serial_gather_sum: index out of range");
+    s += values[idx];
+  }
+  return s;
+}
+
+double serial_off_diagonal_squared_sum(std::span<const double> a,
+                                       std::size_t rows, std::size_t cols) {
+  PLOS_CHECK(a.size() == rows * cols,
+             "serial_off_diagonal_squared_sum: buffer size");
+  double s = 0.0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (i != j) s += a[i * cols + j] * a[i * cols + j];
+    }
+  }
+  return s;
+}
+
 }  // namespace plos::linalg::kernels

@@ -43,4 +43,30 @@ void blocked_rank1_update(std::span<double> a, std::size_t rows,
                           std::span<const double> x,
                           std::span<const double> y);
 
+// ---- serial pinned-order folds -------------------------------------------
+//
+// Not every reduction may use the blocked 4-chain order: folds whose
+// historical order is baked into golden manifests, exact benchmark
+// counters, or algorithmic post-conditions (the capped-simplex projection's
+// "same left-to-right sum the feasibility check uses" idempotence argument)
+// must keep the strict serial left-to-right chain. These primitives pin
+// that order here, so the accumulation-order lint rule can demand that
+// *every* loop-carried double fold routes through linalg::kernels: callers
+// pick blocked (fast, 4-chain) or serial (exact historical order), and
+// either way the fold order is owned by this one file.
+
+/// Strict left-to-right sum: ((a0 + a1) + a2) + ...
+double serial_sum(std::span<const double> a);
+
+/// Strict left-to-right sum of values[indices[k]]. Indices must be in
+/// range; duplicates are summed as many times as they appear.
+double serial_gather_sum(std::span<const double> values,
+                         std::span<const std::size_t> indices);
+
+/// Strict row-major sum of a(i,j)^2 over i != j for a rows x cols
+/// row-major buffer (a.size() == rows * cols). The Jacobi eigen sweep's
+/// convergence measure — kept serial so its iteration counts never move.
+double serial_off_diagonal_squared_sum(std::span<const double> a,
+                                       std::size_t rows, std::size_t cols);
+
 }  // namespace plos::linalg::kernels

@@ -58,9 +58,8 @@ Vector scaled(std::span<const double> a, double alpha) {
 Vector zeros(std::size_t n) { return Vector(n, 0.0); }
 
 double sum(std::span<const double> a) {
-  double s = 0.0;
-  for (double v : a) s += v;
-  return s;
+  // Strict left-to-right order, pinned in the kernels TU (§13).
+  return kernels::serial_sum(a);
 }
 
 double mean(std::span<const double> a) {

@@ -1,0 +1,292 @@
+#include "lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstddef>
+#include <regex>
+
+namespace plos::lint {
+
+namespace {
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True when the current line up to `quote_pos` is exactly an #include
+// directive, i.e. the quoted token that follows is an include path. Those
+// must survive scrubbing: the include-graph and include-order rules read
+// their targets.
+bool include_directive_before(std::string_view source, std::size_t quote_pos) {
+  std::size_t line_start =
+      quote_pos == 0 ? std::string_view::npos
+                     : source.rfind('\n', quote_pos - 1);
+  line_start = line_start == std::string_view::npos ? 0 : line_start + 1;
+  static const std::regex re(R"(^\s*#\s*include\s*$)", std::regex::optimize);
+  const std::string prefix(source.substr(line_start, quote_pos - line_start));
+  return std::regex_match(prefix, re);
+}
+
+// Is the quote at position i the opening of a raw string literal? The R
+// must directly precede it and must itself start an identifier there: a
+// lone R, or an encoding prefix (u8R, uR, UR, LR). `FOUR "x"` is not raw.
+bool raw_string_opener(char prev_code, char prev_code2) {
+  if (prev_code != 'R') return false;
+  return !is_word(prev_code2) || prev_code2 == 'u' || prev_code2 == 'U' ||
+         prev_code2 == 'L' || prev_code2 == '8';
+}
+
+}  // namespace
+
+std::string strip_comments_and_strings(std::string_view source) {
+  std::string out(source);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;   // for R"delim( ... )delim"
+  char prev_code = '\0';   // last code character kept (raw/digit-sep tests)
+  char prev_code2 = '\0';  // the one before it
+
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          if (raw_string_opener(prev_code, prev_code2)) {
+            std::size_t j = i + 1;
+            raw_delim.clear();
+            while (j < source.size() && source[j] != '(') {
+              raw_delim += source[j];
+              ++j;
+            }
+            // Keep R"delim( (and the )delim" closer below) so the blanked
+            // text re-parses as the same raw literal: scrubbing must be
+            // idempotent, and blanking the '(' would send a second pass
+            // hunting for a delimiter across the rest of the file.
+            i = j;
+            state = State::kRaw;
+            raw_delim = ")" + raw_delim + "\"";
+          } else if (include_directive_before(source, i)) {
+            // #include "path": keep the path readable for include rules.
+            const std::size_t close = source.find('"', i + 1);
+            i = close == std::string_view::npos ? source.size() : close;
+            prev_code2 = prev_code;
+            prev_code = '"';
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'' && !is_word(prev_code)) {
+          // Apostrophe after a word character is a digit separator
+          // (1'000'000), not a char literal.
+          state = State::kChar;
+        } else {
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            prev_code2 = prev_code;
+            prev_code = c;
+          }
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\\' && next == '\n') {
+          // Line splice: the comment logically continues on the next line.
+          out[i] = ' ';
+          ++i;
+        } else if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          prev_code2 = prev_code;
+          prev_code = '"';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          prev_code2 = prev_code;
+          prev_code = '\'';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (source.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+          prev_code2 = prev_code;
+          prev_code = '"';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Multi-character punctuators, longest first within each length class.
+// Max-munch over this table mirrors the real lexer closely enough for the
+// semantic rules (no <=> to keep the table C++17-friendly in spirit; the
+// tree doesn't use it).
+constexpr std::array<std::string_view, 4> kPunct3 = {"<<=", ">>=", "->*",
+                                                     "..."};
+constexpr std::array<std::string_view, 19> kPunct2 = {
+    "::", "->", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", "==", "!=", "<=", ">=", "&&", "||", "<<"};
+// ">>" is intentionally absent: lexing it as two ">" tokens keeps template
+// argument lists (std::vector<std::vector<double>>) bracket-balanced for
+// the backward walks the semantic rules do.
+
+bool starts_number(std::string_view s, std::size_t i) {
+  const char c = s[i];
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0) return true;
+  return c == '.' && i + 1 < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])) != 0;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view scrubbed) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int brace = 0;
+  int paren = 0;
+  std::size_t i = 0;
+  const std::size_t n = scrubbed.size();
+  while (i < n) {
+    const char c = scrubbed[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.line = line;
+    if (is_word(c) && !starts_number(scrubbed, i)) {
+      std::size_t j = i;
+      while (j < n && is_word(scrubbed[j])) ++j;
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::string(scrubbed.substr(i, j - i));
+      i = j;
+    } else if (starts_number(scrubbed, i)) {
+      // pp-number: letters, digits, dots, digit separators, and exponent
+      // signs after e/E/p/P all glue onto the token.
+      std::size_t j = i;
+      while (j < n) {
+        const char d = scrubbed[j];
+        if (is_word(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (scrubbed[j - 1] == 'e' || scrubbed[j - 1] == 'E' ||
+                    scrubbed[j - 1] == 'p' || scrubbed[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = std::string(scrubbed.substr(i, j - i));
+      i = j;
+    } else if (c == '"') {
+      // Scrubbed literal: contents are blanks (or an include path); the
+      // closing quote is the next quote, escapes were already blanked.
+      const std::size_t close = scrubbed.find('"', i + 1);
+      const std::size_t end = close == std::string_view::npos ? n : close + 1;
+      token.kind = TokenKind::kString;
+      token.text = std::string(scrubbed.substr(i + 1, end - i - 2));
+      for (std::size_t k = i; k < end; ++k) {
+        if (scrubbed[k] == '\n') ++line;
+      }
+      i = end;
+    } else if (c == '\'') {
+      const std::size_t close = scrubbed.find('\'', i + 1);
+      const std::size_t end = close == std::string_view::npos ? n : close + 1;
+      token.kind = TokenKind::kChar;
+      token.text = std::string(scrubbed.substr(i + 1, end - i - 2));
+      i = end;
+    } else {
+      token.kind = TokenKind::kPunct;
+      std::string_view rest = scrubbed.substr(i);
+      for (std::string_view p : kPunct3) {
+        if (rest.rfind(p, 0) == 0) token.text = std::string(p);
+      }
+      if (token.text.empty()) {
+        for (std::string_view p : kPunct2) {
+          if (rest.rfind(p, 0) == 0) token.text = std::string(p);
+        }
+      }
+      if (token.text.empty()) token.text = std::string(1, c);
+      i += token.text.size();
+      // Depth bookkeeping: closers report the depth *outside* the bracket,
+      // same as their opener, so matched pairs carry equal depths.
+      if (c == '{') {
+        token.brace_depth = brace++;
+        token.paren_depth = paren;
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      if (c == '}') {
+        brace = brace > 0 ? brace - 1 : 0;
+        token.brace_depth = brace;
+        token.paren_depth = paren;
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      if (c == '(' || c == '[') {
+        token.brace_depth = brace;
+        token.paren_depth = paren++;
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      if (c == ')' || c == ']') {
+        paren = paren > 0 ? paren - 1 : 0;
+        token.brace_depth = brace;
+        token.paren_depth = paren;
+        tokens.push_back(std::move(token));
+        continue;
+      }
+    }
+    token.brace_depth = brace;
+    token.paren_depth = paren;
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+}  // namespace plos::lint

@@ -1,0 +1,58 @@
+// Deterministic C++ token stream for the plos_lint semantic rules
+// (DESIGN.md §16).
+//
+// Two layers, both pure functions of the input bytes:
+//
+//   1. strip_comments_and_strings — the scrubber. Blanks comment bodies and
+//      string/char-literal contents (raw strings with custom delimiters,
+//      escaped quotes, line splices in // comments, digit separators)
+//      while preserving line structure byte for byte, so every downstream
+//      line number is the source line number. Quoted #include targets are
+//      kept readable for the include-graph rules. The scrubber is
+//      idempotent: scrub(scrub(x)) == scrub(x), property-tested over a
+//      seeded corpus in tests/test_lint_lexer.cpp.
+//
+//   2. tokenize — lexes *scrubbed* text into identifiers, numbers,
+//      punctuation (max-munch over the real C++ operator table), and
+//      blanked string/char literals, each tagged with its 1-based line and
+//      the brace/paren nesting depth it sits in. This is not a full C++
+//      front end: no preprocessing, no template disambiguation. It is
+//      exactly the substrate the race-surface and accumulation-order rules
+//      need — stable identifiers plus reliable bracket matching.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plos::lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]* (keywords included)
+  kNumber,      ///< pp-number: 1.5e-3, 0xFF, 1'000'000, .5f
+  kString,      ///< a (scrubbed) "..." literal; text keeps the contents
+  kChar,        ///< a (scrubbed) '...' literal
+  kPunct,       ///< operator or punctuator, longest-match spelling
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 1;         ///< 1-based source line of the first character
+  int brace_depth = 0;  ///< {} nesting level the token sits in
+  int paren_depth = 0;  ///< () nesting level the token sits in
+};
+
+/// Blanks comments and string/char-literal contents (raw strings included)
+/// while preserving line structure. Quoted #include targets survive so the
+/// include rules can parse them out of the scrubbed text. Idempotent.
+std::string strip_comments_and_strings(std::string_view source);
+
+/// Lexes scrubbed text (see above) into a deterministic token stream.
+/// Depth fields: an opening bracket carries the depth outside it, a closing
+/// bracket the depth outside it too, and every token in between carries the
+/// depth inside — so "tokens with brace_depth > d" is exactly "tokens
+/// enclosed by the block that opened at depth d".
+std::vector<Token> tokenize(std::string_view scrubbed);
+
+}  // namespace plos::lint

@@ -1,18 +1,20 @@
-// plos_lint: determinism-invariant static analyzer (DESIGN.md §11).
+// plos_lint: determinism-invariant static analyzer (DESIGN.md §11, §16).
 //
 // The determinism contract (§8: bitwise-identical models, journals, and
 // byte ledgers at any thread count) and the federated privacy boundary
 // (raw rows never cross the network layer) are enforced dynamically by the
 // equivalence suites and golden manifests. This analyzer enforces them
-// statically: a token/regex scanner plus a lightweight project include
-// graph — no libclang — that rejects nondeterminism and contract-free
-// numeric code before it runs.
+// statically: a deterministic C++ token stream (lexer.hpp), a whole-tree
+// include graph with a declarative layering DAG (include_graph.hpp), and
+// token-level semantic rule families (rules_semantic.hpp) on top of the
+// original line/regex catalog — no libclang — that reject nondeterminism,
+// contract-free numeric code, and undeclared module edges before they run.
 //
 // The rule *catalog* is built in (each RuleKind below is a matching
 // strategy); the checked-in `tools/lint_rules.json` instantiates it:
 // which rules run, over which path prefixes, with which banned patterns
-// and exemptions. Every in-source exception uses the visible suppression
-// syntax
+// and exemptions. The layering DAG lives in `tools/lint_layers.json`.
+// Every in-source exception uses the visible suppression syntax
 //
 //     // plos-lint: allow(rule-name[, rule-name...])    same or next line
 //     // plos-lint: allow-file(rule-name)               whole file
@@ -21,7 +23,9 @@
 //
 // The engine works on in-memory file sets so tests drive it hermetically;
 // the CLI walks the real tree. All scanning, ordering, and reporting is
-// deterministic (sorted paths, config-ordered rules, sorted findings).
+// deterministic (sorted paths, config-ordered rules, sorted findings) —
+// including the threaded scan, which merges per-file results in path
+// order and is byte-identical at any thread count.
 #pragma once
 
 #include <map>
@@ -29,6 +33,9 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "lint/include_graph.hpp"
+#include "lint/lexer.hpp"
 
 namespace plos::lint {
 
@@ -48,6 +55,9 @@ enum class RuleKind {
   kIncludeOrder,          ///< own-header first; angle block before quoted
   kUsingNamespaceHeader,  ///< `using namespace` in a header
   kForbiddenInclude,      ///< (transitive) include of a banned header prefix
+  kRaceSurface,           ///< unsynchronized shared write in a pool lambda
+  kAccumulationOrder,     ///< loop-carried double fold outside linalg::kernels
+  kLayering,              ///< include edge not declared in the layering DAG
 };
 
 struct Rule {
@@ -66,6 +76,8 @@ struct Config {
   std::vector<std::string> roots;       ///< directories to scan, repo-relative
   std::vector<std::string> extensions;  ///< file suffixes to scan
   std::vector<Rule> rules;
+  LayerGraph layers;          ///< layering DAG (tools/lint_layers.json)
+  bool layers_loaded = false; ///< kLayering rules are skipped until loaded
 };
 
 /// Parses `tools/lint_rules.json` text. Returns nullopt (and sets `error`
@@ -77,11 +89,8 @@ std::optional<Config> parse_config(std::string_view json_text,
 /// finding order) is deterministic.
 using FileSet = std::map<std::string, std::string>;
 
-/// Blanks comments and string/char-literal contents (raw strings included)
-/// while preserving line structure, so pattern rules never fire on prose
-/// or quoted text. Quoted #include targets are kept readable — the include
-/// rules parse them out of the scrubbed text. Exposed for tests.
-std::string strip_comments_and_strings(std::string_view source);
+// strip_comments_and_strings / tokenize live in lint/lexer.hpp (included
+// above) — the scrubber is the lexer's first stage.
 
 /// Lints one file. `project` (optional) supplies the rest of the tree for
 /// include-graph rules. Suppressions already applied; sorted by line.
@@ -90,7 +99,10 @@ std::vector<Finding> lint_source(const Config& config, const std::string& path,
                                  const FileSet* project = nullptr);
 
 /// Lints every file in the set; findings sorted by (file, line, rule).
-std::vector<Finding> lint_files(const Config& config, const FileSet& files);
+/// `threads` > 1 scans files on a parallel::ThreadPool; results are merged
+/// in path order, so the output is byte-identical at any thread count.
+std::vector<Finding> lint_files(const Config& config, const FileSet& files,
+                                int threads = 1);
 
 /// Reads every file matching config.extensions under config.roots (relative
 /// to `root_dir`) from disk. Returns nullopt + `error` if a root is missing.
@@ -99,6 +111,25 @@ std::optional<FileSet> collect_tree(const std::string& root_dir,
 
 /// "file:line: error: [rule] message" lines, one per finding.
 std::string format_findings(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 log (one run, enabled rules in the driver catalog, one
+/// result per finding). Deterministic byte-for-byte for a given config and
+/// finding list.
+std::string format_sarif(const Config& config,
+                         const std::vector<Finding>& findings);
+
+/// Mechanical fixer for the include-order and pragma-once rules. Produces
+/// a fixed copy of `source` (idempotent: fixing a fixed file is a no-op).
+/// Refuses to touch files carrying any `plos-lint:` suppression marker,
+/// and leaves the include region alone when it holds anything besides
+/// includes and blank lines (a comment inside the block, say).
+struct FixOutcome {
+  bool changed = false;
+  bool refused = false;  ///< suppression marker present, file untouched
+  std::string text;      ///< fixed contents (valid when changed)
+};
+FixOutcome fix_mechanical(const Config& config, const std::string& path,
+                          std::string_view source);
 
 /// Runs the engine against the embedded good/bad fixture snippets: every
 /// bad fixture must produce its expected rule (reported with rule name and
@@ -111,8 +142,9 @@ SelfTestResult self_test(const Config& config);
 
 /// CLI driver (the `plos_lint` binary is a thin wrapper so tests can cover
 /// argument parsing and exit codes in-process). Appends human-readable
-/// output to `out`. Exit codes: 0 clean / self-test passed, 1 findings or
-/// self-test failure, 2 usage or configuration error.
+/// output to `out` (or a SARIF log under --format sarif). Exit codes: 0
+/// clean / self-test passed, 1 findings or self-test failure, 2 usage or
+/// configuration error.
 int run_cli(const std::vector<std::string>& args, std::string& out);
 
 }  // namespace plos::lint

@@ -1,0 +1,607 @@
+#include "lint/rules_semantic.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <set>
+
+#include "lint/lint.hpp"
+
+namespace plos::lint {
+
+namespace {
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Index of the bracket matching tokens[open] (same spelling pair), or
+/// tokens.size() when unbalanced. Works for (), [], {} and <> is not
+/// supported (the lexer splits >> so templates stay out of the walks).
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open,
+                          char open_char, char close_char) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kPunct || tokens[i].text.size() != 1) {
+      continue;
+    }
+    const char c = tokens[i].text[0];
+    if (c == open_char) ++depth;
+    if (c == close_char && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+/// Index of the opener matching tokens[close], walking backward.
+std::size_t match_backward(const std::vector<Token>& tokens, std::size_t close,
+                           char open_char, char close_char) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (tokens[i].kind != TokenKind::kPunct || tokens[i].text.size() != 1) {
+      if (i == 0) break;
+      continue;
+    }
+    const char c = tokens[i].text[0];
+    if (c == close_char) ++depth;
+    if (c == open_char && --depth == 0) return i;
+    if (i == 0) break;
+  }
+  return tokens.size();
+}
+
+// ---- race-surface --------------------------------------------------------
+
+const std::set<std::string>& mutating_methods() {
+  static const std::set<std::string> kMutators = {
+      "push_back", "emplace_back", "pop_back", "insert",  "emplace",
+      "erase",     "clear",        "resize",   "assign",  "reserve"};
+  return kMutators;
+}
+
+bool is_assign_op(const Token& t) {
+  if (t.kind != TokenKind::kPunct) return false;
+  static const std::set<std::string> kOps = {"=",  "+=", "-=",  "*=",  "/=",
+                                             "%=", "&=", "|=",  "^=",
+                                             "<<=", ">>="};
+  return kOps.count(t.text) != 0;
+}
+
+// Identifiers that can precede a name without declaring it.
+bool non_declaring_keyword(const std::string& text) {
+  static const std::set<std::string> kKeywords = {
+      "return",   "throw",  "new",     "delete",   "else",     "do",
+      "case",     "goto",   "break",   "continue", "sizeof",   "typeid",
+      "co_return", "co_await", "co_yield", "operator", "not"};
+  return kKeywords.count(text) != 0;
+}
+
+/// Collects identifiers that look declared inside [begin, end): an
+/// identifier preceded by a type-ish token (identifier, `>`, `&`, `&&`,
+/// `*`) and followed by a declarator-ish one (`=`, `;`, `,`, `:`, `(`,
+/// `)`, `{`, `[`). Misclassifying an expression as a declaration only
+/// weakens the rule (false negative), never strengthens it — the envelope
+/// DESIGN.md §16 documents.
+std::set<std::string> collect_locals(const std::vector<Token>& tokens,
+                                     std::size_t begin, std::size_t end) {
+  std::set<std::string> locals;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier) continue;
+    if (i == begin || i + 1 >= end) continue;
+    const Token& prev = tokens[i - 1];
+    const Token& next = tokens[i + 1];
+    const bool type_before =
+        (prev.kind == TokenKind::kIdentifier &&
+         !non_declaring_keyword(prev.text)) ||
+        is_punct(prev, ">") || is_punct(prev, "&") || is_punct(prev, "&&") ||
+        is_punct(prev, "*");
+    const bool declarator_after =
+        is_punct(next, "=") || is_punct(next, ";") || is_punct(next, ",") ||
+        is_punct(next, ":") || is_punct(next, "(") || is_punct(next, ")") ||
+        is_punct(next, "{") || is_punct(next, "[");
+    if (type_before && declarator_after) locals.insert(tokens[i].text);
+  }
+  return locals;
+}
+
+/// Names declared std::atomic anywhere in the file: `atomic < ... > name`.
+std::set<std::string> collect_atomics(const std::vector<Token>& tokens) {
+  std::set<std::string> atomics;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!is_ident(tokens[i], "atomic")) continue;
+    std::size_t j = i + 1;
+    if (is_punct(tokens[j], "<")) {
+      int depth = 0;
+      for (; j < tokens.size(); ++j) {
+        if (is_punct(tokens[j], "<")) ++depth;
+        if (is_punct(tokens[j], ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    if (j < tokens.size() && tokens[j].kind == TokenKind::kIdentifier) {
+      atomics.insert(tokens[j].text);
+    }
+  }
+  return atomics;
+}
+
+struct CaptureInfo {
+  bool default_ref = false;    // [&]
+  bool default_value = false;  // [=]
+  bool captures_this = false;  // [this] or [*this]
+  std::set<std::string> by_ref;
+  std::set<std::string> by_value;
+};
+
+CaptureInfo parse_captures(const std::vector<Token>& tokens,
+                           std::size_t open_bracket,
+                           std::size_t close_bracket) {
+  CaptureInfo info;
+  std::vector<std::vector<const Token*>> entries(1);
+  int nest = 0;
+  for (std::size_t i = open_bracket + 1; i < close_bracket; ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == TokenKind::kPunct && t.text.size() == 1) {
+      const char c = t.text[0];
+      if (c == '(' || c == '[' || c == '{') ++nest;
+      if (c == ')' || c == ']' || c == '}') --nest;
+      if (c == ',' && nest == 0) {
+        entries.emplace_back();
+        continue;
+      }
+    }
+    entries.back().push_back(&t);
+  }
+  for (const auto& entry : entries) {
+    if (entry.empty()) continue;
+    if (entry.size() == 1 && is_punct(*entry[0], "&")) {
+      info.default_ref = true;
+    } else if (entry.size() == 1 && is_punct(*entry[0], "=")) {
+      info.default_value = true;
+    } else if (is_ident(*entry[0], "this") ||
+               (is_punct(*entry[0], "*") && entry.size() > 1 &&
+                is_ident(*entry[1], "this"))) {
+      info.captures_this = true;
+    } else if (is_punct(*entry[0], "&") && entry.size() > 1 &&
+               entry[1]->kind == TokenKind::kIdentifier) {
+      info.by_ref.insert(entry[1]->text);
+    } else if (entry[0]->kind == TokenKind::kIdentifier) {
+      info.by_value.insert(entry[0]->text);
+    }
+  }
+  return info;
+}
+
+/// Walks backward from `pos` (the token before a write operator) to the
+/// base identifier of the lvalue path, collecting identifiers used inside
+/// its subscript/call groups. Returns nullopt when the shape is not an
+/// lvalue path.
+struct LvaluePath {
+  std::string base;
+  std::size_t base_index = 0;
+  std::set<std::string> index_idents;
+};
+
+std::optional<LvaluePath> walk_lvalue_backward(
+    const std::vector<Token>& tokens, std::size_t pos) {
+  LvaluePath path;
+  while (true) {
+    const Token& t = tokens[pos];
+    if (is_punct(t, "]") || is_punct(t, ")")) {
+      const char open = t.text[0] == ']' ? '[' : '(';
+      const std::size_t m = match_backward(tokens, pos, open, t.text[0]);
+      if (m >= tokens.size() || m == 0) return std::nullopt;
+      for (std::size_t k = m + 1; k < pos; ++k) {
+        if (tokens[k].kind == TokenKind::kIdentifier) {
+          path.index_idents.insert(tokens[k].text);
+        }
+      }
+      pos = m - 1;
+      continue;
+    }
+    if (t.kind == TokenKind::kIdentifier) {
+      path.base = t.text;
+      path.base_index = pos;
+      if (pos > 0 && (is_punct(tokens[pos - 1], ".") ||
+                      is_punct(tokens[pos - 1], "->") ||
+                      is_punct(tokens[pos - 1], "::"))) {
+        if (pos < 2) return std::nullopt;
+        pos -= 2;
+        continue;
+      }
+      return path;
+    }
+    // A leading dereference writes through the named pointer; keep the
+    // base found so far if any, otherwise give up on the shape.
+    if (is_punct(t, "*") && !path.base.empty()) return path;
+    return std::nullopt;
+  }
+}
+
+struct LambdaRegion {
+  CaptureInfo captures;
+  std::set<std::string> params;
+  std::size_t body_begin = 0;  // token index of '{'
+  std::size_t body_end = 0;    // token index of matching '}'
+};
+
+/// Finds the lambda passed to a parallel_for/submit call whose opening
+/// paren is at `call_open`. Returns nullopt when no lambda literal appears
+/// among the arguments (e.g. a declaration or a named functor).
+std::optional<LambdaRegion> parse_lambda(const std::vector<Token>& tokens,
+                                         std::size_t call_open,
+                                         std::size_t call_close) {
+  std::size_t intro = tokens.size();
+  for (std::size_t i = call_open + 1; i < call_close; ++i) {
+    if (is_punct(tokens[i], "[") && i > 0 &&
+        (is_punct(tokens[i - 1], "(") || is_punct(tokens[i - 1], ","))) {
+      intro = i;
+      break;
+    }
+  }
+  if (intro >= tokens.size()) return std::nullopt;
+  const std::size_t intro_close = match_forward(tokens, intro, '[', ']');
+  if (intro_close >= tokens.size()) return std::nullopt;
+
+  LambdaRegion region;
+  region.captures = parse_captures(tokens, intro, intro_close);
+
+  std::size_t cursor = intro_close + 1;
+  if (cursor < tokens.size() && is_punct(tokens[cursor], "(")) {
+    const std::size_t params_close = match_forward(tokens, cursor, '(', ')');
+    if (params_close >= tokens.size()) return std::nullopt;
+    int nest = 0;
+    for (std::size_t i = cursor + 1; i < params_close; ++i) {
+      const Token& t = tokens[i];
+      if (t.kind == TokenKind::kPunct && t.text.size() == 1) {
+        const char c = t.text[0];
+        if (c == '(' || c == '[' || c == '{') ++nest;
+        if (c == ')' || c == ']' || c == '}') --nest;
+      }
+      // A parameter name is the identifier right before a top-level comma
+      // or the closing paren.
+      if (t.kind == TokenKind::kIdentifier && nest == 0) {
+        const bool at_end = i + 1 == params_close;
+        const bool before_comma =
+            i + 1 < params_close && is_punct(tokens[i + 1], ",");
+        if (at_end || before_comma) region.params.insert(t.text);
+      }
+    }
+    cursor = params_close + 1;
+  }
+  while (cursor < tokens.size() && !is_punct(tokens[cursor], "{")) {
+    // mutable / noexcept / -> trailing return type
+    if (is_punct(tokens[cursor], ";") || is_punct(tokens[cursor], ")")) {
+      return std::nullopt;
+    }
+    ++cursor;
+  }
+  if (cursor >= tokens.size()) return std::nullopt;
+  region.body_begin = cursor;
+  region.body_end = match_forward(tokens, cursor, '{', '}');
+  if (region.body_end >= tokens.size()) return std::nullopt;
+  return region;
+}
+
+bool lock_guard_before(const std::vector<Token>& tokens, std::size_t begin,
+                       std::size_t pos) {
+  for (std::size_t i = begin; i < pos; ++i) {
+    if (tokens[i].kind == TokenKind::kIdentifier &&
+        (tokens[i].text == "lock_guard" || tokens[i].text == "scoped_lock" ||
+         tokens[i].text == "unique_lock")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_write(const Rule& rule, const std::string& path,
+                 const std::vector<Token>& tokens, const LambdaRegion& lambda,
+                 const std::set<std::string>& locals,
+                 const std::set<std::string>& atomics,
+                 const LvaluePath& lvalue, std::size_t op_index,
+                 const char* what, std::vector<Finding>& findings) {
+  const CaptureInfo& cap = lambda.captures;
+  const std::string& base = lvalue.base;
+  if (base == "auto") return;  // structured binding declaration, not a write
+  if (locals.count(base) != 0 || lambda.params.count(base) != 0) return;
+  if (atomics.count(base) != 0) return;
+  if (cap.by_value.count(base) != 0) return;  // explicit copy capture
+  const bool by_ref =
+      cap.by_ref.count(base) != 0 || cap.default_ref || cap.captures_this;
+  if (!by_ref) return;  // by-value capture: a write cannot escape the chunk
+  for (const std::string& idx : lvalue.index_idents) {
+    if (locals.count(idx) != 0 || lambda.params.count(idx) != 0) return;
+  }
+  if (lock_guard_before(tokens, lambda.body_begin, op_index)) return;
+  findings.push_back(
+      Finding{rule.name, path, tokens[op_index].line,
+              rule.message + " (" + what + " '" + base +
+                  "' is shared across chunks; index it by the chunk "
+                  "variable, make it atomic, or guard it with a lock)"});
+}
+
+}  // namespace
+
+void apply_race_surface(const Rule& rule, const std::string& path,
+                        const std::vector<Token>& tokens,
+                        std::vector<Finding>& all_findings) {
+  std::vector<Finding> findings;
+  const std::set<std::string> atomics = collect_atomics(tokens);
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!(is_ident(tokens[i], "parallel_for") ||
+          is_ident(tokens[i], "submit")) ||
+        !is_punct(tokens[i + 1], "(")) {
+      continue;
+    }
+    const std::size_t call_open = i + 1;
+    const std::size_t call_close = match_forward(tokens, call_open, '(', ')');
+    if (call_close >= tokens.size()) continue;
+    const auto lambda = parse_lambda(tokens, call_open, call_close);
+    if (!lambda) continue;
+    const std::set<std::string> locals =
+        collect_locals(tokens, lambda->body_begin + 1, lambda->body_end);
+
+    for (std::size_t k = lambda->body_begin + 1; k < lambda->body_end; ++k) {
+      const Token& t = tokens[k];
+      if (is_assign_op(t) && k > lambda->body_begin + 1) {
+        const auto lvalue = walk_lvalue_backward(tokens, k - 1);
+        if (lvalue) {
+          check_write(rule, path, tokens, *lambda, locals, atomics, *lvalue,
+                      k, "write target", findings);
+        }
+      } else if (is_punct(t, "++") || is_punct(t, "--")) {
+        std::optional<LvaluePath> lvalue;
+        if (k + 1 < lambda->body_end &&
+            tokens[k + 1].kind == TokenKind::kIdentifier) {
+          // Prefix form: consume the lvalue path forward (ident, member
+          // accesses, subscripts), then classify it via the backward walk
+          // from its last token so subscript identifiers are collected.
+          std::size_t j = k + 1;
+          while (j < lambda->body_end) {
+            if (tokens[j].kind == TokenKind::kIdentifier) {
+              ++j;
+            } else if (is_punct(tokens[j], ".") ||
+                       is_punct(tokens[j], "->") ||
+                       is_punct(tokens[j], "::")) {
+              ++j;
+            } else if (is_punct(tokens[j], "[")) {
+              j = match_forward(tokens, j, '[', ']') + 1;
+            } else {
+              break;
+            }
+          }
+          lvalue = walk_lvalue_backward(tokens, j - 1);
+        } else if (k > lambda->body_begin + 1) {
+          lvalue = walk_lvalue_backward(tokens, k - 1);
+        }
+        if (lvalue) {
+          check_write(rule, path, tokens, *lambda, locals, atomics, *lvalue,
+                      k, "increment target", findings);
+        }
+      } else if (t.kind == TokenKind::kIdentifier &&
+                 mutating_methods().count(t.text) != 0 &&
+                 k > lambda->body_begin + 1 && k + 1 < lambda->body_end &&
+                 (is_punct(tokens[k - 1], ".") ||
+                  is_punct(tokens[k - 1], "->")) &&
+                 is_punct(tokens[k + 1], "(")) {
+        const auto lvalue = walk_lvalue_backward(tokens, k - 2);
+        if (lvalue) {
+          check_write(rule, path, tokens, *lambda, locals, atomics, *lvalue,
+                      k, "mutated receiver", findings);
+        }
+      }
+    }
+  }
+  // One finding per line keeps the reports stable when a line holds
+  // several writes to the same shared variable.
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.message) < std::tie(b.line, b.message);
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.line == b.line;
+                             }),
+                 findings.end());
+  all_findings.insert(all_findings.end(),
+                      std::make_move_iterator(findings.begin()),
+                      std::make_move_iterator(findings.end()));
+}
+
+// ---- accumulation-order --------------------------------------------------
+
+namespace {
+
+struct LoopRegion {
+  std::string induction;       // empty for while / induction-free headers
+  std::size_t body_begin = 0;  // first token inside the body
+  std::size_t body_end = 0;    // one past the last token inside the body
+};
+
+std::vector<LoopRegion> collect_loops(const std::vector<Token>& tokens) {
+  std::vector<LoopRegion> loops;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!(is_ident(tokens[i], "for") || is_ident(tokens[i], "while")) ||
+        !is_punct(tokens[i + 1], "(")) {
+      continue;
+    }
+    const std::size_t header_open = i + 1;
+    const std::size_t header_close =
+        match_forward(tokens, header_open, '(', ')');
+    if (header_close >= tokens.size()) continue;
+
+    LoopRegion loop;
+    if (is_ident(tokens[i], "for")) {
+      for (std::size_t k = header_open + 1; k + 1 < header_close; ++k) {
+        if (tokens[k].kind == TokenKind::kIdentifier &&
+            (is_punct(tokens[k + 1], "=") || is_punct(tokens[k + 1], ":"))) {
+          loop.induction = tokens[k].text;
+          break;
+        }
+      }
+    }
+    std::size_t body = header_close + 1;
+    if (body >= tokens.size()) continue;
+    if (is_punct(tokens[body], "{")) {
+      const std::size_t close = match_forward(tokens, body, '{', '}');
+      if (close >= tokens.size()) continue;
+      loop.body_begin = body + 1;
+      loop.body_end = close;
+    } else {
+      std::size_t k = body;
+      while (k < tokens.size() && !is_punct(tokens[k], ";")) ++k;
+      loop.body_begin = body;
+      loop.body_end = k + 1 < tokens.size() ? k + 1 : tokens.size();
+    }
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+/// Declaration token indices of `double name = 0;`-style zero-initialized
+/// scalars, keyed by name.
+std::map<std::string, std::vector<std::size_t>> collect_zero_doubles(
+    const std::vector<Token>& tokens) {
+  std::map<std::string, std::vector<std::size_t>> decls;
+  for (std::size_t i = 0; i + 3 < tokens.size(); ++i) {
+    if (!is_ident(tokens[i], "double")) continue;
+    if (tokens[i + 1].kind != TokenKind::kIdentifier) continue;
+    if (!is_punct(tokens[i + 2], "=")) continue;
+    if (tokens[i + 3].kind != TokenKind::kNumber) continue;
+    if (std::strtod(tokens[i + 3].text.c_str(), nullptr) != 0.0) continue;
+    if (i + 4 < tokens.size() && !is_punct(tokens[i + 4], ";") &&
+        !is_punct(tokens[i + 4], ",")) {
+      continue;
+    }
+    decls[tokens[i + 1].text].push_back(i);
+  }
+  return decls;
+}
+
+}  // namespace
+
+void apply_accumulation_order(const Rule& rule, const std::string& path,
+                              const std::vector<Token>& tokens,
+                              std::vector<Finding>& findings) {
+  const auto zero_doubles = collect_zero_doubles(tokens);
+  if (zero_doubles.empty()) return;
+  const auto loops = collect_loops(tokens);
+  if (loops.empty()) return;
+
+  for (std::size_t op = 1; op + 1 < tokens.size(); ++op) {
+    const Token& t = tokens[op];
+    if (!(is_punct(t, "+=") || is_punct(t, "-="))) continue;
+
+    // Bare-identifier target only: member/element updates (x.f +=,
+    // a[i] +=) are not scalar reductions.
+    const Token& lhs = tokens[op - 1];
+    if (lhs.kind != TokenKind::kIdentifier) continue;
+    if (op >= 2 && (is_punct(tokens[op - 2], ".") ||
+                    is_punct(tokens[op - 2], "->") ||
+                    is_punct(tokens[op - 2], "::"))) {
+      continue;
+    }
+    const auto decl_it = zero_doubles.find(lhs.text);
+    if (decl_it == zero_doubles.end()) continue;
+
+    // Innermost loop containing the statement.
+    const LoopRegion* innermost = nullptr;
+    for (const LoopRegion& loop : loops) {
+      if (loop.body_begin <= op && op < loop.body_end) {
+        if (innermost == nullptr ||
+            loop.body_begin >= innermost->body_begin) {
+          innermost = &loop;
+        }
+      }
+    }
+    if (innermost == nullptr || innermost->induction.empty()) continue;
+
+    // Declared fresh inside this loop body → per-iteration scalar, not a
+    // loop-carried accumulator.
+    bool declared_inside = false;
+    for (const std::size_t d : decl_it->second) {
+      if (innermost->body_begin <= d && d < op) declared_inside = true;
+    }
+    if (declared_inside) continue;
+
+    // Statement extent: operator to the terminating semicolon.
+    std::size_t stmt_end = op + 1;
+    while (stmt_end < tokens.size() && !is_punct(tokens[stmt_end], ";")) {
+      ++stmt_end;
+    }
+
+    // The element term must read the loop variable inline; folds over
+    // hoisted locals are the blessed shape for branching losses.
+    bool reads_induction = false;
+    bool routed_through_kernels = false;
+    for (std::size_t k = op + 1; k < stmt_end; ++k) {
+      if (tokens[k].kind != TokenKind::kIdentifier) continue;
+      if (tokens[k].text == innermost->induction) reads_induction = true;
+      if ((tokens[k].text == "linalg" || tokens[k].text == "kernels") &&
+          k + 1 < stmt_end && is_punct(tokens[k + 1], "::")) {
+        routed_through_kernels = true;
+      }
+    }
+    if (!reads_induction || routed_through_kernels) continue;
+
+    // Scan exemption: a target re-read elsewhere in the loop body is a
+    // recurrence (prefix scan, damped update) whose order is the
+    // algorithm, not a reassociable fold.
+    bool re_read = false;
+    for (std::size_t k = innermost->body_begin; k < innermost->body_end;
+         ++k) {
+      if (k + 1 == op || (k >= op && k < stmt_end)) continue;
+      if (tokens[k].kind == TokenKind::kIdentifier &&
+          tokens[k].text == lhs.text) {
+        re_read = true;
+        break;
+      }
+    }
+    if (re_read) continue;
+
+    findings.push_back(Finding{
+        rule.name, path, t.line,
+        rule.message + " (loop-carried fold into '" + lhs.text + "')"});
+  }
+}
+
+// ---- layering ------------------------------------------------------------
+
+void apply_layering(const Rule& rule, const std::string& path,
+                    std::string_view scrubbed, const LayerGraph& layers,
+                    std::vector<Finding>& findings) {
+  const std::string from = module_of(path);
+  if (!layers.has_module(from)) {
+    findings.push_back(Finding{
+        rule.name, path, 1,
+        "module \"" + from +
+            "\" is not declared in the layering DAG (tools/lint_layers.json)"});
+    return;
+  }
+  for (const Include& inc : parse_includes(scrubbed)) {
+    if (inc.angle) continue;  // system headers are outside the DAG
+    const std::string to = module_of_target(inc.target, from);
+    if (to == from) continue;
+    if (!layers.has_module(to)) {
+      findings.push_back(Finding{
+          rule.name, path, inc.line,
+          "include of \"" + inc.target + "\" reaches module \"" + to +
+              "\" which is not declared in the layering DAG"});
+      continue;
+    }
+    if (!layers.allows(from, to)) {
+      findings.push_back(Finding{
+          rule.name, path, inc.line,
+          rule.message + " (edge " + from + " -> " + to + " via \"" +
+              inc.target + "\" is not in the layering DAG)"});
+    }
+  }
+}
+
+}  // namespace plos::lint

@@ -1,0 +1,56 @@
+// Token-level semantic rule families (DESIGN.md §16).
+//
+// Three analyses over the lexer's token stream and the include graph:
+//
+//   race-surface        Inside a `parallel_for`/`submit` lambda body, a
+//                       write (`=`, compound assignment, `++`/`--`, or a
+//                       known-mutating method call) to a by-reference or
+//                       this-captured variable that is not indexed by a
+//                       lambda-local value, not std::atomic, and not
+//                       preceded by a lock guard in the same body is a
+//                       finding. Catches the class of bug TSan only finds
+//                       when a schedule exposes it.
+//
+//   accumulation-order  In hot-path code, a loop-carried `+=`/`-=` into a
+//                       zero-initialized double whose element term reads
+//                       the innermost loop variable inline must route
+//                       through the linalg::kernels pinned-order
+//                       primitives (§13). Scans (the target is re-read
+//                       inside the loop), seeded recurrences (non-zero
+//                       initializer), and folds over hoisted locals are
+//                       structurally exempt.
+//
+//   layering            Every include edge between top-level modules must
+//                       be declared in the layering DAG
+//                       (tools/lint_layers.json). No grandfather list.
+//
+// The heuristics' false-positive/false-negative envelope is documented in
+// DESIGN.md §16; all three are deterministic functions of the token
+// stream.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/include_graph.hpp"
+#include "lint/lexer.hpp"
+
+namespace plos::lint {
+
+struct Finding;
+struct Rule;
+
+void apply_race_surface(const Rule& rule, const std::string& path,
+                        const std::vector<Token>& tokens,
+                        std::vector<Finding>& findings);
+
+void apply_accumulation_order(const Rule& rule, const std::string& path,
+                              const std::vector<Token>& tokens,
+                              std::vector<Finding>& findings);
+
+void apply_layering(const Rule& rule, const std::string& path,
+                    std::string_view scrubbed, const LayerGraph& layers,
+                    std::vector<Finding>& findings);
+
+}  // namespace plos::lint

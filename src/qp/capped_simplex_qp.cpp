@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/stopwatch.hpp"
+#include "linalg/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "qp/projection.hpp"
@@ -195,8 +196,8 @@ QpResult solve_capped_simplex_qp(const CappedSimplexQpProblem& problem,
                                                              << result.solution[i]);
   }
   for (std::size_t g = 0; g < problem.groups.size(); ++g) {
-    double sum = 0.0;
-    for (std::size_t idx : problem.groups[g]) sum += result.solution[idx];
+    const double sum =
+        linalg::kernels::serial_gather_sum(result.solution, problem.groups[g]);
     PLOS_DCHECK(sum <= problem.caps[g] + 1e-9 * (1.0 + problem.caps[g]),
                 "CappedSimplexQp: group " << g << " sum " << sum
                                           << " exceeds cap " << problem.caps[g]);
@@ -224,8 +225,8 @@ double kkt_residual(const CappedSimplexQpProblem& problem,
   double feasibility = 0.0;
   for (double v : gamma) feasibility = std::max(feasibility, -v);
   for (std::size_t g = 0; g < problem.groups.size(); ++g) {
-    double s = 0.0;
-    for (std::size_t idx : problem.groups[g]) s += gamma[idx];
+    const double s =
+        linalg::kernels::serial_gather_sum(gamma, problem.groups[g]);
     feasibility = std::max(feasibility, s - problem.caps[g]);
   }
 

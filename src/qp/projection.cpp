@@ -5,16 +5,18 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "linalg/kernels.hpp"
 
 namespace plos::qp {
 
 void project_capped_simplex(std::span<double> x, double cap) {
   PLOS_CHECK(cap >= 0.0, "project_capped_simplex: negative cap");
-  double clipped_sum = 0.0;
   for (double& v : x) {
     if (v < 0.0) v = 0.0;
-    clipped_sum += v;
   }
+  // Same left-to-right add order as the fused clamp-and-sum loop this
+  // replaces: clamping only rewrites elements before any is added.
+  const double clipped_sum = linalg::kernels::serial_sum(x);
   if (clipped_sum <= cap) return;
 
   // Project onto { v >= 0, sum(v) = cap }: find theta such that
@@ -41,8 +43,7 @@ void project_capped_simplex(std::span<double> x, double cap) {
   // the projection bitwise idempotent: a second application hits the early
   // return and touches nothing.
   for (;;) {
-    double sum = 0.0;
-    for (const double v : x) sum += v;
+    const double sum = linalg::kernels::serial_sum(x);
     if (sum <= cap) break;
     std::size_t arg = 0;
     for (std::size_t i = 1; i < x.size(); ++i) {

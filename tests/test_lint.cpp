@@ -76,6 +76,52 @@ std::string read_file(const std::string& path) {
   return contents.str();
 }
 
+// Config exercising only the token-level semantic families (race-surface,
+// accumulation-order, layering) with a small in-test layering DAG, so the
+// tests below stay hermetic and each finding is attributable to one rule.
+Config semantic_config() {
+  Config config;
+  config.roots = {"src"};
+  config.extensions = {".cpp", ".hpp"};
+
+  Rule race;
+  race.name = "race-surface";
+  race.kind = RuleKind::kRaceSurface;
+  race.message = "unsynchronized write in a thread-pool lambda";
+  race.paths = {"src/"};
+  config.rules.push_back(race);
+
+  Rule acc;
+  acc.name = "accumulation-order";
+  acc.kind = RuleKind::kAccumulationOrder;
+  acc.message = "loop-carried double fold outside linalg::kernels";
+  acc.paths = {"src/core/", "src/linalg/", "src/qp/", "src/svm/"};
+  acc.allow_paths = {"src/linalg/kernels"};
+  config.rules.push_back(acc);
+
+  Rule layering;
+  layering.name = "layering";
+  layering.kind = RuleKind::kLayering;
+  layering.message = "undeclared module dependency";
+  config.rules.push_back(layering);
+
+  std::string error;
+  const auto layers = parse_layers(R"({"modules": {
+    "common": [],
+    "linalg": ["common"],
+    "parallel": ["common"],
+    "qp": ["common", "linalg"],
+    "net": ["common"],
+    "core": ["common", "linalg", "parallel", "qp"],
+    "tests": ["*"]
+  }})",
+                                   &error);
+  EXPECT_TRUE(layers.has_value()) << error;
+  config.layers = *layers;
+  config.layers_loaded = true;
+  return config;
+}
+
 // ---- scrubber ------------------------------------------------------------
 
 TEST(Scrubber, BlanksLineCommentsButKeepsNewlines) {
@@ -399,6 +445,399 @@ TEST(PrivacyRule, DoesNotApplyOutsideNetLayer) {
                   .empty());
 }
 
+// ---- race-surface rule ---------------------------------------------------
+//
+// Sources live in raw strings: the scrubber blanks them when plos_lint
+// scans this test file, so the planted races never flag the test itself.
+
+TEST(RaceSurface, FlagsUnsynchronizedCapturedWrite) {
+  const auto config = semantic_config();
+  const std::string source = R"(void solve(const std::vector<double>& x,
+           parallel::ThreadPool& pool) {
+  double total = 0.0;
+  pool.parallel_for(x.size(), [&](std::size_t t) {
+    total += x[t];
+  });
+}
+)";
+  const auto findings = lint_source(config, "src/core/reduce.cpp", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "race-surface");
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_NE(findings[0].message.find("'total'"), std::string::npos);
+}
+
+TEST(RaceSurface, ChunkIndexedWriteIsSafe) {
+  const auto config = semantic_config();
+  const std::string source = R"(void square(std::vector<double>& out,
+            const std::vector<double>& in, parallel::ThreadPool& pool) {
+  pool.parallel_for(in.size(), [&](std::size_t t) {
+    out[t] = in[t] * in[t];
+  });
+}
+)";
+  EXPECT_TRUE(lint_source(config, "src/core/map.cpp", source).empty());
+}
+
+TEST(RaceSurface, AtomicCounterIsSafe) {
+  const auto config = semantic_config();
+  const std::string source = R"(void count(std::size_t n,
+           parallel::ThreadPool& pool) {
+  std::atomic<long> hits{0};
+  pool.parallel_for(n, [&](std::size_t t) {
+    if (t % 2 == 0) ++hits;
+  });
+}
+)";
+  EXPECT_TRUE(lint_source(config, "src/core/count.cpp", source).empty());
+}
+
+TEST(RaceSurface, LockGuardedWriteIsSafe) {
+  const auto config = semantic_config();
+  const std::string source = R"(void enqueue(std::vector<int>& queue,
+             std::mutex& mu, parallel::ThreadPool& pool) {
+  pool.submit([&] {
+    std::lock_guard<std::mutex> guard(mu);
+    queue.push_back(1);
+  });
+}
+)";
+  EXPECT_TRUE(lint_source(config, "src/core/queue.cpp", source).empty());
+}
+
+TEST(RaceSurface, ExplicitByValueCaptureIsSafe) {
+  const auto config = semantic_config();
+  const std::string source = R"(void detach(double seed,
+            parallel::ThreadPool& pool) {
+  pool.submit([seed]() mutable { seed += 1.0; });
+}
+)";
+  EXPECT_TRUE(lint_source(config, "src/core/detach.cpp", source).empty());
+}
+
+TEST(RaceSurface, ThisCapturedMemberMutationFlagged) {
+  const auto config = semantic_config();
+  const std::string bad = R"(void Collector::run(parallel::ThreadPool& pool,
+                    std::size_t n) {
+  pool.parallel_for(n, [this](std::size_t t) {
+    results_.push_back(t);
+  });
+}
+)";
+  const auto findings = lint_source(config, "src/core/collect.cpp", bad);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "race-surface");
+  EXPECT_NE(findings[0].message.find("'results_'"), std::string::npos);
+
+  // A chunk-indexed member write through the same capture stays legal.
+  const std::string good = R"(void Collector::fill(parallel::ThreadPool& pool,
+                     std::size_t n) {
+  pool.parallel_for(n, [this](std::size_t t) {
+    slots_[t] = 0.0;
+  });
+}
+)";
+  EXPECT_TRUE(lint_source(config, "src/core/collect.cpp", good).empty());
+}
+
+TEST(RaceSurface, LambdaLocalIndexedWriteIsSafe) {
+  const auto config = semantic_config();
+  const std::string source = R"(void mark(std::vector<double>& out,
+          const std::vector<std::vector<std::size_t>>& spans,
+          parallel::ThreadPool& pool) {
+  pool.parallel_for(spans.size(), [&](std::size_t g) {
+    for (std::size_t j : spans[g]) out[j] = 1.0;
+  });
+}
+)";
+  EXPECT_TRUE(lint_source(config, "src/core/mark.cpp", source).empty());
+}
+
+// ---- accumulation-order rule ---------------------------------------------
+
+TEST(AccumulationOrder, FlagsLoopCarriedRawFold) {
+  const auto config = semantic_config();
+  const std::string source = R"(double objective(const double* g,
+                  const double* x, std::size_t n) {
+  double obj = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    obj += g[i] * x[i];
+  }
+  return obj;
+}
+)";
+  const auto findings = lint_source(config, "src/qp/solver.cpp", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "accumulation-order");
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_NE(findings[0].message.find("'obj'"), std::string::npos);
+}
+
+TEST(AccumulationOrder, KernelRoutedFoldIsExempt) {
+  const auto config = semantic_config();
+  const std::string source = R"(double objective(std::size_t m) {
+  double obj = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    obj += linalg::kernels::blocked_dot(rows[i], x);
+  }
+  return obj;
+}
+)";
+  EXPECT_TRUE(lint_source(config, "src/qp/solver.cpp", source).empty());
+}
+
+TEST(AccumulationOrder, ScanRecurrenceIsExempt) {
+  const auto config = semantic_config();
+  // The prefix-scan idiom from project_capped_simplex: the target is
+  // re-read inside the loop, so the order IS the algorithm.
+  const std::string source = R"(double threshold(const std::vector<double>& u) {
+  double running = 0.0;
+  double theta = 0.0;
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    running += u[k];
+    theta = running / static_cast<double>(k + 1);
+  }
+  return theta;
+}
+)";
+  EXPECT_TRUE(lint_source(config, "src/qp/projection.cpp", source).empty());
+}
+
+TEST(AccumulationOrder, SeededRecurrenceIsExempt) {
+  const auto config = semantic_config();
+  // Cholesky-style pivot update: seeded from a[0], not a zero fold.
+  const std::string source = R"(double pivot(const double* a, const double* l,
+             std::size_t i) {
+  double diag = a[0];
+  for (std::size_t k = 0; k < i; ++k) {
+    diag -= l[k] * l[k];
+  }
+  return diag;
+}
+)";
+  EXPECT_TRUE(lint_source(config, "src/linalg/factor.cpp", source).empty());
+}
+
+TEST(AccumulationOrder, HoistedElementTermIsExempt) {
+  const auto config = semantic_config();
+  // Folds over a hoisted per-iteration local are the blessed shape for
+  // branching losses (the element term does not read the loop variable).
+  const std::string source = R"(double hinge(const double* m, std::size_t n) {
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double margin = m[i];
+    loss += std::max(0.0, 1.0 - margin);
+  }
+  return loss;
+}
+)";
+  EXPECT_TRUE(lint_source(config, "src/core/loss.cpp", source).empty());
+}
+
+TEST(AccumulationOrder, IntegerAccumulatorIsExempt) {
+  const auto config = semantic_config();
+  const std::string source = R"(int agreement(const int* a, const int* b,
+              std::size_t n) {
+  int agree = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    agree += a[i] == b[i] ? 1 : 0;
+  }
+  return agree;
+}
+)";
+  EXPECT_TRUE(lint_source(config, "src/core/vote.cpp", source).empty());
+}
+
+TEST(AccumulationOrder, OnlyAppliesToHotPathModules) {
+  const auto config = semantic_config();
+  const std::string source = R"(double sum_all(const double* v, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += v[i];
+  }
+  return total;
+}
+)";
+  // Same raw fold, but the net layer is outside the rule's paths.
+  EXPECT_TRUE(lint_source(config, "src/net/wire.cpp", source).empty());
+}
+
+// ---- layering rule -------------------------------------------------------
+
+TEST(Layering, UndeclaredEdgeFlagged) {
+  const auto config = semantic_config();
+  const auto findings = lint_source(config, "src/linalg/matrix.cpp",
+                                    "#include \"qp/box_qp.hpp\"\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("linalg -> qp"), std::string::npos);
+}
+
+TEST(Layering, DeclaredEdgesSelfAndAngleIncludesAreClean) {
+  const auto config = semantic_config();
+  const std::string source =
+      "#include \"qp/solver.hpp\"\n"
+      "\n"
+      "#include <vector>\n"
+      "\n"
+      "#include \"common/assert.hpp\"\n"
+      "#include \"linalg/kernels.hpp\"\n"
+      "#include \"qp/projection.hpp\"\n";
+  EXPECT_TRUE(lint_source(config, "src/qp/solver.cpp", source).empty());
+}
+
+TEST(Layering, UnknownModuleIsFlagged) {
+  const auto config = semantic_config();
+  const auto findings =
+      lint_source(config, "src/rogue/widget.cpp", "int x;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_NE(findings[0].message.find("\"rogue\""), std::string::npos);
+}
+
+TEST(Layering, WildcardTopLayerMayIncludeAnything) {
+  const auto config = semantic_config();
+  const std::string source =
+      "#include \"core/trainer.hpp\"\n#include \"net/wire.hpp\"\n";
+  EXPECT_TRUE(lint_source(config, "tests/test_widget.cpp", source).empty());
+}
+
+TEST(Layering, BareTargetResolvesToOwnModule) {
+  const auto config = semantic_config();
+  // A directory-less target is a sibling header: always a self-edge.
+  EXPECT_TRUE(lint_source(config, "src/qp/solver.cpp",
+                          "#include \"solver_detail.hpp\"\n")
+                  .empty());
+}
+
+TEST(Layering, ParseRejectsCycles) {
+  std::string error;
+  const auto layers = parse_layers(
+      R"({"modules": {"a": ["b"], "b": ["a"]}})", &error);
+  EXPECT_FALSE(layers.has_value());
+  EXPECT_NE(error.find("cycle"), std::string::npos);
+}
+
+TEST(Layering, ParseRejectsUnknownDependency) {
+  std::string error;
+  const auto layers =
+      parse_layers(R"({"modules": {"a": ["ghost"]}})", &error);
+  EXPECT_FALSE(layers.has_value());
+  EXPECT_NE(error.find("ghost"), std::string::npos);
+}
+
+// ---- threaded scan determinism -------------------------------------------
+
+TEST(Threads, ScanIsByteIdenticalAcrossThreadCounts) {
+  const auto config = engine_config();
+  FileSet project;
+  for (int i = 0; i < 12; ++i) {
+    const std::string path = "src/core/f" + std::to_string(i) + ".cpp";
+    project[path] = (i % 2 == 0)
+                        ? "std::random_device rd;\nbool b = x == 1.5;\n"
+                        : "int x;\n";
+  }
+  project["src/net/wire.cpp"] = "#include \"sensing/w.hpp\"\n";
+  project["src/sensing/w.hpp"] = "#pragma once\n#include \"data/d.hpp\"\n";
+  project["src/data/d.hpp"] = "#pragma once\n";
+
+  const std::string serial = format_findings(lint_files(config, project, 1));
+  EXPECT_FALSE(serial.empty());
+  for (const int threads : {2, 4, 8}) {
+    EXPECT_EQ(format_findings(lint_files(config, project, threads)), serial)
+        << "threads=" << threads;
+  }
+}
+
+// ---- mechanical fixer ----------------------------------------------------
+
+TEST(Fix, InsertsPragmaOnceAfterLeadingCommentBlock) {
+  const auto config = engine_config();
+  const std::string source = "// doc\n// more\nnamespace plos {}\n";
+  const FixOutcome fixed = fix_mechanical(config, "src/core/h.hpp", source);
+  ASSERT_TRUE(fixed.changed);
+  EXPECT_FALSE(fixed.refused);
+  EXPECT_NE(fixed.text.find("// more\n#pragma once\n\nnamespace"),
+            std::string::npos)
+      << fixed.text;
+  EXPECT_TRUE(lint_source(config, "src/core/h.hpp", fixed.text).empty());
+}
+
+TEST(Fix, CanonicalizesIncludeOrderAndReachesAFixpoint) {
+  const auto config = engine_config();
+  const std::string source =
+      "#include <vector>\n"
+      "#include \"core/solver.hpp\"\n"
+      "#include <cmath>\n"
+      "\n"
+      "#include \"common/assert.hpp\"\n"
+      "\n"
+      "int x;\n";
+  const FixOutcome fixed =
+      fix_mechanical(config, "src/core/solver.cpp", source);
+  ASSERT_TRUE(fixed.changed);
+  // Own header first, then the angle block, then quoted project headers.
+  EXPECT_NE(fixed.text.find("#include \"core/solver.hpp\"\n\n"
+                            "#include <vector>\n#include <cmath>\n\n"
+                            "#include \"common/assert.hpp\"\n"),
+            std::string::npos)
+      << fixed.text;
+  EXPECT_TRUE(
+      lint_source(config, "src/core/solver.cpp", fixed.text).empty());
+  // Idempotence: fixing a fixed file is a no-op.
+  const FixOutcome again =
+      fix_mechanical(config, "src/core/solver.cpp", fixed.text);
+  EXPECT_FALSE(again.changed);
+}
+
+TEST(Fix, RefusesFilesCarryingSuppressionMarkers) {
+  const auto config = engine_config();
+  const std::string source =
+      "// plos-lint: allow(hygiene-include-order)\n"
+      "#include <vector>\n"
+      "#include \"core/solver.hpp\"\n";
+  const FixOutcome outcome =
+      fix_mechanical(config, "src/core/solver.cpp", source);
+  EXPECT_TRUE(outcome.refused);
+  EXPECT_FALSE(outcome.changed);
+}
+
+TEST(Fix, LeavesIncludeRegionWithInterleavedCommentAlone) {
+  const auto config = engine_config();
+  // A comment pinned between includes would detach under a rebuild, so the
+  // fixer must not touch the region.
+  const std::string source =
+      "#include <vector>\n"
+      "// pinned explanation\n"
+      "#include \"core/solver.hpp\"\n"
+      "int x;\n";
+  const FixOutcome outcome =
+      fix_mechanical(config, "src/core/solver.cpp", source);
+  EXPECT_FALSE(outcome.changed);
+  EXPECT_FALSE(outcome.refused);
+}
+
+// ---- SARIF output --------------------------------------------------------
+
+TEST(Sarif, EmitsDeterministicSarif21Log) {
+  const auto config = engine_config();
+  const std::vector<Finding> findings{
+      {"determinism-rng", "src/core/a.cpp", 7, "no entropy in solvers"}};
+  const std::string sarif = format_sarif(config, findings);
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"determinism-rng\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":7"), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\":\"src/core/a.cpp\""), std::string::npos);
+  EXPECT_EQ(sarif.back(), '\n');
+  // Deterministic byte-for-byte; the rules catalog indexes every enabled
+  // rule even when findings are empty.
+  EXPECT_EQ(sarif, format_sarif(config, findings));
+  const std::string empty_log = format_sarif(config, {});
+  EXPECT_NE(empty_log.find("\"results\":[]"), std::string::npos);
+  EXPECT_NE(empty_log.find("\"id\":\"numeric-float-eq\""), std::string::npos);
+}
+
 // ---- reporting & ordering ------------------------------------------------
 
 TEST(Reporting, FormatFindingsUsesCompilerStyle) {
@@ -440,7 +879,8 @@ TEST(ShippedConfig, ParsesAndCoversTheDeterminismCatalog) {
         "determinism-build-stamp", "numeric-no-float", "numeric-float-eq",
         "numeric-c-abs", "privacy-raw-data", "io-iostream", "cache-purity",
         "hygiene-pragma-once", "hygiene-include-order",
-        "hygiene-using-namespace"}) {
+        "hygiene-using-namespace", "race-surface", "accumulation-order",
+        "layering"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
         << "missing rule " << required;
   }
@@ -532,8 +972,17 @@ TEST(CachePurity, CoversSketchAndFlightRecorderSources) {
 TEST(SelfTest, AllEmbeddedFixturesPassAndReportNamesLocations) {
   const std::string text =
       read_file(std::string(PLOS_REPO_DIR) + "/tools/lint_rules.json");
-  const auto config = parse_config(text);
+  auto config = parse_config(text);
   ASSERT_TRUE(config.has_value());
+  // The layering fixtures need the shipped DAG (the CLI loads it the same
+  // way whenever a layering rule is enabled).
+  std::string layers_error;
+  const auto layers = parse_layers(
+      read_file(std::string(PLOS_REPO_DIR) + "/tools/lint_layers.json"),
+      &layers_error);
+  ASSERT_TRUE(layers.has_value()) << layers_error;
+  config->layers = *layers;
+  config->layers_loaded = true;
   const SelfTestResult result = self_test(*config);
   EXPECT_TRUE(result.ok) << result.report;
   // Rejections are reported with the rule name and a file:line location.
@@ -605,6 +1054,101 @@ TEST(Cli, FindingsInAScannedTreeExitOne) {
   // A positional prefix filter that excludes the bad file scans clean.
   out.clear();
   EXPECT_EQ(run_cli({"--root", root.string(), "src/other/"}, out), 0);
+  fs::remove_all(root);
+}
+
+TEST(Cli, ThreadedRealTreeScanIsByteIdentical) {
+  // The §8 contract applied to the linter itself: the scan's byte output
+  // must not depend on the worker count (CI asserts the same equality).
+  std::string serial;
+  ASSERT_EQ(run_cli({"--root", PLOS_REPO_DIR, "--threads", "1"}, serial), 0);
+  for (const char* threads : {"2", "4", "8"}) {
+    std::string out;
+    EXPECT_EQ(run_cli({"--root", PLOS_REPO_DIR, "--threads", threads}, out),
+              0);
+    EXPECT_EQ(out, serial) << "threads=" << threads;
+  }
+}
+
+TEST(Cli, ThreadsFlagRejectsNonPositiveValues) {
+  std::string out;
+  EXPECT_EQ(run_cli({"--root", PLOS_REPO_DIR, "--threads", "0"}, out), 2);
+  out.clear();
+  EXPECT_EQ(run_cli({"--root", PLOS_REPO_DIR, "--threads", "lots"}, out), 2);
+  out.clear();
+  EXPECT_EQ(run_cli({"--root", PLOS_REPO_DIR, "--format", "xml"}, out), 2);
+}
+
+TEST(Cli, SarifFormatEmitsALogAndKeepsExitCodes) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "plos_lint_sarif_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "core");
+  fs::create_directories(root / "tools");
+  {
+    std::ofstream rules(root / "tools" / "lint_rules.json");
+    rules << R"({"roots": ["src"], "rules": [
+      {"name": "determinism-rng", "kind": "banned-pattern",
+       "message": "no entropy in solvers",
+       "patterns": ["std::random_device"], "paths": ["src/"]}
+    ]})";
+  }
+  {
+    std::ofstream bad(root / "src" / "core" / "bad.cpp");
+    bad << "std::random_device rd;\n";
+  }
+  std::string out;
+  EXPECT_EQ(run_cli({"--root", root.string(), "--format", "sarif"}, out), 1);
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_NE(out.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(out.find("\"ruleId\":\"determinism-rng\""), std::string::npos);
+
+  // Clean scans still exit 0 and emit a (findings-free) log.
+  std::ofstream(root / "src" / "core" / "bad.cpp") << "int x;\n";
+  out.clear();
+  EXPECT_EQ(run_cli({"--root", root.string(), "--format", "sarif"}, out), 0);
+  EXPECT_NE(out.find("\"results\":[]"), std::string::npos);
+  fs::remove_all(root);
+}
+
+TEST(Cli, FixRewritesTreeAndReachesAFixpoint) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "plos_lint_fix_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "core");
+  fs::create_directories(root / "tools");
+  {
+    std::ofstream rules(root / "tools" / "lint_rules.json");
+    rules << R"({"roots": ["src"], "rules": [
+      {"name": "hygiene-pragma-once", "kind": "pragma-once",
+       "message": "header missing #pragma once"},
+      {"name": "hygiene-include-order", "kind": "include-order",
+       "message": "include order"}
+    ]})";
+  }
+  std::ofstream(root / "src" / "core" / "h.hpp") << "int declared();\n";
+  std::ofstream(root / "src" / "core" / "pinned.hpp")
+      << "#pragma once  // plos-lint: allow(hygiene-pragma-once)\nint y;\n";
+
+  std::string out;
+  EXPECT_EQ(run_cli({"--root", root.string(), "--fix"}, out), 0);
+  EXPECT_NE(out.find("fixed: src/core/h.hpp"), std::string::npos) << out;
+  EXPECT_NE(out.find("refused (plos-lint suppression present): "
+                     "src/core/pinned.hpp"),
+            std::string::npos)
+      << out;
+
+  std::ifstream fixed(root / "src" / "core" / "h.hpp");
+  std::ostringstream text;
+  text << fixed.rdbuf();
+  EXPECT_EQ(text.str(), "#pragma once\n\nint declared();\n");
+
+  // The fixed tree scans clean and a second --fix touches nothing.
+  out.clear();
+  EXPECT_EQ(run_cli({"--root", root.string()}, out), 0) << out;
+  out.clear();
+  EXPECT_EQ(run_cli({"--root", root.string(), "--fix"}, out), 0);
+  EXPECT_NE(out.find("0 file(s) fixed"), std::string::npos) << out;
   fs::remove_all(root);
 }
 

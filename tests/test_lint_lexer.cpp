@@ -1,0 +1,247 @@
+// Seeded property tests for the plos_lint scrubber and lexer
+// (DESIGN.md §16). The scrubber is the foundation every rule family
+// stands on, so its contract is pinned generatively: random programs are
+// assembled from self-terminating fragments whose comment/string payloads
+// carry a sentinel byte that legal code never contains, and the suite
+// asserts that (a) no payload byte survives scrubbing, (b) line structure
+// and length are preserved exactly, (c) scrubbing is idempotent
+// (scrub(scrub(x)) == scrub(x)), and (d) tokenization of the scrubbed
+// text is deterministic and sentinel-free. Fixed seed, fixed iteration
+// count: a failure reproduces byte-for-byte on every machine.
+#include "lint/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plos::lint {
+namespace {
+
+// Payload bytes live only inside comments and literals; '@' never appears
+// in the code fragments, so one surviving '@' convicts the scrubber.
+constexpr char kSentinel = '@';
+
+// Deterministic 64-bit LCG (same constants as std::knuth_b's ancestor);
+// no std::random_device, no seed from the clock — reruns are identical.
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 33;
+  }
+  std::size_t below(std::size_t n) {
+    return static_cast<std::size_t>(next() % n);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// A payload that must be erased wholesale: sentinel-framed letters plus
+// characters that probe the state machine (slashes, stars, parens).
+std::string payload(Lcg& rng) {
+  static const char kChars[] = {'a', 'b', ' ', '(', ')', '*', '/', '@'};
+  std::string out(1, kSentinel);
+  const std::size_t len = 1 + rng.below(8);
+  for (std::size_t i = 0; i < len; ++i) {
+    out += kChars[rng.below(sizeof(kChars))];
+  }
+  out += kSentinel;
+  return out;
+}
+
+// Escapes a payload for use inside a normal (non-raw) string literal.
+std::string escaped(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// Strips "*/" so a payload can sit inside a block comment.
+std::string block_safe(std::string text) {
+  for (std::size_t at = text.find("*/"); at != std::string::npos;
+       at = text.find("*/")) {
+    text[at + 1] = ' ';
+  }
+  return text;
+}
+
+// Strips the raw-string terminator ")lint" so a payload can sit inside
+// R"lint(...)lint".
+std::string raw_safe(std::string text) {
+  for (std::size_t at = text.find(")lint"); at != std::string::npos;
+       at = text.find(")lint")) {
+    text[at] = ' ';
+  }
+  return text;
+}
+
+// Every fragment is self-terminating (comments closed, literals closed,
+// line comments own their newline), so any concatenation starts and ends
+// in code state and the generator never builds an ill-formed prefix.
+std::string random_fragment(Lcg& rng) {
+  const std::string p = payload(rng);
+  switch (rng.below(16)) {
+    case 0:
+      return "int v" + std::to_string(rng.below(100)) + " = " +
+             std::to_string(rng.below(1000)) + ";\n";
+    case 1:
+      return "x += y[i] * 2.5e-3;\n";
+    case 2:
+      return "if (a < b) { c(d, e); }\n";
+    case 3:
+      return "#include \"core/solver.hpp\"\n";
+    case 4:  // line comment
+      return "// " + p + "\n";
+    case 5:  // line comment continued by a splice: both lines vanish
+      return "// " + p + " \\\n spliced " + p + "\n";
+    case 6:  // one-line block comment
+      return "/* " + block_safe(p) + " */ int k" +
+             std::to_string(rng.below(100)) + ";\n";
+    case 7:  // multi-line block comment
+      return "/* " + block_safe(p) + "\n " + block_safe(p) + " */\n";
+    case 8:  // string literal
+      return "auto s = \"" + escaped(p) + "\";\n";
+    case 9:  // comment openers inside a string are payload, not comments
+      return "auto s = \"/* " + escaped(p) + " // \";\n";
+    case 10:  // adjacent literals
+      return "auto s = \"" + escaped(p) + "\" \"" + escaped(p) + "\";\n";
+    case 11:  // char literal
+      return "char c = '@';\n";
+    case 12:  // raw string, default delimiter
+      return "auto r = R\"(" + block_safe(raw_safe(p)) + ")\";\n";
+    case 13:  // raw string, custom delimiter, quotes and parens inside
+      return "auto r = R\"lint(quote \" close ) " + raw_safe(p) +
+             ")lint\";\n";
+    case 14:  // identifier ending in R is not a raw-string prefix
+      return "auto s = FLAVOR\"" + escaped(p) + "\";\n";
+    default:  // digit separators are not char literals
+      return "int big = 1'000'" + std::to_string(rng.below(900) + 100) +
+             ";\n";
+  }
+}
+
+std::vector<std::size_t> newline_positions(const std::string& text) {
+  std::vector<std::size_t> at;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') at.push_back(i);
+  }
+  return at;
+}
+
+TEST(ScrubberProperty, SentinelErasureLineStructureAndIdempotence) {
+  Lcg rng(0x5eed5eed5eed5eedull);
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    std::string source;
+    const std::size_t fragments = 3 + rng.below(20);
+    for (std::size_t i = 0; i < fragments; ++i) {
+      source += random_fragment(rng);
+    }
+
+    const std::string scrubbed = strip_comments_and_strings(source);
+    // Length and line structure survive byte-for-byte, so every rule's
+    // line numbers match the original file.
+    ASSERT_EQ(scrubbed.size(), source.size()) << source;
+    ASSERT_EQ(newline_positions(scrubbed), newline_positions(source))
+        << source;
+    // No comment or literal payload byte survives.
+    ASSERT_EQ(scrubbed.find(kSentinel), std::string::npos)
+        << "iteration " << iteration << "\n--- source ---\n"
+        << source << "--- scrubbed ---\n"
+        << scrubbed;
+    // Scrubbing is idempotent: blanked text holds no openers.
+    ASSERT_EQ(strip_comments_and_strings(scrubbed), scrubbed) << source;
+
+    // The token stream is deterministic and sentinel-free, and bracket
+    // bookkeeping never goes negative on generated (balanced) programs.
+    const std::vector<Token> tokens = tokenize(scrubbed);
+    const std::vector<Token> again = tokenize(scrubbed);
+    ASSERT_EQ(tokens.size(), again.size());
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      ASSERT_EQ(tokens[i].text, again[i].text);
+      ASSERT_EQ(tokens[i].line, again[i].line);
+      ASSERT_EQ(tokens[i].text.find(kSentinel), std::string::npos);
+      ASSERT_GE(tokens[i].brace_depth, 0);
+      ASSERT_GE(tokens[i].paren_depth, 0);
+    }
+  }
+}
+
+// ---- directed lexer cases the generator cannot pin precisely ------------
+
+TEST(Lexer, MaxMunchPunctuationAndTemplateBrackets) {
+  const std::vector<Token> tokens = tokenize("a <<= b; c->d; e >> f;");
+  const auto has = [&](const char* text) {
+    return std::any_of(tokens.begin(), tokens.end(), [&](const Token& t) {
+      return t.kind == TokenKind::kPunct && t.text == text;
+    });
+  };
+  EXPECT_TRUE(has("<<="));
+  EXPECT_TRUE(has("->"));
+  // ">>" is deliberately split so template argument lists stay balanced
+  // for the semantic rules' backward walks.
+  EXPECT_FALSE(has(">>"));
+  EXPECT_EQ(std::count_if(tokens.begin(), tokens.end(),
+                          [](const Token& t) {
+                            return t.kind == TokenKind::kPunct &&
+                                   t.text == ">";
+                          }),
+            2);
+}
+
+TEST(Lexer, PpNumbersLexAsSingleTokens) {
+  const std::vector<Token> tokens = tokenize("x = 2.5e-3 + 1'000 + 0x1f;");
+  std::vector<std::string> numbers;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kNumber) numbers.push_back(t.text);
+  }
+  EXPECT_EQ(numbers,
+            (std::vector<std::string>{"2.5e-3", "1'000", "0x1f"}));
+}
+
+TEST(Lexer, TracksBraceAndParenDepth) {
+  const std::vector<Token> tokens = tokenize("void f() { if (a) { g(b); } }");
+  ASSERT_FALSE(tokens.empty());
+  const Token& last = tokens.back();  // outermost '}'
+  EXPECT_EQ(last.text, "}");
+  EXPECT_EQ(last.brace_depth, 0);
+  int max_brace = 0;
+  for (const Token& t : tokens) max_brace = std::max(max_brace, t.brace_depth);
+  EXPECT_EQ(max_brace, 2);  // tokens inside the nested if-body
+}
+
+TEST(Lexer, LineSpliceInLineCommentHidesTheNextLine) {
+  const std::string scrubbed = strip_comments_and_strings(
+      "// hidden \\\nstill hidden rand()\nint live;\n");
+  EXPECT_EQ(scrubbed.find("rand"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int live;"), std::string::npos);
+}
+
+TEST(Lexer, IdentifierEndingInRIsNotARawStringPrefix) {
+  // If FLAVOR's trailing R opened a raw string, the scrubber would hunt
+  // for )" and swallow the rest of the file.
+  const std::string scrubbed = strip_comments_and_strings(
+      "auto s = FLAVOR\"x(y)z\"; int after;\n");
+  EXPECT_NE(scrubbed.find("FLAVOR"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int after;"), std::string::npos);
+  EXPECT_EQ(scrubbed.find("x(y)z"), std::string::npos);
+}
+
+TEST(Lexer, TokensCarryOneBasedLineNumbers) {
+  const std::vector<Token> tokens = tokenize("int a;\nint b;\n");
+  ASSERT_GE(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[3].text, "int");
+  EXPECT_EQ(tokens[3].line, 2);
+}
+
+}  // namespace
+}  // namespace plos::lint
